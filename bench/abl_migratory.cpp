@@ -1,0 +1,48 @@
+// Ablation — the V-Class migratory-sharing protocol enhancement on/off.
+//
+// Section 4.2.3 of the paper argues the enhancement hurts read-shared data
+// pages slightly (the second reader's intervention invalidates instead of
+// downgrading) but wins on lock/metadata lines (read-then-update becomes one
+// transaction). This bench isolates that trade by toggling the option.
+#include "bench_common.hpp"
+#include "sim/machine_configs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dss;
+  const auto opts = core::parse_bench_options(argc, argv);
+  auto runner = bench::make_runner(opts);
+
+  Table t({"query", "nproc", "migratory: cycles", "off: cycles",
+           "migratory: memlat", "off: memlat", "migratory: upgrades",
+           "off: upgrades"});
+  double on_upgrades = 0, off_upgrades = 0;
+  for (auto q : core::kQueries) {
+    for (u32 np : {2u, 8u}) {
+      core::ExperimentConfig cfg;
+      cfg.platform = perf::Platform::VClass;
+      cfg.query = q;
+      cfg.nproc = np;
+      cfg.trials = opts.trials;
+      cfg.scale = runner.scale();
+      const auto on = runner.run(cfg);
+      sim::MachineConfig mc = sim::vclass();
+      mc.migratory_opt = false;
+      cfg.machine_override = mc;
+      const auto off = runner.run(cfg);
+      on_upgrades += static_cast<double>(on.mean.upgrades);
+      off_upgrades += static_cast<double>(off.mean.upgrades);
+      t.add_row({tpch::query_name(q), std::to_string(np),
+                 Table::num(on.thread_time_cycles, 0),
+                 Table::num(off.thread_time_cycles, 0),
+                 Table::num(on.avg_mem_latency, 1),
+                 Table::num(off.avg_mem_latency, 1),
+                 Table::num(static_cast<double>(on.mean.upgrades), 0),
+                 Table::num(static_cast<double>(off.mean.upgrades), 0)});
+    }
+  }
+  core::print_figure(std::cout, "Ablation: V-Class migratory optimization", t);
+  return bench::report_claims(
+      {{"migratory handoff eliminates upgrade transactions on "
+        "read-then-update lines",
+        on_upgrades < off_upgrades}});
+}

@@ -1,0 +1,44 @@
+// Ablation — the Origin 2000 speculative memory reply on/off.
+//
+// The speculative reply hides the third hop of a clean-owned read (the home
+// ships the memory copy while confirming with the owner). The paper cites
+// it when contrasting the machines' communication costs; this bench
+// quantifies the latency it saves for multi-process scans, where every line
+// is first read Exclusive by whichever process arrives first.
+#include "bench_common.hpp"
+#include "sim/machine_configs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dss;
+  const auto opts = core::parse_bench_options(argc, argv);
+  auto runner = bench::make_runner(opts);
+
+  Table t({"query", "nproc", "spec: memlat", "no-spec: memlat",
+           "spec: cycles", "no-spec: cycles"});
+  bool spec_faster = true;
+  for (auto q : core::kQueries) {
+    for (u32 np : {2u, 8u}) {
+      core::ExperimentConfig cfg;
+      cfg.platform = perf::Platform::Origin2000;
+      cfg.query = q;
+      cfg.nproc = np;
+      cfg.trials = opts.trials;
+      cfg.scale = runner.scale();
+      const auto on = runner.run(cfg);
+      sim::MachineConfig mc = sim::origin2000();
+      mc.speculative_reply = false;
+      cfg.machine_override = mc;
+      const auto off = runner.run(cfg);
+      spec_faster = spec_faster && on.avg_mem_latency <= off.avg_mem_latency;
+      t.add_row({tpch::query_name(q), std::to_string(np),
+                 Table::num(on.avg_mem_latency, 1),
+                 Table::num(off.avg_mem_latency, 1),
+                 Table::num(on.thread_time_cycles, 0),
+                 Table::num(off.thread_time_cycles, 0)});
+    }
+  }
+  core::print_figure(std::cout, "Ablation: Origin speculative memory reply", t);
+  return bench::report_claims(
+      {{"speculative replies lower multi-process memory latency",
+        spec_faster}});
+}

@@ -1,0 +1,82 @@
+// Shared scaffolding for the figure-reproduction bench binaries.
+//
+// Every binary accepts --scale N (memory-scale denominator, default 16),
+// --trials N (default 4, matching the paper), --seed N; prints the figure as
+// an aligned table plus a CSV block; and ends with a "paper claims" section
+// checking the qualitative statements the figure supports (recorded in
+// EXPERIMENTS.md).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace dss::bench {
+
+struct Claim {
+  std::string text;
+  bool holds;
+};
+
+inline int report_claims(const std::vector<Claim>& claims) {
+  std::cout << "== paper claims ==\n";
+  int failures = 0;
+  for (const auto& c : claims) {
+    std::cout << (c.holds ? "  [reproduced] " : "  [NOT reproduced] ")
+              << c.text << '\n';
+    failures += !c.holds;
+  }
+  std::cout << '\n';
+  return failures;
+}
+
+inline core::ExperimentRunner make_runner(const core::BenchOptions& o) {
+  std::cout << "(building TPC-H database at 1/" << o.scale_denom
+            << " of the paper's 200 MB configuration, seed " << o.seed
+            << ", trials " << o.trials << ")\n";
+  return core::ExperimentRunner(core::ScaleConfig{o.scale_denom}, o.seed);
+}
+
+/// Sweep one platform over the paper's process-count series for all three
+/// queries; keyed by (query index in core::kQueries, nproc).
+using SweepResults = std::map<std::pair<int, u32>, core::RunResult>;
+
+inline SweepResults run_sweep(core::ExperimentRunner& runner,
+                              perf::Platform platform,
+                              const core::BenchOptions& opts) {
+  SweepResults out;
+  int qi = 0;
+  for (auto q : core::kQueries) {
+    for (u32 np : core::kProcSeries) {
+      out[{qi, np}] = runner.run(platform, q, np, opts.trials);
+    }
+    ++qi;
+  }
+  return out;
+}
+
+/// Render one metric of a sweep as the paper's line-chart table: one row per
+/// process count, one column per query.
+inline Table sweep_table(const SweepResults& sweep,
+                         double (*metric)(const core::RunResult&),
+                         int precision) {
+  Table t({"processes", "Q6", "Q21", "Q12"});
+  for (u32 np : core::kProcSeries) {
+    std::vector<std::string> row{std::to_string(np)};
+    for (int qi = 0; qi < 3; ++qi) {
+      row.push_back(Table::num(metric(sweep.at({qi, np})), precision));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace dss::bench

@@ -1,0 +1,61 @@
+// Fig. 2 — Thread time (cycles) of Q6/Q21/Q12 on both machines:
+// (a) one query process, (b) eight query processes (all the same query).
+//
+// Paper findings: with one process the two machines use almost the same
+// number of cycles (the Origin wins wall-clock on its 250 vs 200 MHz clock);
+// with eight, the Origin inflates more because its communication is more
+// expensive.
+#include <map>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dss;
+  const auto opts = core::parse_bench_options(argc, argv);
+  auto runner = bench::make_runner(opts);
+
+  struct Cell {
+    double hpv, sgi;
+  };
+  std::map<std::pair<int, u32>, Cell> cells;  // (query idx, nproc)
+
+  for (u32 np : {1u, 8u}) {
+    Table t({"query", "HP V-Class (cycles)", "SGI Origin 2000 (cycles)",
+             "HPV (s)", "SGI (s)"});
+    int qi = 0;
+    for (auto q : core::kQueries) {
+      const auto hpv = runner.run(perf::Platform::VClass, q, np, opts.trials);
+      const auto sgi =
+          runner.run(perf::Platform::Origin2000, q, np, opts.trials);
+      cells[{qi, np}] = Cell{hpv.thread_time_cycles, sgi.thread_time_cycles};
+      t.add_row({tpch::query_name(q),
+                 Table::num(hpv.thread_time_cycles, 0),
+                 Table::num(sgi.thread_time_cycles, 0),
+                 Table::num(hpv.thread_time_cycles / 200e6, 3),
+                 Table::num(sgi.thread_time_cycles / 250e6, 3)});
+      ++qi;
+    }
+    core::print_figure(std::cout,
+                       np == 1 ? "Fig. 2(a) Thread time, 1 query process"
+                               : "Fig. 2(b) Thread time, 8 query processes",
+                       t);
+  }
+
+  std::vector<bench::Claim> claims;
+  bool close1 = true, sgi_inflates_more = true;
+  for (int qi = 0; qi < 3; ++qi) {
+    const auto& c1 = cells[{qi, 1}];
+    const auto& c8 = cells[{qi, 8}];
+    close1 = close1 && std::abs(c1.sgi / c1.hpv - 1.0) < 0.15;
+    sgi_inflates_more =
+        sgi_inflates_more && (c8.sgi / c1.sgi) > (c8.hpv / c1.hpv);
+  }
+  claims.push_back({"1 process: both machines take almost the same cycles "
+                    "(within 15%)",
+                    close1});
+  claims.push_back({"1 process: Origin's higher clock wins wall-clock",
+                    cells[{0, 1}].sgi / 250e6 < cells[{0, 1}].hpv / 200e6});
+  claims.push_back({"8 processes: Origin cycles inflate more than V-Class",
+                    sgi_inflates_more});
+  return bench::report_claims(claims);
+}

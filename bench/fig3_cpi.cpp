@@ -1,0 +1,46 @@
+// Fig. 3 — Cycles per instruction: (a) 1 process, (b) 8 processes.
+//
+// Paper findings: CPI for all three queries sits in the 1.3-1.6 band; with
+// eight processes CPI rises a little on the V-Class and noticeably more on
+// the Origin (communication/synchronization penalty).
+#include <map>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dss;
+  const auto opts = core::parse_bench_options(argc, argv);
+  auto runner = bench::make_runner(opts);
+
+  std::map<std::pair<int, u32>, std::pair<double, double>> cpi;
+  for (u32 np : {1u, 8u}) {
+    Table t({"query", "HP V-Class", "SGI Origin 2000"});
+    int qi = 0;
+    for (auto q : core::kQueries) {
+      const auto hpv = runner.run(perf::Platform::VClass, q, np, opts.trials);
+      const auto sgi =
+          runner.run(perf::Platform::Origin2000, q, np, opts.trials);
+      cpi[{qi, np}] = {hpv.cpi, sgi.cpi};
+      t.add_row({tpch::query_name(q), Table::num(hpv.cpi, 3),
+                 Table::num(sgi.cpi, 3)});
+      ++qi;
+    }
+    core::print_figure(std::cout,
+                       np == 1 ? "Fig. 3(a) CPI, 1 query process"
+                               : "Fig. 3(b) CPI, 8 query processes",
+                       t);
+  }
+
+  bool in_band = true, both_rise = true, sgi_rises_more = true;
+  for (int qi = 0; qi < 3; ++qi) {
+    const auto [h1, s1] = cpi[{qi, 1}];
+    const auto [h8, s8] = cpi[{qi, 8}];
+    in_band = in_band && h1 > 1.25 && h1 < 1.65 && s1 > 1.25 && s1 < 1.65;
+    both_rise = both_rise && h8 >= h1 && s8 >= s1;
+    sgi_rises_more = sgi_rises_more && (s8 - s1) > (h8 - h1);
+  }
+  return bench::report_claims(
+      {{"CPI of all queries in the paper's 1.3-1.6 band", in_band},
+       {"CPI rises on both machines with 8 processes", both_rise},
+       {"CPI rises more on the Origin than on the V-Class", sgi_rises_more}});
+}

@@ -1,0 +1,34 @@
+// Fig. 5 — Thread time (cycles per 1M instructions) on the SGI Origin 2000
+// as the number of query processes grows 1 -> 8.
+//
+// Paper findings: a clear upward trend for all three queries, with the
+// increase getting steeper at 6 and 8 processes (shared memory homed on a
+// couple of nodes + hypercube distance).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dss;
+  const auto opts = core::parse_bench_options(argc, argv);
+  auto runner = bench::make_runner(opts);
+  const auto sweep = bench::run_sweep(runner, perf::Platform::Origin2000, opts);
+
+  core::print_figure(
+      std::cout, "Fig. 5 Origin 2000 thread time (cycles / 1M instructions)",
+      bench::sweep_table(
+          sweep, [](const core::RunResult& r) { return r.cycles_per_minstr; },
+          0));
+
+  bool rising = true, knee = true;
+  for (int qi = 0; qi < 3; ++qi) {
+    const double v1 = sweep.at({qi, 1}).cycles_per_minstr;
+    const double v4 = sweep.at({qi, 4}).cycles_per_minstr;
+    const double v8 = sweep.at({qi, 8}).cycles_per_minstr;
+    rising = rising && v8 > v1;
+    // The 4->8 climb outpaces the 1->4 climb (the knee the paper attributes
+    // to placement + topology).
+    knee = knee && (v8 - v4) > 0.8 * (v4 - v1);
+  }
+  return bench::report_claims(
+      {{"thread time per instruction rises with process count", rising},
+       {"increase steepens at 6-8 processes", knee}});
+}

@@ -1,0 +1,42 @@
+// Fig. 7 — V-Class thread time (cycles per 1M instructions) vs process
+// count.
+//
+// Paper findings: only a very slow increase (cheap UMA communication); the
+// largest step is 1 -> 2, and between 2 and 4 the thread time can even
+// decrease slightly (migratory coherence enhancement).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dss;
+  const auto opts = core::parse_bench_options(argc, argv);
+  auto runner = bench::make_runner(opts);
+  const auto sweep = bench::run_sweep(runner, perf::Platform::VClass, opts);
+
+  core::print_figure(
+      std::cout, "Fig. 7 V-Class thread time (cycles / 1M instructions)",
+      bench::sweep_table(
+          sweep, [](const core::RunResult& r) { return r.cycles_per_minstr; },
+          0));
+
+  bool slow_increase = true;
+  for (int qi = 0; qi < 3; ++qi) {
+    const double v1 = sweep.at({qi, 1}).cycles_per_minstr;
+    const double v8 = sweep.at({qi, 8}).cycles_per_minstr;
+    slow_increase = slow_increase && v8 >= v1 && (v8 - v1) / v1 < 0.08;
+  }
+  // Compare against the Origin's growth at the same scale: the V-Class rise
+  // must be smaller (the paper's headline comparison).
+  auto runner2 = runner.run(perf::Platform::Origin2000, tpch::QueryId::Q6, 1,
+                            opts.trials);
+  auto sgi8 = runner.run(perf::Platform::Origin2000, tpch::QueryId::Q6, 8,
+                         opts.trials);
+  const double sgi_rise =
+      sgi8.cycles_per_minstr - runner2.cycles_per_minstr;
+  const double hpv_rise = sweep.at({0, 8}).cycles_per_minstr -
+                          sweep.at({0, 1}).cycles_per_minstr;
+  return bench::report_claims(
+      {{"thread time rises only slowly on the V-Class (<8% at 8 procs)",
+        slow_increase},
+       {"V-Class rise is smaller than the Origin's (cheaper communication)",
+        hpv_rise < sgi_rise}});
+}

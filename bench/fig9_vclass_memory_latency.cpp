@@ -1,0 +1,59 @@
+// Fig. 9 — V-Class memory latency vs process count.
+//
+// Paper findings (Section 4.2.3): a big jump from 1 to 2 processes — the
+// second reader of a line held Exclusive pays an owner intervention — then a
+// *decrease* from 2 to 4, because once lines sit Shared at the home, later
+// readers are served directly from memory. The paper walks through how the
+// migratory protocol enhancement interacts with this (a loss for read-shared
+// data pages, a win for lock-information lines).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dss;
+  const auto opts = core::parse_bench_options(argc, argv);
+  auto runner = bench::make_runner(opts);
+  const auto sweep = bench::run_sweep(runner, perf::Platform::VClass, opts);
+
+  core::print_figure(
+      std::cout,
+      "Fig. 9 V-Class memory latency (avg cycles per memory request)",
+      bench::sweep_table(
+          sweep, [](const core::RunResult& r) { return r.avg_mem_latency; },
+          1));
+
+  // Also show the migratory-transfer rate: the protocol's lock-access win.
+  Table mig({"query", "migratory transfers @8p (per process)"});
+  for (int qi = 0; qi < 3; ++qi) {
+    mig.add_row({std::string(tpch::query_name(core::kQueries[qi])),
+                 Table::num(static_cast<double>(
+                                sweep.at({qi, 8}).mean.migratory_transfers) /
+                                8 / opts.trials,
+                            0)});
+  }
+  core::print_figure(std::cout, "Migratory handoffs (protocol enhancement)",
+                     mig);
+
+  bool jump12 = true, flattens = true;
+  for (int qi = 0; qi < 3; ++qi) {
+    const double v1 = sweep.at({qi, 1}).avg_mem_latency;
+    const double v2 = sweep.at({qi, 2}).avg_mem_latency;
+    const double v8 = sweep.at({qi, 8}).avg_mem_latency;
+    jump12 = jump12 && v2 > v1 + 2.0;
+    // After the jump, latency flattens: the 2->8 change stays within the
+    // 1->2 jump (the paper even sees a slight decline 2->4). Q21 creeps a
+    // little as its lock/header dirty-miss traffic scales.
+    flattens = flattens && std::abs(v8 - v2) < v2 - v1;
+  }
+  // The sequential query's latency peaks early and declines by 8 processes:
+  // once a line sits Shared at the home, later readers are served directly.
+  const double q6_peak = std::max(sweep.at({0, 2}).avg_mem_latency,
+                                  sweep.at({0, 4}).avg_mem_latency);
+  const bool q6_declines = sweep.at({0, 8}).avg_mem_latency < q6_peak;
+  return bench::report_claims(
+      {{"big latency increase from 1 to 2 processes", jump12},
+       {"latency flattens beyond 2 processes (read-shared lines served "
+        "from home)",
+        flattens},
+       {"sequential query latency declines from its peak by 8 processes",
+        q6_declines}});
+}

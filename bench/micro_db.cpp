@@ -1,0 +1,97 @@
+// Microbenchmarks of the DBMS substrate: buffer-pool pin/unpin, B-tree
+// probes, sequential scan throughput (simulated events per second).
+#include <benchmark/benchmark.h>
+
+#include "db/exec.hpp"
+#include "os/process.hpp"
+#include "sim/machine_configs.hpp"
+
+namespace {
+
+using namespace dss;
+
+struct Fixture {
+  Fixture() : machine(sim::vclass().scaled(16)), proc(machine, 0) {
+    auto& t = dbase.create_table(
+        "t", db::Schema({{"k", db::ColType::Int64, 0},
+                         {"v", db::ColType::Double, 0}}));
+    for (i64 i = 0; i < 50'000; ++i) {
+      t.add_row({db::Value::of_int(i % 997),
+                 db::Value::of_double(static_cast<double>(i))});
+    }
+    dbase.create_index("t_k", "t", "k");
+    rt = std::make_unique<db::DbRuntime>(dbase,
+                                         db::RuntimeConfig{2048, 4096});
+    rt->prewarm_all();
+  }
+  db::Database dbase;
+  sim::MachineSim machine;
+  os::Process proc;
+  std::unique_ptr<db::DbRuntime> rt;
+};
+
+void BM_BufferPoolPinUnpin(benchmark::State& state) {
+  Fixture f;
+  u32 pg = 0;
+  const u32 npages = static_cast<u32>(f.dbase.table("t").num_pages());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.rt->pool().pin(f.proc, db::BufferPool::PageKey{0, pg}));
+    f.rt->pool().unpin(f.proc, db::BufferPool::PageKey{0, pg});
+    pg = (pg + 1) % npages;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolPinUnpin);
+
+void BM_BTreeProbe(benchmark::State& state) {
+  Fixture f;
+  db::IndexScan scan(*f.rt, "t_k");
+  scan.open(f.proc);
+  i64 key = 0;
+  for (auto _ : state) {
+    scan.probe(f.proc, key);
+    db::HeapTuple t;
+    while (scan.next(f.proc, t)) {
+      benchmark::DoNotOptimize(t.rid());
+    }
+    scan.end_probe(f.proc);
+    key = (key + 131) % 997;
+  }
+  scan.close(f.proc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeProbe);
+
+void BM_SeqScanTuples(benchmark::State& state) {
+  Fixture f;
+  db::SeqScan scan(*f.rt, "t");
+  scan.open(f.proc);
+  db::HeapTuple t;
+  for (auto _ : state) {
+    if (!scan.next(f.proc, t)) {
+      scan.close(f.proc);
+      scan.open(f.proc);
+      continue;
+    }
+    benchmark::DoNotOptimize(t.read_int(f.proc, 0));
+  }
+  scan.close(f.proc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SeqScanTuples);
+
+void BM_SpinLockUncontended(benchmark::State& state) {
+  Fixture f;
+  db::SpinLock lk("bench", sim::kSharedBase + 0x100000);
+  for (auto _ : state) {
+    lk.acquire(f.proc);
+    lk.release(f.proc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpinLockUncontended);
+
+}  // namespace
+
+BENCHMARK_MAIN();

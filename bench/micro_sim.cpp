@@ -1,0 +1,101 @@
+// Microbenchmarks of the simulator core: cache lookups, full machine access
+// paths (hit / miss / coherence), and the directory.
+#include <benchmark/benchmark.h>
+
+#include "perf/counters.hpp"
+#include "sim/cache.hpp"
+#include "sim/machine.hpp"
+#include "sim/machine_configs.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dss;
+using namespace dss::sim;
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  SetAssocCache c(CacheConfig{32 * 1024, 32, 2, 1});
+  for (u64 l = 0; l < 512; ++l) (void)c.insert(l, LineState::S);
+  u64 line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.lookup(line));
+    line = (line + 1) % 512;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_CacheInsertEvict(benchmark::State& state) {
+  SetAssocCache c(CacheConfig{32 * 1024, 32, 2, 1});
+  u64 line = 0;
+  for (auto _ : state) {
+    if (!c.lookup(line)) benchmark::DoNotOptimize(c.insert(line, LineState::S));
+    line += 1024;  // force set conflicts
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void BM_MachineAccessHit(benchmark::State& state) {
+  MachineSim m(vclass().scaled(16));
+  perf::Counters c;
+  m.attach_counters(0, &c);
+  (void)m.access(0, AccessKind::Read, kSharedBase, 8, 0);
+  u64 t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        m.access(0, AccessKind::Read, kSharedBase, 8, ++t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineAccessHit);
+
+void BM_MachineAccessStream(benchmark::State& state) {
+  MachineSim m(vclass().scaled(16));
+  perf::Counters c;
+  m.attach_counters(0, &c);
+  u64 t = 0;
+  SimAddr a = kSharedBase;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.access(0, AccessKind::Read, a, 8, ++t));
+    a += 32;  // one miss per access
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineAccessStream);
+
+void BM_MachineCoherencePingPong(benchmark::State& state) {
+  MachineSim m(origin2000().scaled(16));
+  perf::Counters c0, c1;
+  m.attach_counters(0, &c0);
+  m.attach_counters(1, &c1);
+  u64 t = 0;
+  u32 p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        m.access(p, AccessKind::Write, kSharedBase, 8, ++t));
+    p ^= 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineCoherencePingPong);
+
+void BM_MachineRandomMix(benchmark::State& state) {
+  MachineSim m(origin2000().scaled(16));
+  std::vector<perf::Counters> cs(4);
+  for (u32 p = 0; p < 4; ++p) m.attach_counters(p, &cs[p]);
+  Rng rng(7);
+  u64 t = 0;
+  for (auto _ : state) {
+    const u32 p = static_cast<u32>(rng.uniform(0, 3));
+    const SimAddr a = kSharedBase + static_cast<u64>(rng.uniform(0, 1 << 20));
+    const auto k = rng.chance(0.3) ? AccessKind::Write : AccessKind::Read;
+    benchmark::DoNotOptimize(m.access(p, k, a, 8, ++t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineRandomMix);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Microbenchmarks of the TPC-H layer: generator throughput and full
+// end-to-end query simulation rate.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "tpch/gen.hpp"
+
+namespace {
+
+using namespace dss;
+
+void BM_TpchGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    tpch::GenConfig cfg;
+    cfg.scale_factor = 0.002;
+    cfg.seed = 11;
+    auto dbase = tpch::build_database(cfg);
+    benchmark::DoNotOptimize(dbase->table("lineitem").num_rows());
+    state.SetItemsProcessed(
+        state.items_processed() +
+        static_cast<i64>(dbase->table("lineitem").num_rows()));
+  }
+}
+BENCHMARK(BM_TpchGenerate)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndQ6(benchmark::State& state) {
+  core::ExperimentRunner runner(core::ScaleConfig{64}, 3);
+  for (auto _ : state) {
+    const auto r = runner.run(perf::Platform::Origin2000, tpch::QueryId::Q6,
+                              1, 1);
+    benchmark::DoNotOptimize(r.thread_time_cycles);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndToEndQ6)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndQ21FourProcs(benchmark::State& state) {
+  core::ExperimentRunner runner(core::ScaleConfig{64}, 3);
+  for (auto _ : state) {
+    const auto r = runner.run(perf::Platform::VClass, tpch::QueryId::Q21,
+                              4, 1);
+    benchmark::DoNotOptimize(r.thread_time_cycles);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndToEndQ21FourProcs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

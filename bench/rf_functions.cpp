@@ -1,0 +1,64 @@
+// Extension — TPC-H refresh functions RF1/RF2 on both machines.
+//
+// The paper skips the refresh functions; this bench characterizes the write
+// path the same way Section 3 characterizes the read path: cycles, CPI and
+// cache behaviour of a spec-sized insert batch (RF1) and delete batch (RF2).
+#include "bench_common.hpp"
+#include "os/process.hpp"
+#include "sim/machine_configs.hpp"
+#include "tpch/gen.hpp"
+#include "tpch/refresh.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dss;
+  const auto opts = core::parse_bench_options(argc, argv);
+  std::cout << "(fresh TPC-H database per run; batch = 0.1% of orders)\n";
+
+  Table t({"function", "machine", "rows", "cycles", "CPI", "L1d misses",
+           "writebacks", "index splits observed"});
+  bool writes_cost_more_on_origin = true;
+  std::map<int, double> rf1_cycles;
+  for (int mi = 0; mi < 2; ++mi) {
+    const bool hp = mi == 0;
+    for (int fn = 0; fn < 2; ++fn) {
+      tpch::GenConfig gen;
+      gen.scale_factor = 0.2 / opts.scale_denom;
+      gen.seed = opts.seed;
+      auto dbase = tpch::build_database(gen);
+      const u32 pages_before =
+          dbase->index("lineitem_orderkey_idx").num_pages();
+
+      sim::MachineConfig mc =
+          (hp ? sim::vclass() : sim::origin2000()).scaled(opts.scale_denom);
+      sim::MachineSim machine(mc);
+      db::RuntimeConfig rc;
+      rc.pool_frames = core::ScaleConfig{opts.scale_denom}.pool_frames();
+      db::DbRuntime rt(*dbase, rc);
+      rt.prewarm_all();
+      os::Process proc(machine, 0);
+
+      tpch::RefreshConfig cfg;
+      cfg.seed = opts.seed + 7;
+      const auto res = fn == 0 ? tpch::rf1(*dbase, rt, proc, cfg)
+                               : tpch::rf2(*dbase, rt, proc, cfg);
+      const auto& c = proc.counters();
+      if (fn == 0) rf1_cycles[mi] = static_cast<double>(c.cycles);
+      const u32 splits =
+          dbase->index("lineitem_orderkey_idx").num_pages() - pages_before;
+      t.add_row({fn == 0 ? "RF1 (insert)" : "RF2 (delete)",
+                 hp ? "V-Class" : "Origin",
+                 Table::num(static_cast<double>(res.orders + res.lineitems), 0),
+                 Table::num(static_cast<double>(c.cycles), 0),
+                 Table::num(c.cpi(), 3),
+                 Table::num(static_cast<double>(c.l1d_misses), 0),
+                 Table::num(static_cast<double>(c.writebacks), 0),
+                 Table::num(static_cast<double>(splits), 0)});
+    }
+  }
+  core::print_figure(std::cout, "Extension: refresh functions RF1/RF2", t);
+  writes_cost_more_on_origin = rf1_cycles[1] < rf1_cycles[0] * 1.25;
+  return bench::report_claims(
+      {{"single-process write batches, like reads, take comparable cycles "
+        "on the two machines",
+        writes_cost_more_on_origin}});
+}

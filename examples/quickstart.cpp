@@ -1,0 +1,38 @@
+// Quickstart: build the scaled TPC-H database, run TPC-H Q6 with one query
+// process on each simulated machine, and print the hardware-counter view —
+// the paper's Section 3 measurement in a dozen lines.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "perf/platform_events.hpp"
+
+int main() {
+  using namespace dss;
+
+  // Scale 1/16 of the paper's configuration (DESIGN.md §6): 12.5 MB of raw
+  // TPC-H data, 32 MB buffer pool, caches scaled to match.
+  core::ExperimentRunner runner(core::ScaleConfig{16}, /*seed=*/42);
+
+  for (auto platform : {perf::Platform::VClass, perf::Platform::Origin2000}) {
+    const auto res = runner.run(platform, tpch::QueryId::Q6, /*nproc=*/1,
+                                /*trials=*/1);
+    std::printf("\n=== %s: TPC-H Q6, 1 query process ===\n",
+                perf::platform_name(platform));
+    std::printf("revenue            = %.2f\n", res.query_result[0].vals[0]);
+    std::printf("thread time        = %.3e cycles (%.2f s)\n",
+                res.thread_time_cycles,
+                res.thread_time_cycles /
+                    (platform == perf::Platform::VClass ? 200e6 : 250e6));
+    std::printf("CPI                = %.3f\n", res.cpi);
+    std::printf("instructions       = %.3e\n",
+                static_cast<double>(res.mean.instructions));
+    std::printf("L1 D-cache misses  = %.3e\n", res.l1d_misses);
+    if (platform == perf::Platform::Origin2000) {
+      std::printf("L2 D-cache misses  = %.3e\n", res.l2d_misses);
+    }
+    std::printf("avg memory latency = %.1f cycles\n", res.avg_mem_latency);
+    std::printf("ctx switches/1Mi   = %.3f invol, %.3f vol\n",
+                res.invol_ctx_per_minstr, res.vol_ctx_per_minstr);
+  }
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "os/scheduler.hpp"
+#include "sim/machine_configs.hpp"
+#include "util/rng.hpp"
+
+namespace dss::core {
+
+ExperimentRunner::ExperimentRunner(ScaleConfig scale, u64 seed)
+    : scale_(scale), seed_(seed) {
+  tpch::GenConfig gen;
+  gen.scale_factor = scale_.scale_factor();
+  gen.seed = seed_;
+  dbase_ = tpch::build_database(gen);
+}
+
+RunResult ExperimentRunner::run(perf::Platform platform, tpch::QueryId query,
+                                u32 nproc, u32 trials) {
+  ExperimentConfig cfg;
+  cfg.platform = platform;
+  cfg.query = query;
+  cfg.nproc = nproc;
+  cfg.trials = trials;
+  cfg.scale = scale_;
+  cfg.seed = seed_;
+  return run(cfg);
+}
+
+std::vector<RunResult> ExperimentRunner::run_mix(
+    perf::Platform platform, const std::vector<tpch::QueryId>& mix,
+    u32 trials) {
+  assert(!mix.empty() && trials >= 1);
+  std::vector<perf::Counters> grand(mix.size());
+  std::vector<std::vector<tpch::ResultRow>> results(mix.size());
+  std::vector<double> latency(mix.size(), 0.0);
+  std::vector<double> wall(mix.size(), 0.0);
+
+  for (u32 trial = 0; trial < trials; ++trial) {
+    sim::MachineConfig mc = sim::config_for(platform).scaled(scale_.denom);
+    assert(mix.size() <= mc.num_processors);
+    sim::MachineSim machine(mc);
+    db::RuntimeConfig rc;
+    rc.pool_frames = scale_.pool_frames();
+    rc.workmem_arena_bytes = scale_.arena_bytes();
+    db::DbRuntime rt(*dbase_, rc);
+    rt.prewarm_all();
+    tpch::QueryParams params;
+    params.workmem_arena_bytes = scale_.arena_bytes();
+
+    os::Scheduler sched;
+    std::vector<std::unique_ptr<tpch::QueryRun>> queries;
+    Rng jitter(seed_ * 7919 + trial);
+    for (u32 i = 0; i < mix.size(); ++i) {
+      auto proc = std::make_unique<os::Process>(machine, i);
+      proc->set_timeslice(static_cast<u64>(
+          static_cast<double>(mc.timeslice_cycles) /
+          (1.0 + 0.05 * (static_cast<double>(mix.size()) - 1))));
+      proc->instr(static_cast<u64>(jitter.uniform(0, 40'000)));
+      auto q = tpch::make_query(mix[i], rt, *proc, params);
+      tpch::QueryRun* qp = q.get();
+      queries.push_back(std::move(q));
+      sched.add(std::move(proc), [qp](os::Process& p) { return qp->step(p); });
+    }
+    sched.run_all();
+    for (u32 i = 0; i < mix.size(); ++i) {
+      grand[i] += sched.process(i).counters();
+      latency[i] += sched.process(i).counters().avg_mem_latency();
+      wall[i] += static_cast<double>(sched.process(i).now()) /
+                 (mc.clock_mhz * 1e6);
+      if (trial == 0) results[i] = queries[i]->result();
+    }
+  }
+
+  std::vector<RunResult> out(mix.size());
+  for (u32 i = 0; i < mix.size(); ++i) {
+    RunResult& r = out[i];
+    r.mean = grand[i];
+    r.thread_time_cycles =
+        static_cast<double>(grand[i].cycles) / trials;
+    r.cpi = grand[i].cpi();
+    r.cycles_per_minstr = grand[i].cycles_per_minstr();
+    r.l1d_misses = static_cast<double>(grand[i].l1d_misses) / trials;
+    r.l2d_misses = static_cast<double>(grand[i].l2d_misses) / trials;
+    r.l1d_per_minstr = grand[i].l1d_per_minstr();
+    r.l2d_per_minstr = grand[i].l2d_per_minstr();
+    r.avg_mem_latency = latency[i] / trials;
+    r.vol_ctx_per_minstr = grand[i].vol_ctx_per_minstr();
+    r.invol_ctx_per_minstr = grand[i].invol_ctx_per_minstr();
+    r.wall_seconds = wall[i] / trials;
+    r.query_result = results[i];
+  }
+  return out;
+}
+
+RunResult ExperimentRunner::run(const ExperimentConfig& cfg) {
+  assert(cfg.nproc >= 1 && cfg.trials >= 1);
+  RunResult out;
+  perf::Counters grand;
+  u64 samples = 0;
+  double mem_lat_sum = 0;
+  double wall_sum = 0;
+
+  for (u32 trial = 0; trial < cfg.trials; ++trial) {
+    sim::MachineConfig mc =
+        (cfg.machine_override ? *cfg.machine_override
+                              : sim::config_for(cfg.platform))
+            .scaled(cfg.scale.denom);
+    assert(cfg.nproc <= mc.num_processors);
+    sim::MachineSim machine(mc);
+
+    db::RuntimeConfig rc;
+    rc.pool_frames = cfg.scale.pool_frames();
+    rc.workmem_arena_bytes = cfg.scale.arena_bytes();
+    if (cfg.spin_override) rc.spin = *cfg.spin_override;
+    db::DbRuntime rt(*dbase_, rc);
+    rt.prewarm_all();
+
+    tpch::QueryParams params;
+    params.workmem_arena_bytes = cfg.scale.arena_bytes();
+
+    os::Scheduler sched;
+    std::vector<std::unique_ptr<tpch::QueryRun>> queries;
+    Rng jitter(cfg.seed * 7919 + trial);
+    for (u32 i = 0; i < cfg.nproc; ++i) {
+      auto proc = std::make_unique<os::Process>(machine, i);
+      // Heavier daemon load as more backends run: slightly shorter quanta.
+      proc->set_timeslice(static_cast<u64>(
+          static_cast<double>(mc.timeslice_cycles) /
+          (1.0 + 0.05 * (cfg.nproc - 1))));
+      // Per-trial OS start jitter so trials sample different interleavings
+      // (the stand-in for real-machine noise the paper averages away).
+      proc->instr(static_cast<u64>(jitter.uniform(0, 40'000)));
+      auto q = tpch::make_query(cfg.query, rt, *proc, params);
+      tpch::QueryRun* qp = q.get();
+      queries.push_back(std::move(q));
+      sched.add(std::move(proc),
+                [qp](os::Process& p) { return qp->step(p); });
+    }
+    sched.run_all();
+
+    double trial_wall = 0;
+    for (std::size_t i = 0; i < sched.job_count(); ++i) {
+      grand += sched.process(i).counters();
+      mem_lat_sum += sched.process(i).counters().avg_mem_latency();
+      trial_wall = std::max(
+          trial_wall, static_cast<double>(sched.process(i).now()) /
+                          (mc.clock_mhz * 1e6));
+      ++samples;
+    }
+    wall_sum += trial_wall;
+    if (trial == 0) out.query_result = queries[0]->result();
+  }
+
+  // Per-process means.
+  auto avg = [&](u64 v) {
+    return static_cast<double>(v) / static_cast<double>(samples);
+  };
+  out.mean = grand;  // totals; derived ratios below use the totals directly
+  out.thread_time_cycles = avg(grand.cycles);
+  out.cpi = grand.cpi();
+  out.cycles_per_minstr = grand.cycles_per_minstr();
+  out.l1d_misses = avg(grand.l1d_misses);
+  out.l2d_misses = avg(grand.l2d_misses);
+  out.l1d_per_minstr = grand.l1d_per_minstr();
+  out.l2d_per_minstr = grand.l2d_per_minstr();
+  out.avg_mem_latency = mem_lat_sum / static_cast<double>(samples);
+  out.vol_ctx_per_minstr = grand.vol_ctx_per_minstr();
+  out.invol_ctx_per_minstr = grand.invol_ctx_per_minstr();
+  out.wall_seconds = wall_sum / cfg.trials;
+  return out;
+}
+
+}  // namespace dss::core

@@ -1,0 +1,99 @@
+// The paper's experimental methodology as a library (Section 2.3).
+//
+// Three orthogonal dimensions: TPC-H query (Q6/Q21/Q12), number of parallel
+// query processes (1..8, each bound to its own processor, all running the
+// same query), and platform (V-Class or Origin 2000). Each configuration is
+// run `trials` times (the paper uses four) with per-trial OS start jitter,
+// and metrics are averaged.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/config.hpp"
+
+#include "perf/platform_events.hpp"
+#include "tpch/gen.hpp"
+#include "tpch/queries.hpp"
+#include "util/types.hpp"
+
+namespace dss::core {
+
+/// The memory-scale rule of DESIGN.md §6: database, buffer pool, cache
+/// capacities and the private working set all shrink by `denom`; line sizes,
+/// latencies and clock rates do not.
+struct ScaleConfig {
+  u32 denom = 16;
+
+  [[nodiscard]] double scale_factor() const { return 0.2 / denom; }
+  [[nodiscard]] u32 pool_frames() const {
+    return static_cast<u32>((512ULL * 1024 * 1024 / denom) / 8192);
+  }
+  [[nodiscard]] u64 arena_bytes() const { return 384ULL * 1024 / denom; }
+};
+
+struct ExperimentConfig {
+  perf::Platform platform = perf::Platform::VClass;
+  tpch::QueryId query = tpch::QueryId::Q6;
+  u32 nproc = 1;
+  u32 trials = 4;
+  ScaleConfig scale;
+  u64 seed = 42;
+  /// Ablations: replace the platform's stock machine model (given
+  /// *unscaled*; the runner applies the scale rule). The platform field
+  /// still selects the counter surface.
+  std::optional<sim::MachineConfig> machine_override;
+  /// Ablations: override the DBMS spinlock backoff policy.
+  std::optional<db::SpinPolicy> spin_override;
+};
+
+/// Averages (over processes, then over trials) of the measured counters,
+/// plus the derived metrics each figure reports.
+struct RunResult {
+  perf::Counters mean;            ///< per-process averages
+  double thread_time_cycles = 0;  ///< Fig. 2
+  double cpi = 0;                 ///< Fig. 3
+  double cycles_per_minstr = 0;   ///< Figs. 5, 7
+  double l1d_misses = 0;          ///< Fig. 4 (HPV D-cache / SGI L1)
+  double l2d_misses = 0;          ///< Fig. 4 (SGI L2; 0 on HPV)
+  double l1d_per_minstr = 0;      ///< Fig. 8
+  double l2d_per_minstr = 0;      ///< Fig. 6
+  double avg_mem_latency = 0;     ///< Fig. 9 (cycles per memory request)
+  double vol_ctx_per_minstr = 0;  ///< Fig. 10
+  double invol_ctx_per_minstr = 0;
+  double wall_seconds = 0;        ///< scheduler span (response time)
+  std::vector<tpch::ResultRow> query_result;  ///< from process 0, trial 0
+};
+
+/// Builds the TPC-H database once per scale and runs experiment
+/// configurations against it.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ScaleConfig scale = {}, u64 seed = 42);
+
+  [[nodiscard]] RunResult run(const ExperimentConfig& cfg);
+
+  /// Convenience: run one (platform, query, nproc) cell at this runner's
+  /// scale and seed.
+  [[nodiscard]] RunResult run(perf::Platform platform, tpch::QueryId query,
+                              u32 nproc, u32 trials = 4);
+
+  /// Heterogeneous multiprogramming: one process per entry of `mix`, each
+  /// running its own query concurrently (Section 4's "different query
+  /// processes" reading). Returns per-process results in mix order.
+  [[nodiscard]] std::vector<RunResult> run_mix(
+      perf::Platform platform, const std::vector<tpch::QueryId>& mix,
+      u32 trials = 4);
+
+  [[nodiscard]] const db::Database& database() const { return *dbase_; }
+  [[nodiscard]] const ScaleConfig& scale() const { return scale_; }
+
+ private:
+  ScaleConfig scale_;
+  u64 seed_;
+  std::unique_ptr<db::Database> dbase_;
+};
+
+}  // namespace dss::core

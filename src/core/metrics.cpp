@@ -1,0 +1,40 @@
+#include "core/metrics.hpp"
+
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+
+namespace dss::core {
+
+void print_figure(std::ostream& os, const std::string& title,
+                  const Table& table) {
+  os << "== " << title << " ==\n";
+  table.print(os);
+  os << "# csv\n";
+  table.print_csv(os);
+  os << '\n';
+}
+
+BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string(flag) + " requires a value");
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      o.scale_denom = static_cast<u32>(std::stoul(need_value("--scale")));
+    } else if (std::strcmp(argv[i], "--trials") == 0) {
+      o.trials = static_cast<u32>(std::stoul(need_value("--trials")));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      o.seed = std::stoull(need_value("--seed"));
+    } else {
+      throw std::invalid_argument(std::string("unknown option: ") + argv[i]);
+    }
+  }
+  return o;
+}
+
+}  // namespace dss::core

@@ -1,0 +1,34 @@
+// Shared figure-building helpers for the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+namespace dss::core {
+
+/// The process-count series the paper sweeps in Section 4.
+inline const std::vector<u32> kProcSeries = {1, 2, 4, 6, 8};
+
+/// The three queries, in the paper's presentation order.
+inline const std::vector<tpch::QueryId> kQueries = {
+    tpch::QueryId::Q6, tpch::QueryId::Q21, tpch::QueryId::Q12};
+
+/// Print a figure: a title line, the aligned table, then a `# csv` block
+/// with the same content for plotting.
+void print_figure(std::ostream& os, const std::string& title,
+                  const Table& table);
+
+/// Parse common bench options: --scale N (μ denominator), --trials N,
+/// --seed N. Unrecognized options raise.
+struct BenchOptions {
+  u32 scale_denom = 16;
+  u32 trials = 4;
+  u64 seed = 42;
+};
+[[nodiscard]] BenchOptions parse_bench_options(int argc, char** argv);
+
+}  // namespace dss::core

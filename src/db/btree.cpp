@@ -1,0 +1,384 @@
+#include "db/btree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "db/costs.hpp"
+#include "util/log.hpp"
+
+namespace dss::db {
+
+BTreeIndex::BTreeIndex(std::string name, const Relation& rel, u32 key_col)
+    : name_(std::move(name)), rel_(&rel), key_col_(key_col) {
+  const ColType t = rel.schema().col(key_col).type;
+  assert((t == ColType::Int64 || t == ColType::Date) &&
+         "B-tree keys must be Int64 or Date");
+  (void)t;
+
+  std::vector<Entry> sorted;
+  sorted.reserve(rel.num_rows());
+  for (RowId r = 0; r < rel.num_rows(); ++r) {
+    sorted.push_back(Entry{rel.get_int(r, key_col), r});
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  num_entries_ = sorted.size();
+
+  // Bulk-load leaves at full fanout.
+  const u64 nleaves =
+      sorted.empty() ? 1 : (sorted.size() + kFanout - 1) / kFanout;
+  leaves_.resize(nleaves);
+  for (u64 i = 0; i < nleaves; ++i) {
+    const u64 lo = i * kFanout;
+    const u64 hi = std::min<u64>(lo + kFanout, sorted.size());
+    leaves_[i].e.assign(sorted.begin() + static_cast<std::ptrdiff_t>(lo),
+                        sorted.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+
+  // Inner structure, then page ids in root-first order (the layout the
+  // paper-era nbtree produces from CREATE INDEX: metapage/root at the
+  // front, leaves behind). rebuild_inner() hands out provisional ids;
+  // restart the allocator to lay the bulk build out canonically.
+  rebuild_inner();
+  next_page_ = 0;
+  for (std::size_t k = inner_page_ids_.size(); k-- > 0;) {
+    for (auto& id : inner_page_ids_[k]) id = next_page_++;
+  }
+  for (auto& leaf : leaves_) leaf.page_no = next_page_++;
+}
+
+void BTreeIndex::rebuild_inner() {
+  // Level 0 groups leaves; level k groups level k-1 nodes, until one node.
+  std::vector<std::vector<i64>> fresh;
+  std::vector<i64> below;
+  below.reserve(leaves_.size());
+  for (const Leaf& l : leaves_) {
+    below.push_back(l.e.empty() ? 0 : l.e.front().key);
+  }
+  while (below.size() > 1) {
+    std::vector<i64> level;
+    level.reserve((below.size() + kFanout - 1) / kFanout);
+    for (std::size_t i = 0; i < below.size(); i += kFanout) {
+      level.push_back(below[i]);
+    }
+    fresh.push_back(level);
+    below = std::move(level);
+  }
+  inner_first_keys_ = std::move(fresh);
+  // Keep existing page ids; allocate for new nodes; drop vanished levels.
+  inner_page_ids_.resize(inner_first_keys_.size());
+  for (std::size_t k = 0; k < inner_first_keys_.size(); ++k) {
+    const std::size_t want = inner_first_keys_[k].size();
+    while (inner_page_ids_[k].size() < want) {
+      inner_page_ids_[k].push_back(next_page_++);
+    }
+    inner_page_ids_[k].resize(want);
+  }
+}
+
+sim::SimAddr BTreeIndex::pin_leaf(os::Process& p, BufferPool& pool,
+                                  std::size_t leaf) const {
+  return pool.pin(p, BufferPool::PageKey{rel_id_, leaves_[leaf].page_no});
+}
+
+void BTreeIndex::unpin_leaf(os::Process& p, BufferPool& pool,
+                            std::size_t leaf) const {
+  pool.unpin(p, BufferPool::PageKey{rel_id_, leaves_[leaf].page_no});
+}
+
+void BTreeIndex::read_entry(os::Process& p, BufferPool& pool,
+                            sim::SimAddr page, u64 slot_in_node) const {
+  (void)pool;
+  p.read(page + kPageHeaderBytes + slot_in_node * 16, 16);
+}
+
+std::size_t BTreeIndex::descend(os::Process& p, BufferPool& pool,
+                                i64 key) const {
+  ++p.counters().index_descents;
+  u64 node = 0;
+  // Walk inner levels top-down. At level k the children live at inner level
+  // k-1 (or are the leaves when k == 0).
+  for (std::size_t k = inner_first_keys_.size(); k-- > 0;) {
+    p.instr(cost::kDescentPerLevel);
+    const u32 page_no = inner_page_ids_[k][node];
+    const sim::SimAddr page =
+        pool.pin(p, BufferPool::PageKey{rel_id_, page_no});
+    const bool child_is_leaf = (k == 0);
+    const std::size_t nchildren =
+        child_is_leaf ? leaves_.size() : inner_first_keys_[k - 1].size();
+    auto child_key = [&](u64 c) -> i64 {
+      return child_is_leaf
+                 ? (leaves_[c].e.empty() ? 0 : leaves_[c].e.front().key)
+                 : inner_first_keys_[k - 1][c];
+    };
+    const u64 lo = node * kFanout;
+    const u64 hi = std::min<u64>(lo + kFanout, nchildren);
+    // Last child whose first key is strictly below the target (duplicates
+    // can span nodes; lower_bound semantics need the leftmost).
+    u64 a = lo, b = hi;
+    while (b - a > 1) {
+      const u64 mid = (a + b) / 2;
+      p.instr(cost::kBinSearchCompare);
+      p.read(page + kPageHeaderBytes + (mid - lo) * 16, 8);
+      if (child_key(mid) < key) {
+        a = mid;
+      } else {
+        b = mid;
+      }
+    }
+    pool.unpin(p, BufferPool::PageKey{rel_id_, page_no});
+    node = a;
+  }
+  return node;
+}
+
+BTreeIndex::Cursor BTreeIndex::seek(os::Process& p, BufferPool& pool,
+                                    i64 key) const {
+  const std::size_t leaf = descend(p, pool, key);
+
+  p.instr(cost::kDescentPerLevel);
+  const sim::SimAddr page = pin_leaf(p, pool, leaf);
+  const auto& e = leaves_[leaf].e;
+  // First slot with key >= target.
+  u64 a = 0, b = e.size();
+  while (a < b) {
+    const u64 mid = (a + b) / 2;
+    p.instr(cost::kBinSearchCompare);
+    p.read(page + kPageHeaderBytes + mid * 16, 8);
+    if (e[mid].key < key) {
+      a = mid + 1;
+    } else {
+      b = mid;
+    }
+  }
+
+  Cursor c;
+  c.idx_ = this;
+  if (a == e.size()) {
+    // Continues on the next leaf (its first key is >= target by descent).
+    unpin_leaf(p, pool, leaf);
+    if (leaf + 1 < leaves_.size()) {
+      c.leaf_ = leaf + 1;
+      c.slot_ = 0;
+      (void)pin_leaf(p, pool, c.leaf_);
+      c.pinned_leaf_ = static_cast<i32>(c.leaf_);
+    } else {
+      c.leaf_ = leaves_.size();  // end
+      c.pinned_leaf_ = -1;
+    }
+  } else {
+    c.leaf_ = leaf;
+    c.slot_ = static_cast<u32>(a);
+    c.pinned_leaf_ = static_cast<i32>(leaf);
+  }
+  if (c.valid()) {
+    const sim::SimAddr leaf_addr = pool.frame_addr(
+        BufferPool::PageKey{rel_id_, leaves_[c.leaf_].page_no});
+    read_entry(p, pool, leaf_addr, c.slot_);
+  }
+  return c;
+}
+
+void BTreeIndex::Cursor::next(os::Process& p, BufferPool& pool) {
+  assert(valid());
+  p.instr(cost::kIndexEntryNext);
+  ++slot_;
+  if (slot_ >= idx_->leaves_[leaf_].e.size()) {
+    ++leaf_;
+    slot_ = 0;
+  }
+  if (!valid()) return;
+  if (static_cast<i32>(leaf_) != pinned_leaf_) {
+    if (pinned_leaf_ >= 0) {
+      idx_->unpin_leaf(p, pool, static_cast<std::size_t>(pinned_leaf_));
+    }
+    (void)idx_->pin_leaf(p, pool, leaf_);
+    pinned_leaf_ = static_cast<i32>(leaf_);
+  }
+  const sim::SimAddr page = pool.frame_addr(
+      BufferPool::PageKey{idx_->rel_id_, idx_->leaves_[leaf_].page_no});
+  idx_->read_entry(p, pool, page, slot_);
+}
+
+void BTreeIndex::Cursor::close(os::Process& p, BufferPool& pool) {
+  if (pinned_leaf_ >= 0) {
+    idx_->unpin_leaf(p, pool, static_cast<std::size_t>(pinned_leaf_));
+    pinned_leaf_ = -1;
+  }
+}
+
+void BTreeIndex::insert(os::Process& p, BufferPool& pool, i64 key,
+                        RowId rid) {
+  const std::size_t leaf = descend(p, pool, key);
+  const sim::SimAddr page = pin_leaf(p, pool, leaf);
+  auto& e = leaves_[leaf].e;
+  // Insert after existing duplicates (stable order).
+  const auto it = std::upper_bound(
+      e.begin(), e.end(), key,
+      [](i64 k, const Entry& en) { return k < en.key; });
+  const u64 pos = static_cast<u64>(it - e.begin());
+  // Shift the tail and store the new entry: one spanning write, as the
+  // page's item array moves.
+  p.instr(cost::kDescentPerLevel);
+  const u64 moved = e.size() - pos + 1;
+  p.write(page + kPageHeaderBytes + pos * 16,
+          static_cast<u32>(std::min<u64>(moved * 16, kPageBytes - 64)));
+  e.insert(it, Entry{key, rid});
+  ++num_entries_;
+
+  if (e.size() > kFanout) {
+    // Split: right half moves to a freshly extended page.
+    const std::size_t half = e.size() / 2;
+    Leaf right;
+    right.e.assign(e.begin() + static_cast<std::ptrdiff_t>(half), e.end());
+    e.resize(half);
+    right.page_no = next_page_++;
+    const sim::SimAddr rpage =
+        pool.allocate(p, BufferPool::PageKey{rel_id_, right.page_no});
+    p.write(rpage + kPageHeaderBytes,
+            static_cast<u32>(right.e.size() * 16));
+    pool.unpin(p, BufferPool::PageKey{rel_id_, right.page_no});
+    leaves_.insert(leaves_.begin() + static_cast<std::ptrdiff_t>(leaf) + 1,
+                   std::move(right));
+    rebuild_inner();
+    // Parent update: one write at the (rebuilt) parent page.
+    if (!inner_page_ids_.empty() && !inner_page_ids_[0].empty()) {
+      const u32 parent = inner_page_ids_[0][(leaf + 1) / kFanout];
+      const sim::SimAddr ppage =
+          pool.pin(p, BufferPool::PageKey{rel_id_, parent});
+      p.write(ppage + kPageHeaderBytes, 16);
+      pool.unpin(p, BufferPool::PageKey{rel_id_, parent});
+    }
+  } else if (pos == 0) {
+    // The leaf's first key changed: keep the separator arrays exact so
+    // descents stay leftmost-correct (host-side bookkeeping only; real
+    // nbtree keeps loose separators plus move-left logic instead).
+    rebuild_inner();
+  }
+  unpin_leaf(p, pool, leaf);
+}
+
+bool BTreeIndex::erase(os::Process& p, BufferPool& pool, i64 key, RowId rid) {
+  std::size_t leaf = descend(p, pool, key);
+  while (leaf < leaves_.size()) {
+    const sim::SimAddr page = pin_leaf(p, pool, leaf);
+    auto& e = leaves_[leaf].e;
+    auto it = std::lower_bound(
+        e.begin(), e.end(), key,
+        [](const Entry& en, i64 k) { return en.key < k; });
+    for (; it != e.end() && it->key == key; ++it) {
+      p.instr(cost::kBinSearchCompare);
+      read_entry(p, pool, page,
+                 static_cast<u64>(it - e.begin()));
+      if (it->rid == rid) {
+        const u64 pos = static_cast<u64>(it - e.begin());
+        const u64 moved = e.size() - pos;
+        p.write(page + kPageHeaderBytes + pos * 16,
+                static_cast<u32>(std::min<u64>(moved * 16, kPageBytes - 64)));
+        e.erase(it);
+        --num_entries_;
+        unpin_leaf(p, pool, leaf);
+        if (e.empty() && leaves_.size() > 1) {
+          // Reclaim the empty leaf (vacuum-lite); page id is retired.
+          leaves_.erase(leaves_.begin() + static_cast<std::ptrdiff_t>(leaf));
+          rebuild_inner();
+        } else if (pos == 0) {
+          rebuild_inner();  // first key changed: keep separators exact
+        }
+        return true;
+      }
+    }
+    unpin_leaf(p, pool, leaf);
+    // The run may start (or continue) on the next leaf: its first key can
+    // equal the target exactly at a leaf boundary.
+    if (leaf + 1 >= leaves_.size()) return false;
+    const auto& nl = leaves_[leaf + 1].e;
+    if (nl.empty() || nl.front().key > key) return false;
+    ++leaf;
+  }
+  return false;
+}
+
+u64 BTreeIndex::lower_bound(i64 key) const {
+  u64 pos = 0;
+  for (const Leaf& l : leaves_) {
+    if (!l.e.empty() && l.e.back().key >= key) {
+      const auto it = std::lower_bound(
+          l.e.begin(), l.e.end(), key,
+          [](const Entry& e, i64 k) { return e.key < k; });
+      return pos + static_cast<u64>(it - l.e.begin());
+    }
+    pos += l.e.size();
+  }
+  return pos;
+}
+
+u64 BTreeIndex::count_eq(i64 key) const {
+  u64 n = 0;
+  for (const Leaf& l : leaves_) {
+    const auto lo = std::lower_bound(
+        l.e.begin(), l.e.end(), key,
+        [](const Entry& e, i64 k) { return e.key < k; });
+    const auto hi = std::upper_bound(
+        l.e.begin(), l.e.end(), key,
+        [](i64 k, const Entry& e) { return k < e.key; });
+    n += static_cast<u64>(hi - lo);
+  }
+  return n;
+}
+
+BTreeIndex::Entry BTreeIndex::entry(u64 pos) const {
+  for (const Leaf& l : leaves_) {
+    if (pos < l.e.size()) return l.e[pos];
+    pos -= l.e.size();
+  }
+  assert(false && "entry position out of range");
+  return Entry{};
+}
+
+bool BTreeIndex::check_structure() const {
+  bool ok = true;
+  auto fail = [&ok, this](const char* msg) {
+    log_error("btree ", name_, ": ", msg);
+    ok = false;
+  };
+  i64 prev = 0;
+  bool first = true;
+  std::vector<u32> ids;
+  for (const Leaf& l : leaves_) {
+    ids.push_back(l.page_no);
+    if (l.e.empty() && leaves_.size() > 1) fail("empty leaf not reclaimed");
+    if (l.e.size() > kFanout + 1) fail("overfull leaf");
+    for (const Entry& e : l.e) {
+      if (!first && e.key < prev) fail("keys out of order");
+      prev = e.key;
+      first = false;
+    }
+  }
+  for (const auto& lvl : inner_page_ids_) {
+    for (u32 id : lvl) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  if (std::adjacent_find(ids.begin(), ids.end()) != ids.end()) {
+    fail("duplicate page id");
+  }
+  // Inner first keys must match the leaves.
+  if (!inner_first_keys_.empty()) {
+    const auto& l0 = inner_first_keys_[0];
+    for (std::size_t i = 0; i < l0.size(); ++i) {
+      const std::size_t child = i * kFanout;
+      if (child >= leaves_.size()) {
+        fail("inner node without children");
+        break;
+      }
+      const i64 want = leaves_[child].e.empty() ? 0 : leaves_[child].e.front().key;
+      if (l0[i] != want) fail("stale inner first key");
+    }
+  }
+  u64 total = 0;
+  for (const Leaf& l : leaves_) total += l.e.size();
+  if (total != num_entries_) fail("entry count mismatch");
+  return ok;
+}
+
+}  // namespace dss::db

@@ -1,0 +1,131 @@
+// B+-tree index over an Int64/Date column, with bulk build, equality/range
+// probes, and incremental insert/erase (leaf splits allocate fresh pages,
+// as PostgreSQL's nbtree extends the index relation).
+//
+// Index nodes are 8 KB pages living in the buffer pool like heap pages:
+// every descent pins the page of each visited node, binary-searches it with
+// per-compare key reads, and unpins — so index scans generate both the
+// buffer-manager lock traffic and the touch pattern (hot upper levels,
+// colder leaves) whose locality contrast between a 32 KB L1 and a 2 MB
+// single-level cache drives the paper's Fig. 4 analysis of Q21.
+//
+// Structure: leaves hold up to kFanout (key, rid) entries; inner levels are
+// kept as per-level arrays of child first-keys (rebuilt host-side after a
+// structural change — cheap at our scales) with stable page numbers drawn
+// from a per-index allocator, so buffer-pool identity survives splits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/bufferpool.hpp"
+#include "db/relation.hpp"
+#include "os/process.hpp"
+
+namespace dss::db {
+
+class BTreeIndex {
+ public:
+  struct Entry {
+    i64 key;
+    RowId rid;
+  };
+
+  /// Build (host-side, bulk load) over `rel.col(key_col)`; Int64 or Date.
+  BTreeIndex(std::string name, const Relation& rel, u32 key_col);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Relation& heap() const { return *rel_; }
+  [[nodiscard]] u32 key_col() const { return key_col_; }
+
+  /// Buffer-pool relation id (assigned by the Database at registration).
+  void set_rel_id(u32 id) { rel_id_ = id; }
+  [[nodiscard]] u32 rel_id() const { return rel_id_; }
+
+  /// Total index pages ever allocated (for pool sizing / prewarm).
+  [[nodiscard]] u32 num_pages() const { return next_page_; }
+  [[nodiscard]] u32 num_levels() const {
+    return 1 + static_cast<u32>(inner_first_keys_.size());
+  }
+  [[nodiscard]] u64 num_entries() const { return num_entries_; }
+  [[nodiscard]] u64 num_leaves() const { return leaves_.size(); }
+
+  /// A scan position over the sorted entry space; keeps the current leaf
+  /// pinned. Always close() a cursor obtained from seek(). Cursors are
+  /// invalidated by insert()/erase().
+  class Cursor {
+   public:
+    [[nodiscard]] bool valid() const {
+      return leaf_ < idx_->leaves_.size();
+    }
+    [[nodiscard]] i64 key() const { return idx_->leaves_[leaf_].e[slot_].key; }
+    [[nodiscard]] RowId rid() const { return idx_->leaves_[leaf_].e[slot_].rid; }
+
+    /// Advance one entry, emitting the entry read (and a leaf hop when the
+    /// position crosses a page boundary).
+    void next(os::Process& p, BufferPool& pool);
+
+    /// Release the pinned leaf.
+    void close(os::Process& p, BufferPool& pool);
+
+   private:
+    friend class BTreeIndex;
+    const BTreeIndex* idx_ = nullptr;
+    std::size_t leaf_ = 0;
+    u32 slot_ = 0;
+    i32 pinned_leaf_ = -1;  ///< leaf index currently pinned (-1 none)
+  };
+
+  /// Descend to the first entry with key >= `key` (emits the full descent).
+  [[nodiscard]] Cursor seek(os::Process& p, BufferPool& pool, i64 key) const;
+
+  /// Timed insert (descent + leaf shift; splits allocate a new page).
+  void insert(os::Process& p, BufferPool& pool, i64 key, RowId rid);
+
+  /// Timed erase of one (key, rid) entry; false if absent. Leaves are not
+  /// merged (like nbtree, empty pages are only reclaimed by vacuum).
+  bool erase(os::Process& p, BufferPool& pool, i64 key, RowId rid);
+
+  // --- host-side helpers (no emission; oracle & tests) ---
+  [[nodiscard]] u64 count_eq(i64 key) const;
+  [[nodiscard]] u64 lower_bound(i64 key) const;  ///< global position
+  [[nodiscard]] Entry entry(u64 pos) const;      ///< by global position
+  /// Structural invariants: leaf sizes, ordering, first-key arrays, page-id
+  /// uniqueness. Returns false (and logs) on violation.
+  [[nodiscard]] bool check_structure() const;
+
+  static constexpr u32 kFanout = 400;  ///< entries per node page
+
+ private:
+  struct Leaf {
+    std::vector<Entry> e;
+    u32 page_no = 0;
+  };
+
+  /// Find the leaf that must contain the first entry >= key; emits the
+  /// inner-level descent.
+  [[nodiscard]] std::size_t descend(os::Process& p, BufferPool& pool,
+                                    i64 key) const;
+  /// Rebuild the inner first-key arrays after a structural change,
+  /// allocating page ids for any new inner nodes.
+  void rebuild_inner();
+  void read_entry(os::Process& p, BufferPool& pool, sim::SimAddr page,
+                  u64 slot_in_node) const;
+  [[nodiscard]] sim::SimAddr pin_leaf(os::Process& p, BufferPool& pool,
+                                      std::size_t leaf) const;
+  void unpin_leaf(os::Process& p, BufferPool& pool, std::size_t leaf) const;
+
+  std::string name_;
+  const Relation* rel_;
+  u32 key_col_;
+  u32 rel_id_ = 0;
+  u64 num_entries_ = 0;
+  u32 next_page_ = 0;  ///< page-id allocator
+  std::vector<Leaf> leaves_;
+  /// inner_first_keys_[0] covers the leaves; [k] covers level k's nodes.
+  /// Each inner level groups kFanout children. Empty when one leaf.
+  std::vector<std::vector<i64>> inner_first_keys_;
+  std::vector<std::vector<u32>> inner_page_ids_;
+};
+
+}  // namespace dss::db

@@ -1,0 +1,117 @@
+#include "db/database.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "db/costs.hpp"
+
+namespace dss::db {
+
+Relation& Database::create_table(const std::string& name, Schema schema) {
+  if (by_name_.contains(name)) throw std::invalid_argument("duplicate: " + name);
+  tables_.push_back(std::make_unique<Relation>(name, std::move(schema)));
+  const u32 rel_id = static_cast<u32>(objects_.size());
+  objects_.push_back(Object{name, false, static_cast<u32>(tables_.size() - 1)});
+  by_name_.emplace(name, rel_id);
+  return *tables_.back();
+}
+
+BTreeIndex& Database::create_index(const std::string& name,
+                                   const std::string& table,
+                                   const std::string& key_col) {
+  if (by_name_.contains(name)) throw std::invalid_argument("duplicate: " + name);
+  const Relation& rel = this->table(table);
+  indexes_.push_back(std::make_unique<BTreeIndex>(
+      name, rel, rel.schema().col_index(key_col)));
+  const u32 rel_id = static_cast<u32>(objects_.size());
+  objects_.push_back(Object{name, true, static_cast<u32>(indexes_.size() - 1)});
+  by_name_.emplace(name, rel_id);
+  indexes_.back()->set_rel_id(rel_id);
+  return *indexes_.back();
+}
+
+const Relation& Database::table(const std::string& name) const {
+  const u32 id = rel_id(name);
+  const Object& o = objects_[id];
+  if (o.is_index) throw std::invalid_argument(name + " is an index");
+  return *tables_[o.idx];
+}
+
+Relation& Database::table_mut(const std::string& name) {
+  return const_cast<Relation&>(table(name));
+}
+
+BTreeIndex& Database::index_mut(const std::string& name) {
+  return const_cast<BTreeIndex&>(index(name));
+}
+
+const BTreeIndex& Database::index(const std::string& name) const {
+  const u32 id = rel_id(name);
+  const Object& o = objects_[id];
+  if (!o.is_index) throw std::invalid_argument(name + " is a table");
+  return *indexes_[o.idx];
+}
+
+u32 Database::rel_id(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) throw std::out_of_range("no such object: " + name);
+  return it->second;
+}
+
+u32 Database::heap_rel_id(const Relation& rel) const {
+  return rel_id(rel.name());
+}
+
+u64 Database::total_pages() const {
+  u64 total = 0;
+  for (const auto& t : tables_) total += t->num_pages();
+  for (const auto& i : indexes_) total += i->num_pages();
+  return total;
+}
+
+u64 Database::total_heap_bytes() const {
+  u64 total = 0;
+  for (const auto& t : tables_) total += t->heap_bytes();
+  return total;
+}
+
+std::vector<std::pair<u32, u64>> Database::page_inventory() const {
+  std::vector<std::pair<u32, u64>> inv;
+  inv.reserve(objects_.size());
+  for (u32 id = 0; id < objects_.size(); ++id) {
+    const Object& o = objects_[id];
+    inv.emplace_back(id, o.is_index ? indexes_[o.idx]->num_pages()
+                                    : tables_[o.idx]->num_pages());
+  }
+  return inv;
+}
+
+DbRuntime::DbRuntime(const Database& db, const RuntimeConfig& cfg)
+    : db_(&db), cfg_(cfg) {
+  // Shared segment layout: catalog first, then lock tables, then the pool
+  // (pool last keeps small hot structures tightly packed).
+  catalog_base_ = shm_.alloc(static_cast<u64>(db.page_inventory().size()) * 128, 64);
+  locks_ = std::make_unique<LockManager>(shm_, 512, cfg.spin);
+  pool_ = std::make_unique<BufferPool>(shm_, cfg.pool_frames, cfg.spin);
+}
+
+void DbRuntime::prewarm_all() {
+  for (const auto& [rel_id, pages] : db_->page_inventory()) {
+    for (u64 pg = 0; pg < pages; ++pg) {
+      pool_->prewarm(BufferPool::PageKey{rel_id, static_cast<u32>(pg)});
+    }
+  }
+}
+
+void DbRuntime::open_relation(os::Process& p, u32 rel_id) {
+  // Catalog / relcache read: shared, read-mostly.
+  p.instr(600);
+  p.read(catalog_base_ + static_cast<u64>(rel_id) * 128, 64);
+  locks_->lock_relation(p, rel_id, LockMode::AccessShare);
+}
+
+void DbRuntime::close_relation(os::Process& p, u32 rel_id) {
+  locks_->unlock_relation(p, rel_id, LockMode::AccessShare);
+}
+
+}  // namespace dss::db

@@ -1,0 +1,89 @@
+// Database (immutable storage catalog) and DbRuntime (one simulated
+// instance of the DBMS shared state on one machine run).
+//
+// Build once:   Database db; db.create_table(...); load; db.create_index(...)
+// Per sim run:  DbRuntime rt(db, cfg); rt.prewarm_all();
+//               ... processes execute queries through the executor layer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/btree.hpp"
+#include "db/bufferpool.hpp"
+#include "db/lockmgr.hpp"
+#include "db/relation.hpp"
+#include "db/shm.hpp"
+
+namespace dss::db {
+
+class Database {
+ public:
+  Relation& create_table(const std::string& name, Schema schema);
+  BTreeIndex& create_index(const std::string& name, const std::string& table,
+                           const std::string& key_col);
+
+  [[nodiscard]] const Relation& table(const std::string& name) const;
+  [[nodiscard]] Relation& table_mut(const std::string& name);
+  [[nodiscard]] const BTreeIndex& index(const std::string& name) const;
+  [[nodiscard]] BTreeIndex& index_mut(const std::string& name);
+  [[nodiscard]] u32 rel_id(const std::string& name) const;
+  [[nodiscard]] u32 heap_rel_id(const Relation& rel) const;
+
+  /// Heap pages + index pages across every object (for pool sizing).
+  [[nodiscard]] u64 total_pages() const;
+
+  /// (rel_id, page count) of every object, in id order (for prewarm).
+  [[nodiscard]] std::vector<std::pair<u32, u64>> page_inventory() const;
+
+  [[nodiscard]] u64 total_heap_bytes() const;
+
+ private:
+  struct Object {
+    std::string name;
+    bool is_index = false;
+    u32 idx = 0;  ///< position in tables_ or indexes_
+  };
+
+  std::vector<std::unique_ptr<Relation>> tables_;
+  std::vector<std::unique_ptr<BTreeIndex>> indexes_;
+  std::vector<Object> objects_;  ///< rel_id -> object
+  std::unordered_map<std::string, u32> by_name_;
+};
+
+struct RuntimeConfig {
+  u32 pool_frames = 4096;          ///< buffer pool size in 8 KB pages
+  u64 workmem_arena_bytes = 24 * 1024;  ///< per-backend diffuse working set
+  SpinPolicy spin;                 ///< s_lock backoff policy (ablations)
+};
+
+class DbRuntime {
+ public:
+  DbRuntime(const Database& db, const RuntimeConfig& cfg);
+
+  /// Map every page of every relation/index into the pool without emitting
+  /// references (the measured steady state of the paper).
+  void prewarm_all();
+
+  /// Open a relation for a query: catalog lookup + AccessShare lock.
+  void open_relation(os::Process& p, u32 rel_id);
+  void close_relation(os::Process& p, u32 rel_id);
+
+  [[nodiscard]] const Database& db() const { return *db_; }
+  [[nodiscard]] BufferPool& pool() { return *pool_; }
+  [[nodiscard]] LockManager& locks() { return *locks_; }
+  [[nodiscard]] const RuntimeConfig& config() const { return cfg_; }
+  [[nodiscard]] u64 shared_bytes_used() const { return shm_.used(); }
+
+ private:
+  const Database* db_;
+  RuntimeConfig cfg_;
+  ShmAllocator shm_;
+  sim::SimAddr catalog_base_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<LockManager> locks_;
+};
+
+}  // namespace dss::db

@@ -1,0 +1,313 @@
+#include "db/exec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "db/costs.hpp"
+
+namespace dss::db {
+
+namespace {
+
+/// Deterministic per-tuple decision for MVCC hint-bit stores (see
+/// cost::kHintBitFrac). Hashing (relation rows, rid) keeps the decision
+/// stable across processes and trials so coherence traffic is reproducible.
+bool hint_bit_store(const Relation& rel, RowId rid) {
+  u64 x = rid * 0x9e3779b97f4a7c15ULL + rel.num_rows();
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 32;
+  return static_cast<double>(x >> 11) * 0x1.0p-53 < cost::kHintBitFrac;
+}
+
+}  // namespace
+
+// ---------------- HeapTuple ----------------
+
+sim::SimAddr HeapTuple::field_addr(u32 col) const {
+  return page_ + rel_->byte_of(rel_->slot_of(rid_), col);
+}
+
+void HeapTuple::deform_to(os::Process& p, u32 col) {
+  if (static_cast<i32>(col) <= deformed_) {
+    // Already deformed into the slot: one cheap reference.
+    p.read(field_addr(col), 8);
+    return;
+  }
+  // Walk the row from the last deformed column through `col`, touching the
+  // bytes in between (heap_deform_tuple).
+  const u32 from = deformed_ < 0 ? 0 : static_cast<u32>(deformed_ + 1);
+  const sim::SimAddr start = field_addr(from);
+  const sim::SimAddr end =
+      field_addr(col) + rel_->schema().col(col).width();
+  p.read(start, static_cast<u32>(end - start));
+  p.instr(12 * (col - from + 1));  // per-attribute extraction
+  deformed_ = static_cast<i32>(col);
+}
+
+i64 HeapTuple::read_int(os::Process& p, u32 col) {
+  deform_to(p, col);
+  return rel_->get_int(rid_, col);
+}
+
+double HeapTuple::read_double(os::Process& p, u32 col) {
+  deform_to(p, col);
+  return rel_->get_double(rid_, col);
+}
+
+Date HeapTuple::read_date(os::Process& p, u32 col) {
+  deform_to(p, col);
+  return rel_->get_date(rid_, col);
+}
+
+const std::string& HeapTuple::read_str(os::Process& p, u32 col) {
+  deform_to(p, col);
+  return rel_->get_str(rid_, col);
+}
+
+// ---------------- SeqScan ----------------
+
+SeqScan::SeqScan(DbRuntime& rt, const std::string& table)
+    : rt_(&rt),
+      rel_(&rt.db().table(table)),
+      rel_id_(rt.db().rel_id(table)) {}
+
+void SeqScan::open(os::Process& p) {
+  assert(!open_);
+  rt_->open_relation(p, rel_id_);
+  next_rid_ = 0;
+  pinned_page_ = -1;
+  open_ = true;
+}
+
+bool SeqScan::next(os::Process& p, HeapTuple& out) {
+  assert(open_);
+  for (;;) {
+    if (next_rid_ >= rel_->num_rows()) {
+      if (pinned_page_ >= 0) {
+        rt_->pool().unpin(
+            p, BufferPool::PageKey{rel_id_, static_cast<u32>(pinned_page_)});
+        pinned_page_ = -1;
+      }
+      return false;
+    }
+    const u32 page = rel_->page_of(next_rid_);
+    if (static_cast<i64>(page) != pinned_page_) {
+      if (pinned_page_ >= 0) {
+        rt_->pool().unpin(
+            p, BufferPool::PageKey{rel_id_, static_cast<u32>(pinned_page_)});
+      }
+      p.instr(cost::kPageSetup);
+      page_addr_ = rt_->pool().pin(p, BufferPool::PageKey{rel_id_, page});
+      pinned_page_ = page;
+    }
+    // heap_getnext: loop bookkeeping, tuple deform, MVCC visibility check
+    // on the tuple header — which stores hint bits into the shared page for
+    // a fraction of tuples (real PostgreSQL behaviour; the paper's
+    // "metadata consistency" write traffic). Dead tuples still pay the
+    // check but are skipped.
+    p.instr(cost::kTupleOverhead);
+    const sim::SimAddr hdr =
+        page_addr_ + rel_->tuple_header_byte(rel_->slot_of(next_rid_));
+    p.read(hdr, 16);
+    if (hint_bit_store(*rel_, next_rid_)) p.write(hdr + 12, 2);
+    const RowId rid = next_rid_++;
+    if (rel_->is_deleted(rid)) continue;
+    ++p.counters().tuples_scanned;
+    out = HeapTuple(rel_, rid, page_addr_);
+    return true;
+  }
+}
+
+void SeqScan::close(os::Process& p) {
+  assert(open_);
+  if (pinned_page_ >= 0) {
+    rt_->pool().unpin(p, BufferPool::PageKey{rel_id_,
+                                             static_cast<u32>(pinned_page_)});
+    pinned_page_ = -1;
+  }
+  rt_->close_relation(p, rel_id_);
+  open_ = false;
+}
+
+// ---------------- IndexScan ----------------
+
+IndexScan::IndexScan(DbRuntime& rt, const std::string& index, WorkMem* wm)
+    : rt_(&rt),
+      idx_(&rt.db().index(index)),
+      heap_(&idx_->heap()),
+      wm_(wm),
+      heap_rel_id_(rt.db().heap_rel_id(*heap_)) {}
+
+void IndexScan::open(os::Process& p) {
+  assert(!open_);
+  rt_->open_relation(p, idx_->rel_id());
+  open_ = true;
+}
+
+void IndexScan::probe(os::Process& p, i64 key) {
+  assert(open_);
+  if (probing_) end_probe(p);
+  if (wm_ != nullptr) wm_->touch(p, 5);  // scankey setup, _bt_search stack
+  cur_ = idx_->seek(p, rt_->pool(), key);
+  probe_key_ = key;
+  probing_ = true;
+}
+
+bool IndexScan::next(os::Process& p, HeapTuple& out) {
+  assert(probing_);
+  for (;;) {
+    if (!cur_.valid() || cur_.key() != probe_key_) return false;
+    const RowId rid = cur_.rid();
+    // heap_fetch: pin the heap page (keep it pinned across consecutive
+    // fetches to the same page, as ReleaseAndReadBuffer does) and check
+    // tuple visibility.
+    const u32 page = heap_->page_of(rid);
+    if (static_cast<i64>(page) != pinned_heap_page_) {
+      if (pinned_heap_page_ >= 0) {
+        rt_->pool().unpin(p, BufferPool::PageKey{
+                                 heap_rel_id_,
+                                 static_cast<u32>(pinned_heap_page_)});
+      }
+      rt_->pool().pin(p, BufferPool::PageKey{heap_rel_id_, page});
+      pinned_heap_page_ = page;
+    }
+    const sim::SimAddr page_addr =
+        rt_->pool().frame_addr(BufferPool::PageKey{heap_rel_id_, page});
+    p.instr(cost::kHeapFetch);
+    if (wm_ != nullptr) wm_->touch(p, 3);  // index tuple copy + slot churn
+    const sim::SimAddr hdr =
+        page_addr + heap_->tuple_header_byte(heap_->slot_of(rid));
+    p.read(hdr, 16);
+    if (hint_bit_store(*heap_, rid)) p.write(hdr + 12, 2);
+    cur_.next(p, rt_->pool());
+    if (heap_->is_deleted(rid)) continue;  // dead tuple: check paid, skip
+    ++p.counters().tuples_scanned;
+    out = HeapTuple(heap_, rid, page_addr);
+    return true;
+  }
+}
+
+void IndexScan::end_probe(os::Process& p) {
+  if (!probing_) return;
+  cur_.close(p, rt_->pool());
+  if (pinned_heap_page_ >= 0) {
+    rt_->pool().unpin(p, BufferPool::PageKey{
+                             heap_rel_id_,
+                             static_cast<u32>(pinned_heap_page_)});
+    pinned_heap_page_ = -1;
+  }
+  probing_ = false;
+}
+
+void IndexScan::close(os::Process& p) {
+  assert(open_);
+  end_probe(p);
+  rt_->close_relation(p, idx_->rel_id());
+  open_ = false;
+}
+
+// ---------------- HashTableInt ----------------
+
+HashTableInt::HashTableInt(os::Process& p, WorkMem& wm, u32 expected) {
+  (void)p;
+  buckets_ = 16;
+  while (buckets_ < expected * 2) buckets_ <<= 1;
+  table_base_ = wm.alloc(static_cast<u64>(buckets_) * 24, 64);
+  map_.reserve(expected);
+}
+
+sim::SimAddr HashTableInt::slot_addr(i64 key) const {
+  u64 h = static_cast<u64>(key) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 31;
+  return table_base_ + (h & (buckets_ - 1)) * 24;
+}
+
+void HashTableInt::insert(os::Process& p, i64 key, i64 payload) {
+  p.instr(cost::kGroupProbe);
+  const sim::SimAddr slot = slot_addr(key);
+  p.read(slot, 8);
+  p.write(slot + 8, 16);
+  map_.emplace(key, payload);
+}
+
+std::optional<i64> HashTableInt::probe(os::Process& p, i64 key) const {
+  p.instr(cost::kGroupProbe);
+  p.read(slot_addr(key), 24);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+// ---------------- HashGroupBy ----------------
+
+HashGroupBy::HashGroupBy(os::Process& p, WorkMem& wm, u32 expected_groups) {
+  (void)p;
+  buckets_ = 16;
+  while (buckets_ < expected_groups * 2) buckets_ <<= 1;
+  table_base_ = wm.alloc(static_cast<u64>(buckets_) * 48, 64);
+}
+
+void HashGroupBy::update(os::Process& p, const std::string& key,
+                         const std::array<double, 6>& deltas) {
+  p.instr(cost::kGroupProbe);
+  const u64 h = std::hash<std::string>{}(key);
+  const sim::SimAddr slot = table_base_ + (h & (buckets_ - 1)) * 48;
+  p.read(slot, 16);
+  p.write(slot + 16, 32);
+  auto& acc = groups_[key];
+  for (std::size_t i = 0; i < 6; ++i) acc[i] += deltas[i];
+}
+
+std::vector<HashGroupBy::Group> HashGroupBy::sorted_groups() const {
+  std::vector<Group> out;
+  out.reserve(groups_.size());
+  for (const auto& [k, a] : groups_) out.push_back(Group{k, a});
+  std::sort(out.begin(), out.end(),
+            [](const Group& a, const Group& b) { return a.key < b.key; });
+  return out;
+}
+
+RowId heap_append(os::Process& p, DbRuntime& rt, Relation& rel, u32 rel_id,
+                  const std::vector<Value>& vals) {
+  const RowId rid = rel.num_rows();
+  const u32 page = rel.page_of(rid);
+  const u32 slot = rel.slot_of(rid);
+  const BufferPool::PageKey key{rel_id, page};
+  sim::SimAddr addr;
+  if (!rt.pool().resident(key)) {
+    addr = rt.pool().allocate(p, key);  // smgr extend, returned pinned
+  } else {
+    addr = rt.pool().pin(p, key);
+  }
+  // Write the tuple header + row payload.
+  p.instr(cost::kTupleOverhead);
+  p.write(addr + rel.tuple_header_byte(slot), rel.schema().row_width());
+  rt.pool().unpin(p, key);
+  rel.add_row(vals);
+  return rid;
+}
+
+void heap_delete(os::Process& p, DbRuntime& rt, Relation& rel, u32 rel_id,
+                 RowId rid) {
+  const u32 page = rel.page_of(rid);
+  const BufferPool::PageKey key{rel_id, page};
+  const sim::SimAddr addr = rt.pool().pin(p, key);
+  p.instr(cost::kTupleOverhead / 2);
+  p.read(addr + rel.tuple_header_byte(rel.slot_of(rid)), 16);
+  p.write(addr + rel.tuple_header_byte(rel.slot_of(rid)) + 8, 8);  // xmax
+  rt.pool().unpin(p, key);
+  rel.mark_deleted(rid);
+}
+
+void charge_sort(os::Process& p, WorkMem& wm, u64 n) {
+  if (n < 2) return;
+  const double comparisons =
+      static_cast<double>(n) * std::log2(static_cast<double>(n));
+  p.instr(static_cast<u64>(comparisons) * cost::kSortPerCompare);
+  const u64 touches = std::min<u64>(n, 4096);
+  for (u64 i = 0; i < touches; ++i) wm.touch(p, 1);
+}
+
+}  // namespace dss::db

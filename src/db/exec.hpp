@@ -1,0 +1,172 @@
+// Executor access methods (Volcano-style pull cursors).
+//
+//   SeqScan    — heap scan: pin page, per-tuple MVCC/deform overhead, yield
+//   IndexScan  — B-tree probe + heap fetch per match (this PostgreSQL era
+//                has no index-only scans: visibility lives in the heap)
+//   HashGroupBy— hash aggregation over string keys with working-memory
+//                emission
+//
+// Field reads are deform-lazy: accessing column c walks the row prefix up
+// through c once (heap_deform_tuple) and serves later re-reads from the
+// slot, so a Q6 that stops at lineitem's shipdate column touches roughly
+// the first 90 bytes of each 164-byte row — the spatial-locality structure
+// the paper's Fig. 4 discussion hinges on.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.hpp"
+
+namespace dss::db {
+
+/// A heap tuple on a currently-pinned page. Field reads emit simulated
+/// references and return host values.
+///
+/// Deforming semantics follow PostgreSQL's heap_deform_tuple: accessing
+/// column c walks the row from the last deformed position up through c (the
+/// on-page layout has no column directory), so the first access to a late
+/// column touches the whole row prefix; re-reading an already-deformed
+/// column is served from the slot and costs a single reference.
+class HeapTuple {
+ public:
+  HeapTuple() = default;
+  HeapTuple(const Relation* rel, RowId rid, sim::SimAddr page_addr)
+      : rel_(rel), rid_(rid), page_(page_addr) {}
+
+  [[nodiscard]] RowId rid() const { return rid_; }
+  [[nodiscard]] const Relation& rel() const { return *rel_; }
+
+  [[nodiscard]] i64 read_int(os::Process& p, u32 col);
+  [[nodiscard]] double read_double(os::Process& p, u32 col);
+  [[nodiscard]] Date read_date(os::Process& p, u32 col);
+  [[nodiscard]] const std::string& read_str(os::Process& p, u32 col);
+
+ private:
+  [[nodiscard]] sim::SimAddr field_addr(u32 col) const;
+  void deform_to(os::Process& p, u32 col);
+  const Relation* rel_ = nullptr;
+  RowId rid_ = 0;
+  sim::SimAddr page_ = 0;
+  i32 deformed_ = -1;  ///< highest column walked so far
+};
+
+class SeqScan {
+ public:
+  SeqScan(DbRuntime& rt, const std::string& table);
+
+  /// Lock the relation and position before the first tuple.
+  void open(os::Process& p);
+  /// Produce the next tuple; false at end of relation.
+  [[nodiscard]] bool next(os::Process& p, HeapTuple& out);
+  /// Unpin/unlock.
+  void close(os::Process& p);
+
+ private:
+  DbRuntime* rt_;
+  const Relation* rel_;
+  u32 rel_id_;
+  RowId next_rid_ = 0;
+  i64 pinned_page_ = -1;
+  sim::SimAddr page_addr_ = 0;
+  bool open_ = false;
+};
+
+class IndexScan {
+ public:
+  /// `wm` (optional) is the backend's private working memory; each descent
+  /// and fetch then touches it the way _bt_search/_bt_binsrch churn scan
+  /// keys, stacks and palloc arenas — private state with temporal locality
+  /// at a scale that fits a 2 MB cache but not a 32 KB L1 (the paper's
+  /// explanation for Q21's L1 behaviour on the Origin).
+  IndexScan(DbRuntime& rt, const std::string& index, WorkMem* wm = nullptr);
+
+  /// Lock the index (once per query, as the real executor does).
+  void open(os::Process& p);
+  /// Start an equality probe; call next() until it returns false.
+  void probe(os::Process& p, i64 key);
+  /// Next heap tuple matching the probe key (includes the heap fetch).
+  [[nodiscard]] bool next(os::Process& p, HeapTuple& out);
+  /// Release cursor + heap pins of the current probe.
+  void end_probe(os::Process& p);
+  void close(os::Process& p);
+
+ private:
+  DbRuntime* rt_;
+  const BTreeIndex* idx_;
+  const Relation* heap_;
+  WorkMem* wm_;
+  u32 heap_rel_id_;
+  BTreeIndex::Cursor cur_;
+  bool probing_ = false;
+  i64 probe_key_ = 0;
+  i64 pinned_heap_page_ = -1;
+  bool open_ = false;
+};
+
+/// Build-side hash table for hash joins / IN-filters over Int64 keys, with
+/// working-memory emission (a PostgreSQL hash node's batch-0 behaviour —
+/// everything fits in memory at our scales).
+class HashTableInt {
+ public:
+  HashTableInt(os::Process& p, WorkMem& wm, u32 expected);
+
+  /// Insert key with a small numeric payload (e.g. a row id).
+  void insert(os::Process& p, i64 key, i64 payload);
+
+  /// First payload for key, if present (emits the probe).
+  [[nodiscard]] std::optional<i64> probe(os::Process& p, i64 key) const;
+  [[nodiscard]] bool contains(os::Process& p, i64 key) const {
+    return probe(p, key).has_value();
+  }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+ private:
+  [[nodiscard]] sim::SimAddr slot_addr(i64 key) const;
+  sim::SimAddr table_base_;
+  u32 buckets_;
+  std::unordered_map<i64, i64> map_;
+};
+
+/// Hash aggregation keyed by a string, with up to 6 numeric accumulators.
+class HashGroupBy {
+ public:
+  HashGroupBy(os::Process& p, WorkMem& wm, u32 expected_groups);
+
+  /// Probe/update the group for `key`, adding `deltas[i]` to accumulator i.
+  void update(os::Process& p, const std::string& key,
+              const std::array<double, 6>& deltas);
+
+  struct Group {
+    std::string key;
+    std::array<double, 6> acc{};
+  };
+  /// Groups sorted by key (host-side; charge sort costs separately).
+  [[nodiscard]] std::vector<Group> sorted_groups() const;
+  [[nodiscard]] std::size_t num_groups() const { return groups_.size(); }
+
+ private:
+  sim::SimAddr table_base_;
+  u32 buckets_;
+  std::unordered_map<std::string, std::array<double, 6>> groups_;
+};
+
+/// Charge the cost of sorting n items (comparator instructions + working
+/// memory traffic); the actual ordering is done host-side by the caller.
+void charge_sort(os::Process& p, WorkMem& wm, u64 n);
+
+/// Timed heap insert (heap_insert): pins (or extends) the tail page, writes
+/// the row, and appends host-side. The caller holds a RowExclusive relation
+/// lock and is responsible for updating any indexes. Returns the new row id.
+RowId heap_append(os::Process& p, DbRuntime& rt, Relation& rel, u32 rel_id,
+                  const std::vector<Value>& vals);
+
+/// Timed heap delete (MVCC: stamp xmax in the tuple header + mark the row
+/// dead host-side). The caller updates indexes.
+void heap_delete(os::Process& p, DbRuntime& rt, Relation& rel, u32 rel_id,
+                 RowId rid);
+
+}  // namespace dss::db

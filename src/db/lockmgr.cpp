@@ -1,0 +1,80 @@
+#include "db/lockmgr.hpp"
+
+#include <cassert>
+
+#include "db/costs.hpp"
+
+namespace dss::db {
+
+LockManager::LockManager(ShmAllocator& shm, u32 buckets, SpinPolicy spin)
+    : lock_("LockMgrLock", shm.alloc(64, 64), spin),
+      table_base_(shm.alloc(static_cast<u64>(buckets) * 48, 64)),
+      buckets_(buckets) {}
+
+void LockManager::touch_entry(os::Process& p, u32 rel_id, bool update) {
+  const sim::SimAddr e = table_base_ + static_cast<u64>(rel_id % buckets_) * 48;
+  // Read the lock + transaction info, then update the holder counts: the
+  // two-step pattern the migratory protocol collapses to one transaction.
+  p.read(e, 24);
+  if (update) p.write(e + 8, 8);
+}
+
+void LockManager::lock_relation(os::Process& p, u32 rel_id, LockMode mode) {
+  p.instr(cost::kRelationLock);
+  while (true) {
+    lock_.acquire(p);
+    touch_entry(p, rel_id, /*update=*/false);
+    LockEntry& e = entries_[rel_id];
+    // AccessShare and RowExclusive are mutually compatible (readers and
+    // writers coexist under MVCC); AccessExclusive conflicts with all.
+    const bool grantable =
+        mode == LockMode::AccessExclusive
+            ? (e.exclusive == 0 && e.share == 0 && e.rowexcl == 0)
+            : e.exclusive == 0;
+    if (grantable) {
+      switch (mode) {
+        case LockMode::AccessShare: ++e.share; break;
+        case LockMode::RowExclusive: ++e.rowexcl; break;
+        case LockMode::AccessExclusive: ++e.exclusive; break;
+      }
+      touch_entry(p, rel_id, /*update=*/true);
+      lock_.release(p);
+      return;
+    }
+    // Conflict: sleep on the lock's semaphore and retry (does not occur in
+    // the paper's read-only workloads, but the path is exercised in tests).
+    lock_.release(p);
+    const double mhz = p.machine().config().clock_mhz;
+    p.select_sleep(static_cast<u64>(1'000.0 * mhz));  // 1 ms
+    --p.counters().select_sleeps;  // semaphore sleep, not select() backoff
+  }
+}
+
+void LockManager::unlock_relation(os::Process& p, u32 rel_id, LockMode mode) {
+  p.instr(cost::kRelationUnlock);
+  lock_.acquire(p);
+  LockEntry& e = entries_[rel_id];
+  switch (mode) {
+    case LockMode::AccessShare:
+      assert(e.share > 0);
+      --e.share;
+      break;
+    case LockMode::RowExclusive:
+      assert(e.rowexcl > 0);
+      --e.rowexcl;
+      break;
+    case LockMode::AccessExclusive:
+      assert(e.exclusive > 0);
+      --e.exclusive;
+      break;
+  }
+  touch_entry(p, rel_id, /*update=*/true);
+  lock_.release(p);
+}
+
+u32 LockManager::share_holders(u32 rel_id) const {
+  auto it = entries_.find(rel_id);
+  return it == entries_.end() ? 0 : it->second.share;
+}
+
+}  // namespace dss::db

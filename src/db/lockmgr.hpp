@@ -1,0 +1,52 @@
+// Relation-level lock manager.
+//
+// PostgreSQL of this era supports only relation-granularity locks (Section
+// 2.2 of the paper): lock and transaction hash tables in shared memory,
+// guarded by the LockMgrLock spinlock. Our workloads are read-only, so every
+// AccessShare request is grantable — but the *bookkeeping* (reading the lock
+// info, then updating holder counts) is shared-memory write traffic, and the
+// paper's Section 4.2.3 explains how the V-Class migratory optimization is a
+// net win for exactly this read-then-update pattern.
+#pragma once
+
+#include <unordered_map>
+
+#include "db/shm.hpp"
+#include "db/spinlock.hpp"
+#include "os/process.hpp"
+
+namespace dss::db {
+
+enum class LockMode : u8 { AccessShare, RowExclusive, AccessExclusive };
+
+class LockManager {
+ public:
+  explicit LockManager(ShmAllocator& shm, u32 buckets = 512,
+                       SpinPolicy spin = {});
+
+  /// Acquire a relation lock. Read locks never conflict in our read-only
+  /// workloads; an exclusive request conflicting with any holder backs off
+  /// with a sleep (counted as voluntary context switch) and retries against
+  /// the recorded state.
+  void lock_relation(os::Process& p, u32 rel_id, LockMode mode);
+  void unlock_relation(os::Process& p, u32 rel_id, LockMode mode);
+
+  [[nodiscard]] u32 share_holders(u32 rel_id) const;
+  [[nodiscard]] SpinLock& lockmgr_lock() { return lock_; }
+
+ private:
+  struct LockEntry {
+    u32 share = 0;
+    u32 rowexcl = 0;
+    u32 exclusive = 0;
+  };
+
+  void touch_entry(os::Process& p, u32 rel_id, bool update);
+
+  SpinLock lock_;
+  sim::SimAddr table_base_;
+  u32 buckets_;
+  std::unordered_map<u32, LockEntry> entries_;
+};
+
+}  // namespace dss::db

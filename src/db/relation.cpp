@@ -1,0 +1,79 @@
+#include "db/relation.hpp"
+
+#include <stdexcept>
+
+namespace dss::db {
+
+Schema::Schema(std::vector<ColumnDef> cols) : cols_(std::move(cols)) {
+  offsets_.reserve(cols_.size());
+  u32 off = 0;
+  for (const auto& c : cols_) {
+    offsets_.push_back(off);
+    off += c.width();
+  }
+  row_width_ = kTupleHeaderBytes + off;
+  // Round the row to 8-byte alignment, as the real heap does.
+  row_width_ = (row_width_ + 7) & ~u32{7};
+}
+
+u32 Schema::col_index(const std::string& name) const {
+  for (u32 i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == name) return i;
+  }
+  throw std::out_of_range("no such column: " + name);
+}
+
+Relation::Relation(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  ints_.resize(schema_.num_cols());
+  doubles_.resize(schema_.num_cols());
+  strs_.resize(schema_.num_cols());
+}
+
+void Relation::reserve(u64 rows) {
+  for (u32 c = 0; c < schema_.num_cols(); ++c) {
+    switch (schema_.col(c).type) {
+      case ColType::Int64:
+      case ColType::Date: ints_[c].reserve(rows); break;
+      case ColType::Double: doubles_[c].reserve(rows); break;
+      case ColType::Str: strs_[c].reserve(rows); break;
+    }
+  }
+}
+
+void Relation::mark_deleted(RowId r) {
+  assert(r < num_rows_);
+  if (deleted_.size() <= r) deleted_.resize(num_rows_, false);
+  if (!deleted_[r]) {
+    deleted_[r] = true;
+    ++num_deleted_;
+  }
+}
+
+void Relation::add_row(const std::vector<Value>& vals) {
+  assert(vals.size() == schema_.num_cols());
+  for (u32 c = 0; c < schema_.num_cols(); ++c) {
+    const Value& v = vals[c];
+    switch (schema_.col(c).type) {
+      case ColType::Int64:
+        assert(v.type == ColType::Int64);
+        ints_[c].push_back(v.i);
+        break;
+      case ColType::Date:
+        assert(v.type == ColType::Date);
+        ints_[c].push_back(v.i);
+        break;
+      case ColType::Double:
+        assert(v.type == ColType::Double);
+        doubles_[c].push_back(v.d);
+        break;
+      case ColType::Str:
+        assert(v.type == ColType::Str);
+        strs_[c].push_back(v.s);
+        break;
+    }
+  }
+  ++num_rows_;
+}
+
+}  // namespace dss::db

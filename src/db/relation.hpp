@@ -1,0 +1,88 @@
+// Immutable columnar heap storage ("the disk image" of a relation).
+//
+// Functional data lives host-side in column vectors; the page/slot geometry
+// derived from the schema decides which simulated bytes a field access
+// touches. A Relation is built once per process and shared read-only across
+// simulation runs; all timed references go through the buffer pool.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "db/schema.hpp"
+#include "util/types.hpp"
+
+namespace dss::db {
+
+/// Row id = dense row index; page/slot derive from the schema geometry.
+using RowId = u64;
+
+class Relation {
+ public:
+  Relation(std::string name, Schema schema);
+
+  // --- load-time / mutation API (host-side; timed emission is done by the
+  //     heap_append / refresh paths that call these) ---
+  void add_row(const std::vector<Value>& vals);
+  void reserve(u64 rows);
+
+  /// MVCC delete: the row stays on its page (scans still pay the
+  /// visibility check) but no longer qualifies. Space returns only with a
+  /// vacuum, which we do not model.
+  void mark_deleted(RowId r);
+  [[nodiscard]] bool is_deleted(RowId r) const {
+    return r < deleted_.size() && deleted_[r];
+  }
+  [[nodiscard]] u64 num_live_rows() const { return num_rows_ - num_deleted_; }
+
+  // --- host-side readers (no simulated references; used by the executor
+  //     after it has emitted the corresponding page reads, by index build,
+  //     and by the oracle) ---
+  [[nodiscard]] i64 get_int(RowId r, u32 col) const { return ints_[col][r]; }
+  [[nodiscard]] double get_double(RowId r, u32 col) const { return doubles_[col][r]; }
+  [[nodiscard]] Date get_date(RowId r, u32 col) const {
+    return static_cast<Date>(ints_[col][r]);
+  }
+  [[nodiscard]] const std::string& get_str(RowId r, u32 col) const {
+    return strs_[col][r];
+  }
+
+  // --- geometry ---
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Schema& schema() const { return schema_; }
+  [[nodiscard]] u64 num_rows() const { return num_rows_; }
+  [[nodiscard]] u32 rows_per_page() const { return schema_.rows_per_page(); }
+  [[nodiscard]] u64 num_pages() const {
+    const u32 rpp = rows_per_page();
+    return (num_rows_ + rpp - 1) / rpp;
+  }
+  [[nodiscard]] u32 page_of(RowId r) const {
+    return static_cast<u32>(r / rows_per_page());
+  }
+  [[nodiscard]] u32 slot_of(RowId r) const {
+    return static_cast<u32>(r % rows_per_page());
+  }
+  /// Byte offset of (slot, col) within a page (tuple header included).
+  [[nodiscard]] u32 byte_of(u32 slot, u32 col) const {
+    return kPageHeaderBytes + slot * schema_.row_width() +
+           kTupleHeaderBytes + schema_.offset(col);
+  }
+  [[nodiscard]] u32 tuple_header_byte(u32 slot) const {
+    return kPageHeaderBytes + slot * schema_.row_width();
+  }
+  [[nodiscard]] u64 heap_bytes() const { return num_pages() * kPageBytes; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  u64 num_rows_ = 0;
+  u64 num_deleted_ = 0;
+  std::vector<bool> deleted_;
+  // Column storage: one vector per column; Int64/Date share ints_.
+  std::vector<std::vector<i64>> ints_;
+  std::vector<std::vector<double>> doubles_;
+  std::vector<std::vector<std::string>> strs_;
+};
+
+}  // namespace dss::db

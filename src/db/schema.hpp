@@ -1,0 +1,48 @@
+// Relation schemas: fixed-width row layout on 8 KB heap pages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/value.hpp"
+#include "util/types.hpp"
+
+namespace dss::db {
+
+inline constexpr u32 kPageBytes = 8192;
+inline constexpr u32 kPageHeaderBytes = 64;   ///< page header + line pointers
+inline constexpr u32 kTupleHeaderBytes = 24;  ///< HeapTupleHeader (xmin/xmax/...)
+
+struct ColumnDef {
+  std::string name;
+  ColType type = ColType::Int64;
+  u32 decl_width = 0;  ///< CHAR(n) width for Str columns
+
+  [[nodiscard]] u32 width() const { return col_width(type, decl_width); }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> cols);
+
+  [[nodiscard]] u32 num_cols() const { return static_cast<u32>(cols_.size()); }
+  [[nodiscard]] const ColumnDef& col(u32 i) const { return cols_[i]; }
+  [[nodiscard]] u32 col_index(const std::string& name) const;
+
+  /// Byte offset of column i within a row (after the tuple header).
+  [[nodiscard]] u32 offset(u32 i) const { return offsets_[i]; }
+  /// Full on-page row width including the tuple header.
+  [[nodiscard]] u32 row_width() const { return row_width_; }
+  /// Rows that fit one heap page.
+  [[nodiscard]] u32 rows_per_page() const {
+    return (kPageBytes - kPageHeaderBytes) / row_width_;
+  }
+
+ private:
+  std::vector<ColumnDef> cols_;
+  std::vector<u32> offsets_;
+  u32 row_width_ = kTupleHeaderBytes;
+};
+
+}  // namespace dss::db

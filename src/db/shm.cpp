@@ -1,0 +1,42 @@
+#include "db/shm.hpp"
+
+#include <cassert>
+
+namespace dss::db {
+
+sim::SimAddr ShmAllocator::alloc(u64 bytes, u64 align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  next_ = (next_ + align - 1) & ~(align - 1);
+  const u64 off = next_;
+  next_ += bytes;
+  assert(next_ <= sim::kSharedSpan && "shared segment exhausted");
+  return sim::kSharedBase + off;
+}
+
+WorkMem::WorkMem(os::Process& p, u64 arena_bytes)
+    : region_base_(sim::private_base(p.cpu())),
+      arena_base_(region_base_),
+      arena_bytes_(arena_bytes),
+      next_(arena_bytes) {
+  assert(arena_bytes_ >= 64);
+}
+
+void WorkMem::touch(os::Process& p, u32 lines) {
+  for (u32 i = 0; i < lines; ++i) {
+    // Stride through the arena with a gap so successive tuples touch
+    // different lines (palloc-style churn), wrapping at the arena size.
+    p.read(arena_base_ + cursor_, 8);
+    cursor_ = (cursor_ + 96) % arena_bytes_;
+  }
+}
+
+sim::SimAddr WorkMem::alloc(u64 bytes, u64 align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  next_ = (next_ + align - 1) & ~(align - 1);
+  const u64 off = next_;
+  next_ += bytes;
+  assert(next_ <= sim::kPrivateStride && "private region exhausted");
+  return region_base_ + off;
+}
+
+}  // namespace dss::db

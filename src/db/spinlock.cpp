@@ -1,0 +1,83 @@
+#include "db/spinlock.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dss::db {
+
+SpinLock::SpinLock(std::string name, sim::SimAddr addr, SpinPolicy policy)
+    : name_(std::move(name)), addr_(addr), policy_(policy) {}
+
+u64 SpinLock::free_at(u32 cpu, u64 t) const {
+  // Chase overlapping holds until a fixed point: if another CPU held the
+  // lock across t, we can get it no earlier than that hold's end — at which
+  // point yet another recorded hold may cover us.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const Hold& h : ring_) {
+      if (h.end == 0 || h.cpu == cpu) continue;
+      if (h.start <= t && t < h.end) {
+        t = h.end;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
+void SpinLock::record(u32 cpu, u64 start, u64 end) {
+  ring_[head_] = Hold{cpu, start, end};
+  head_ = (head_ + 1) % kRing;
+}
+
+void SpinLock::acquire(os::Process& p) {
+  ++acquires_;
+  ++p.counters().lock_acquires;
+  p.instr(cost::kSpinAcquire);
+
+  const double mhz = p.machine().config().clock_mhz;
+  u64 sleep_us = cost::kSelectSleepUs;
+  while (true) {
+    // TAS: an atomic RMW on the lock's cache line. Under contention this
+    // line ping-pongs between CPUs — the expensive part of communication
+    // the paper contrasts across the two machines.
+    p.atomic(addr_);
+    u64 t = p.now();
+    u64 until = free_at(p.cpu(), t);
+    if (until <= t) break;  // lock free: acquired
+
+    ++collisions_;
+    ++p.counters().lock_collisions;
+    // Bounded spin: retry TAS while the convoy drains.
+    u32 iters = 0;
+    while (t < until && (iters < policy_.tas_attempts ||
+                         !policy_.select_backoff)) {
+      p.spin(cost::kSpinIterInstr);
+      p.atomic(addr_);
+      t = p.now();
+      ++iters;
+    }
+    until = free_at(p.cpu(), t);
+    if (until <= t) break;  // drained within the spin budget
+
+    // Spin budget exhausted: back off with select(), exactly as s_lock does.
+    // Thread time stops; wall time advances; one voluntary context switch.
+    ++sleeps_;
+    p.select_sleep(static_cast<u64>(static_cast<double>(sleep_us) * mhz));
+    sleep_us = std::min<u64>(sleep_us * 2, cost::kSelectSleepMaxUs);
+  }
+  held_ = true;
+  holder_ = p.cpu();
+  held_since_ = p.now();
+}
+
+void SpinLock::release(os::Process& p) {
+  assert(held_ && holder_ == p.cpu() && "release by non-holder");
+  p.instr(cost::kSpinRelease);
+  p.write(addr_, 8);
+  record(p.cpu(), held_since_, p.now());
+  held_ = false;
+}
+
+}  // namespace dss::db

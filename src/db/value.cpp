@@ -1,0 +1,61 @@
+#include "db/value.hpp"
+
+#include <cstdio>
+
+namespace dss::db {
+
+namespace {
+// Howard Hinnant's civil-from-days / days-from-civil algorithms.
+constexpr i64 days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const i64 era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<i64>(doe) - 719468;
+}
+
+constexpr void civil_from_days(i64 z, int& y, int& m, int& d) {
+  z += 719468;
+  const i64 era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const i64 yy = static_cast<i64>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(yy + (m <= 2));
+}
+}  // namespace
+
+Date make_date(int y, int m, int d) {
+  return static_cast<Date>(days_from_civil(y, m, d));
+}
+
+Date add_years(Date d, int years) {
+  int y, m, dd;
+  civil_from_days(d, y, m, dd);
+  return make_date(y + years, m, dd);
+}
+
+Date add_months(Date d, int months) {
+  int y, m, dd;
+  civil_from_days(d, y, m, dd);
+  const int total = (y * 12 + (m - 1)) + months;
+  y = total / 12;
+  m = total % 12 + 1;
+  if (dd > 28) dd = 28;  // clamp; good enough for TPC-H boundaries
+  return make_date(y, m, dd);
+}
+
+std::string date_to_string(Date d) {
+  int y, m, dd;
+  civil_from_days(d, y, m, dd);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", y, m, dd);
+  return buf;
+}
+
+}  // namespace dss::db

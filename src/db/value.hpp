@@ -1,0 +1,52 @@
+// Column values and dates.
+#pragma once
+
+#include <cassert>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace dss::db {
+
+enum class ColType : u8 { Int64, Double, Date, Str };
+
+/// Days since 1970-01-01 (proleptic Gregorian). TPC-H dates span 1992-1998.
+using Date = i32;
+
+/// Build a Date from a calendar day (civil-from-days algorithm).
+[[nodiscard]] Date make_date(int y, int m, int d);
+
+/// Date arithmetic helpers used by the TPC-H predicates.
+[[nodiscard]] Date add_years(Date d, int years);
+[[nodiscard]] Date add_months(Date d, int months);
+[[nodiscard]] std::string date_to_string(Date d);
+
+/// A loose value used at load time and in query results (storage itself is
+/// columnar; see Relation).
+struct Value {
+  ColType type = ColType::Int64;
+  i64 i = 0;
+  double d = 0.0;
+  std::string s;
+
+  [[nodiscard]] static Value of_int(i64 v) { return Value{ColType::Int64, v, 0.0, {}}; }
+  [[nodiscard]] static Value of_double(double v) { return Value{ColType::Double, 0, v, {}}; }
+  [[nodiscard]] static Value of_date(Date v) { return Value{ColType::Date, v, 0.0, {}}; }
+  [[nodiscard]] static Value of_str(std::string v) {
+    return Value{ColType::Str, 0, 0.0, std::move(v)};
+  }
+};
+
+/// Fixed on-page byte width of one column of a given type (strings are
+/// padded CHAR(n)-style; `decl_width` is n).
+[[nodiscard]] constexpr u32 col_width(ColType t, u32 decl_width) {
+  switch (t) {
+    case ColType::Int64: return 8;
+    case ColType::Double: return 8;
+    case ColType::Date: return 4;
+    case ColType::Str: return decl_width;
+  }
+  return 8;
+}
+
+}  // namespace dss::db

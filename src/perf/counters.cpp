@@ -1,0 +1,83 @@
+#include "perf/counters.hpp"
+
+namespace dss::perf {
+
+Counters& Counters::operator+=(const Counters& o) {
+  cycles += o.cycles;
+  instructions += o.instructions;
+  spin_cycles += o.spin_cycles;
+  loads += o.loads;
+  stores += o.stores;
+  atomics += o.atomics;
+  l1d_misses += o.l1d_misses;
+  l2d_misses += o.l2d_misses;
+  dirty_misses += o.dirty_misses;
+  cache_interventions += o.cache_interventions;
+  invalidations_recv += o.invalidations_recv;
+  upgrades += o.upgrades;
+  writebacks += o.writebacks;
+  migratory_transfers += o.migratory_transfers;
+  tlb_misses += o.tlb_misses;
+  mem_requests += o.mem_requests;
+  mem_latency_cycles += o.mem_latency_cycles;
+  remote_accesses += o.remote_accesses;
+  vol_ctx_switches += o.vol_ctx_switches;
+  invol_ctx_switches += o.invol_ctx_switches;
+  select_sleeps += o.select_sleeps;
+  lock_acquires += o.lock_acquires;
+  lock_collisions += o.lock_collisions;
+  buffer_pins += o.buffer_pins;
+  tuples_scanned += o.tuples_scanned;
+  index_descents += o.index_descents;
+  return *this;
+}
+
+namespace {
+double ratio(u64 num, u64 den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+double Counters::cpi() const { return ratio(cycles, instructions); }
+
+double Counters::cycles_per_minstr() const {
+  return instructions == 0 ? 0.0
+                           : static_cast<double>(cycles) /
+                                 (static_cast<double>(instructions) / 1e6);
+}
+
+double Counters::l1d_per_minstr() const {
+  return instructions == 0 ? 0.0
+                           : static_cast<double>(l1d_misses) /
+                                 (static_cast<double>(instructions) / 1e6);
+}
+
+double Counters::l2d_per_minstr() const {
+  return instructions == 0 ? 0.0
+                           : static_cast<double>(l2d_misses) /
+                                 (static_cast<double>(instructions) / 1e6);
+}
+
+double Counters::avg_mem_latency() const {
+  return ratio(mem_latency_cycles, mem_requests);
+}
+
+double Counters::vol_ctx_per_minstr() const {
+  return instructions == 0 ? 0.0
+                           : static_cast<double>(vol_ctx_switches) /
+                                 (static_cast<double>(instructions) / 1e6);
+}
+
+double Counters::invol_ctx_per_minstr() const {
+  return instructions == 0 ? 0.0
+                           : static_cast<double>(invol_ctx_switches) /
+                                 (static_cast<double>(instructions) / 1e6);
+}
+
+double Counters::l1d_miss_rate() const {
+  return ratio(l1d_misses, loads + stores + atomics);
+}
+
+double Counters::l2d_miss_rate() const { return ratio(l2d_misses, l1d_misses); }
+
+}  // namespace dss::perf

@@ -1,0 +1,79 @@
+// Hardware-performance-counter model.
+//
+// The paper instruments PostgreSQL with counter reads: a PAPI-like library on
+// the PA-8200 (HP V-Class) and ioctl() access to the R10000 counters on the
+// SGI Origin 2000. This struct is the superset of events both studies read;
+// `platform_events.hpp` maps subsets of it onto per-CPU event names, mirroring
+// how the same measurement had to be expressed differently on each machine.
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace dss::perf {
+
+/// Raw event totals for one simulated process (thread). All values are
+/// accumulated while the thread occupies a CPU, so `cycles` is the paper's
+/// "thread time" (it excludes ready-queue wait and sleep).
+struct Counters {
+  // CPU
+  u64 cycles = 0;         ///< thread time in CPU cycles
+  u64 instructions = 0;   ///< graduated instructions
+  u64 spin_cycles = 0;    ///< subset of `cycles` burned in spinlock loops
+
+  // Memory references (counted per cache-line-sized reference)
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 atomics = 0;
+
+  // Cache events. For the V-Class only `l1d_misses` is meaningful (its
+  // single-level 2 MB data cache); for the Origin both levels are.
+  u64 l1d_misses = 0;
+  u64 l2d_misses = 0;
+
+  // Coherence events
+  u64 dirty_misses = 0;         ///< misses served by another cache's M line
+  u64 cache_interventions = 0;  ///< misses served by another cache (M or E)
+  u64 invalidations_recv = 0;   ///< lines invalidated by other CPUs' writes
+  u64 upgrades = 0;             ///< S->M upgrade transactions
+  u64 writebacks = 0;           ///< dirty evictions written to memory
+  u64 migratory_transfers = 0;  ///< reads satisfied by migratory handoff
+
+  // Address translation
+  u64 tlb_misses = 0;  ///< data TLB refills
+
+  // Memory system (requests that left the cache hierarchy)
+  u64 mem_requests = 0;
+  u64 mem_latency_cycles = 0;  ///< un-overlapped total latency (the PA-8200
+                               ///< "open request ticks" counter)
+  u64 remote_accesses = 0;     ///< NUMA: home node != requesting node
+
+  // OS events
+  u64 vol_ctx_switches = 0;
+  u64 invol_ctx_switches = 0;
+  u64 select_sleeps = 0;  ///< select()-based spinlock backoff sleeps
+
+  // DBMS-level (software counters in the instrumented executable)
+  u64 lock_acquires = 0;
+  u64 lock_collisions = 0;
+  u64 buffer_pins = 0;
+  u64 tuples_scanned = 0;
+  u64 index_descents = 0;
+
+  /// Element-wise accumulate (used to aggregate per-process counters).
+  Counters& operator+=(const Counters& o);
+
+  // Derived metrics used throughout the evaluation.
+  [[nodiscard]] double cpi() const;
+  [[nodiscard]] double cycles_per_minstr() const;       ///< Figs. 5 & 7
+  [[nodiscard]] double l1d_per_minstr() const;          ///< Fig. 8 (V-Class)
+  [[nodiscard]] double l2d_per_minstr() const;          ///< Fig. 6 (Origin)
+  [[nodiscard]] double avg_mem_latency() const;         ///< Fig. 9
+  [[nodiscard]] double vol_ctx_per_minstr() const;      ///< Fig. 10
+  [[nodiscard]] double invol_ctx_per_minstr() const;    ///< Fig. 10
+  [[nodiscard]] double l1d_miss_rate() const;           ///< misses / refs
+  [[nodiscard]] double l2d_miss_rate() const;           ///< L2 misses / L1 misses
+};
+
+}  // namespace dss::perf

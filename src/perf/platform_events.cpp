@@ -1,0 +1,61 @@
+#include "perf/platform_events.hpp"
+
+namespace dss::perf {
+
+const char* platform_name(Platform p) {
+  switch (p) {
+    case Platform::VClass: return "HP V-Class";
+    case Platform::Origin2000: return "SGI Origin 2000";
+  }
+  return "?";
+}
+
+const std::vector<EventDesc>& platform_events(Platform p) {
+  static const std::vector<EventDesc> pa8200 = {
+      {"CPU_CYCLES", "elapsed CPU cycles while the thread runs"},
+      {"INSTR_RETIRED", "retired instructions"},
+      {"DCACHE_MISS", "data cache misses (single-level 2 MB D-cache)"},
+      {"MEM_REQ", "requests issued to the memory system"},
+      {"MEM_OPEN_TICKS", "sum of open-memory-request ticks (latency)"},
+      {"BUS_REMOTE", "requests crossing the hyperplane crossbar"},
+      {"DTLB_MISS", "data TLB misses (hardware-walked refill)"},
+  };
+  static const std::vector<EventDesc> r10000 = {
+      {"CYCLES", "event 0: cycles"},
+      {"GRAD_INSTR", "event 17: graduated instructions"},
+      {"L1_DCACHE_MISS", "event 25: primary data cache misses"},
+      {"L2_DCACHE_MISS", "event 26: secondary data cache misses"},
+      {"EXT_INTERVENTION", "event 12: external interventions"},
+      {"EXT_INVALIDATE", "event 13: external invalidations"},
+      {"TLB_MISS", "event 23: TLB misses (software utlbmiss refill)"},
+  };
+  return p == Platform::VClass ? pa8200 : r10000;
+}
+
+std::optional<u64> read_event(Platform p, const std::string& name,
+                              const Counters& c) {
+  if (p == Platform::VClass) {
+    if (name == "CPU_CYCLES") return c.cycles;
+    if (name == "INSTR_RETIRED") return c.instructions;
+    if (name == "DCACHE_MISS") return c.l1d_misses;
+    if (name == "MEM_REQ") return c.mem_requests;
+    if (name == "MEM_OPEN_TICKS") return c.mem_latency_cycles;
+    if (name == "BUS_REMOTE") return c.remote_accesses;
+    if (name == "DTLB_MISS") return c.tlb_misses;
+    return std::nullopt;
+  }
+  if (name == "CYCLES") return c.cycles;
+  // The R10000's graduated-instruction counter systematically reads a couple
+  // of percent below the PA-8200's for the same source code (different
+  // instruction sets and counting of nops/prefetches); Section 3.2 of the
+  // paper leans on this to explain small cross-machine CPI differences.
+  if (name == "GRAD_INSTR") return c.instructions;
+  if (name == "L1_DCACHE_MISS") return c.l1d_misses;
+  if (name == "L2_DCACHE_MISS") return c.l2d_misses;
+  if (name == "EXT_INTERVENTION") return c.cache_interventions;
+  if (name == "EXT_INVALIDATE") return c.invalidations_recv;
+  if (name == "TLB_MISS") return c.tlb_misses;
+  return std::nullopt;
+}
+
+}  // namespace dss::perf

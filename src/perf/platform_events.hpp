@@ -1,0 +1,41 @@
+// Per-platform hardware event catalogues.
+//
+// On the real machines the same logical measurement is expressed through
+// different counter programs: the PA-8200 exposes a single-level data cache
+// miss counter and an "open memory request ticks" accumulator; the R10000
+// exposes graduated instructions (event 17), L1/L2 data cache misses (events
+// 25/26), and external interventions/invalidations (events 12/13). This
+// module reproduces that surface so harness code reads events by the names a
+// practitioner would have used, and documents the small systematic
+// differences between the two machines' instruction counters that the paper
+// mentions in Section 3.2.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perf/counters.hpp"
+
+namespace dss::perf {
+
+enum class Platform { VClass, Origin2000 };
+
+[[nodiscard]] const char* platform_name(Platform p);
+
+/// One hardware event as named on a specific CPU.
+struct EventDesc {
+  std::string name;         ///< e.g. "GRAD_INSTR" (R10000 event 17)
+  std::string description;  ///< human-readable meaning
+};
+
+/// The events a counter program on the given platform can observe.
+[[nodiscard]] const std::vector<EventDesc>& platform_events(Platform p);
+
+/// Read one named event out of a Counters snapshot, applying the platform's
+/// quirks (the R10000 instruction counter reads ~2% lower than the PA-8200
+/// for identical work — the paper attributes small CPI differences to this).
+[[nodiscard]] std::optional<u64> read_event(Platform p, const std::string& name,
+                                            const Counters& c);
+
+}  // namespace dss::perf

@@ -1,0 +1,107 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace dss::sim {
+
+namespace {
+u32 log2_exact(u64 v) {
+  assert(v != 0 && (v & (v - 1)) == 0 && "cache geometry must be a power of two");
+  return static_cast<u32>(std::countr_zero(v));
+}
+}  // namespace
+
+SetAssocCache::SetAssocCache(const CacheConfig& cfg)
+    : cfg_(cfg),
+      line_shift_(log2_exact(cfg.line_bytes)),
+      num_sets_(cfg.num_sets()),
+      set_bits_(log2_exact(num_sets_)),
+      ways_(static_cast<std::size_t>(num_sets_) * cfg.assoc) {
+  assert(num_sets_ >= 1);
+  assert(cfg.assoc >= 1);
+}
+
+SetAssocCache::Way* SetAssocCache::find(u64 line_addr) {
+  const u32 set = set_of(line_addr);
+  const u64 tag = tag_of(line_addr);
+  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+  for (u32 w = 0; w < cfg_.assoc; ++w) {
+    if (base[w].state != LineState::I && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+const SetAssocCache::Way* SetAssocCache::find(u64 line_addr) const {
+  return const_cast<SetAssocCache*>(this)->find(line_addr);
+}
+
+std::optional<LineState> SetAssocCache::lookup(u64 line_addr) {
+  Way* w = find(line_addr);
+  if (w == nullptr) return std::nullopt;
+  w->stamp = ++clock_;
+  return w->state;
+}
+
+std::optional<LineState> SetAssocCache::probe(u64 line_addr) const {
+  const Way* w = find(line_addr);
+  if (w == nullptr) return std::nullopt;
+  return w->state;
+}
+
+void SetAssocCache::set_state(u64 line_addr, LineState s) {
+  Way* w = find(line_addr);
+  assert(w != nullptr && "set_state on non-resident line");
+  assert(s != LineState::I && "use invalidate() to drop a line");
+  w->state = s;
+}
+
+std::optional<Eviction> SetAssocCache::insert(u64 line_addr, LineState s) {
+  assert(s != LineState::I);
+  assert(find(line_addr) == nullptr && "insert of already-resident line");
+  const u32 set = set_of(line_addr);
+  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+  Way* victim = nullptr;
+  for (u32 w = 0; w < cfg_.assoc; ++w) {
+    if (base[w].state == LineState::I) {
+      victim = &base[w];
+      break;
+    }
+    if (victim == nullptr || base[w].stamp < victim->stamp) victim = &base[w];
+  }
+  std::optional<Eviction> evicted;
+  if (victim->state != LineState::I) {
+    // Reconstruct the victim's line address from its tag and this set index.
+    const u64 victim_line = (victim->tag << set_bits_) | set;
+    evicted = Eviction{victim_line, victim->state};
+    --resident_;
+  }
+  victim->tag = tag_of(line_addr);
+  victim->state = s;
+  victim->stamp = ++clock_;
+  ++resident_;
+  return evicted;
+}
+
+std::optional<LineState> SetAssocCache::invalidate(u64 line_addr) {
+  Way* w = find(line_addr);
+  if (w == nullptr) return std::nullopt;
+  const LineState prior = w->state;
+  w->state = LineState::I;
+  --resident_;
+  return prior;
+}
+
+void SetAssocCache::for_each_line(
+    const std::function<void(u64, LineState)>& fn) const {
+  for (u32 set = 0; set < num_sets_; ++set) {
+    const Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+    for (u32 w = 0; w < cfg_.assoc; ++w) {
+      if (base[w].state != LineState::I) {
+        fn((base[w].tag << set_bits_) | set, base[w].state);
+      }
+    }
+  }
+}
+
+}  // namespace dss::sim

@@ -1,0 +1,84 @@
+// Set-associative cache model with MESI line states and true-LRU replacement.
+//
+// The model is functional at tag granularity only: it tracks which line
+// addresses are resident and in which coherence state, not the data (the
+// DBMS keeps functional data in host memory).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/addr.hpp"
+#include "sim/config.hpp"
+#include "util/types.hpp"
+
+namespace dss::sim {
+
+enum class LineState : u8 { I = 0, S = 1, E = 2, M = 3 };
+
+[[nodiscard]] constexpr bool is_exclusive(LineState s) {
+  return s == LineState::E || s == LineState::M;
+}
+
+/// A line evicted to make room for an insertion.
+struct Eviction {
+  u64 line_addr;   ///< line address (byte address >> line shift)
+  LineState state; ///< state it held when evicted (never I)
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& cfg);
+
+  /// Line address for a byte address.
+  [[nodiscard]] u64 line_of(SimAddr a) const { return a >> line_shift_; }
+  [[nodiscard]] u32 line_bytes() const { return cfg_.line_bytes; }
+  [[nodiscard]] u32 line_shift() const { return line_shift_; }
+
+  /// Look up a line; returns its state or nullopt on miss. Updates LRU.
+  [[nodiscard]] std::optional<LineState> lookup(u64 line_addr);
+
+  /// Look up without touching LRU (for invariant checks / probes).
+  [[nodiscard]] std::optional<LineState> probe(u64 line_addr) const;
+
+  /// Change the state of a resident line (must be resident).
+  void set_state(u64 line_addr, LineState s);
+
+  /// Insert a line in the given state (must not be resident); returns the
+  /// victim evicted to make room, if any.
+  std::optional<Eviction> insert(u64 line_addr, LineState s);
+
+  /// Remove a line if resident; returns the state it held.
+  std::optional<LineState> invalidate(u64 line_addr);
+
+  /// Visit every resident line.
+  void for_each_line(const std::function<void(u64, LineState)>& fn) const;
+
+  [[nodiscard]] u64 resident_lines() const { return resident_; }
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+
+ private:
+  struct Way {
+    u64 tag = 0;
+    LineState state = LineState::I;
+    u64 stamp = 0;  ///< LRU timestamp
+  };
+
+  [[nodiscard]] u32 set_of(u64 line_addr) const {
+    return static_cast<u32>(line_addr & (num_sets_ - 1));
+  }
+  [[nodiscard]] u64 tag_of(u64 line_addr) const { return line_addr >> set_bits_; }
+  [[nodiscard]] Way* find(u64 line_addr);
+  [[nodiscard]] const Way* find(u64 line_addr) const;
+
+  CacheConfig cfg_;
+  u32 line_shift_;
+  u32 num_sets_;
+  u32 set_bits_;
+  u64 clock_ = 0;  ///< monotonically increasing LRU stamp source
+  u64 resident_ = 0;
+  std::vector<Way> ways_;  ///< num_sets_ * assoc, set-major
+};
+
+}  // namespace dss::sim

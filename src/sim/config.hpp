@@ -1,0 +1,86 @@
+// Machine model configuration.
+//
+// Two concrete instances live in machine_configs.cpp: `vclass()` (HP V-Class,
+// Section 2.1 of the paper / HP technical report) and `origin2000()` (SGI
+// Origin 2000, Laudon & Lenoski ISCA'97). All latency constants are cycle
+// counts at the machine's own clock, approximated from the companion
+// microbenchmark study the authors cite (Iyer et al., ICS'99).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dss::sim {
+
+struct CacheConfig {
+  u64 size_bytes = 0;
+  u32 line_bytes = 32;
+  u32 assoc = 1;           ///< 1 = direct-mapped
+  u32 hit_latency = 1;     ///< cycles, only charged beyond L1
+  [[nodiscard]] u32 num_sets() const {
+    return static_cast<u32>(size_bytes / (static_cast<u64>(line_bytes) * assoc));
+  }
+};
+
+struct MachineConfig {
+  std::string name;
+  double clock_mhz = 200.0;
+  u32 num_processors = 16;
+  u32 procs_per_node = 2;   ///< CPUs per node (EPAC / Origin node board)
+  u32 nodes_per_router = 2; ///< Origin "bristled" hypercube: 2 nodes share a router
+
+  /// Data cache hierarchy, L1 first. One level for the V-Class (2 MB
+  /// single-level), two for the Origin (32 KB L1 + 4 MB L2).
+  std::vector<CacheConfig> dcache;
+
+  // --- Interconnect & memory latency (cycles) ---
+  bool uma = true;          ///< V-Class hyperplane crossbar = UMA
+  u32 net_oneway = 30;      ///< one network traversal, requester <-> home
+  u32 per_hop = 0;          ///< extra cycles per router hop (NUMA only)
+  u32 off_node_extra = 0;   ///< extra cycles when leaving the node (NUMA)
+  u32 mem_access = 45;      ///< DRAM + directory lookup at the home
+  u32 dir_lookup = 8;       ///< directory occupancy for 3-hop transactions
+  u32 cache_penalty = 30;   ///< remote cache intervention access time
+  u32 line_transfer = 2;    ///< data return serialization per network leg
+  u32 mc_occupancy = 20;    ///< memory-controller service occupancy
+  double mc_burst = 2.0;    ///< batch-arrival factor for queueing (scans
+                            ///< issue misses in bursts, so effective
+                            ///< utilization exceeds the mean rate)
+  u32 mem_banks = 8;        ///< UMA: interleaved memory banks (EMACs)
+  u32 atomic_penalty = 12;  ///< extra exposed cycles for LL/SC / fetch-op
+
+  // --- Data TLB (0 entries disables the model) ---
+  u32 tlb_entries = 0;       ///< fully-associative entries (16 KiB pages)
+  u32 tlb_miss_penalty = 0;  ///< exposed refill cycles (software refill on
+                             ///< the R10000, hardware walk on the PA-8200)
+
+  // --- Protocol options ---
+  bool migratory_opt = false;     ///< V-Class migratory-sharing enhancement
+  bool speculative_reply = false; ///< Origin speculative memory reply
+
+  // --- Timing model ---
+  double base_cpi = 1.3;          ///< pipeline CPI with all D-cache hits
+  double exposed_l2_frac = 0.7;   ///< fraction of L2 hit latency exposed
+  double exposed_mem_frac = 0.6;  ///< fraction of memory latency exposed
+  double instr_factor = 1.0;      ///< systematic instruction-counter skew
+
+  // --- OS parameters ---
+  u64 timeslice_cycles = 20'000'000;  ///< 100 ms at 200 MHz
+  u32 ctx_switch_cost = 4'000;        ///< direct cycles per context switch
+
+  /// Shared-segment home placement: pages round-robin over these nodes.
+  std::vector<u32> shared_home_nodes = {0, 1};
+
+  [[nodiscard]] u32 num_nodes() const { return num_processors / procs_per_node; }
+  [[nodiscard]] u32 levels() const { return static_cast<u32>(dcache.size()); }
+  [[nodiscard]] const CacheConfig& last_level() const { return dcache.back(); }
+
+  /// Scale the footprint-sensitive sizes by 1/denom (see DESIGN.md §6):
+  /// cache capacities shrink, line sizes / associativities / latencies do
+  /// not. The caller scales the database and buffer pool by the same factor.
+  [[nodiscard]] MachineConfig scaled(u32 denom) const;
+};
+
+}  // namespace dss::sim

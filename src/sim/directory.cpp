@@ -1,0 +1,29 @@
+#include "sim/directory.hpp"
+
+#include <bit>
+
+namespace dss::sim {
+
+u32 DirEntry::sharer_count() const { return static_cast<u32>(std::popcount(sharers)); }
+
+DirEntry& Directory::entry(u64 unit_addr) { return entries_[unit_addr]; }
+
+const DirEntry* Directory::probe(u64 unit_addr) const {
+  auto it = entries_.find(unit_addr);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void Directory::erase_if_uncached(u64 unit_addr) {
+  auto it = entries_.find(unit_addr);
+  if (it != entries_.end() && it->second.state == DirState::Uncached &&
+      !it->second.migratory && !it->second.has_dirty_reader) {
+    entries_.erase(it);
+  }
+}
+
+void Directory::for_each(
+    const std::function<void(u64, const DirEntry&)>& fn) const {
+  for (const auto& [addr, e] : entries_) fn(addr, e);
+}
+
+}  // namespace dss::sim

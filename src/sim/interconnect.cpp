@@ -1,0 +1,37 @@
+#include "sim/interconnect.hpp"
+
+#include <bit>
+
+namespace dss::sim {
+
+Interconnect::Interconnect(const MachineConfig& cfg)
+    : uma_(cfg.uma),
+      nodes_per_router_(cfg.nodes_per_router == 0 ? 1 : cfg.nodes_per_router),
+      net_oneway_(cfg.net_oneway),
+      per_hop_(cfg.per_hop),
+      off_node_extra_(cfg.off_node_extra),
+      line_transfer_(cfg.line_transfer) {}
+
+u32 Interconnect::router_of(u32 node) const { return node / nodes_per_router_; }
+
+u32 Interconnect::hops(u32 node_a, u32 node_b) const {
+  if (uma_) return 0;
+  const u32 ra = router_of(node_a);
+  const u32 rb = router_of(node_b);
+  // Hypercube routing distance = Hamming distance between router ids.
+  return static_cast<u32>(std::popcount(ra ^ rb));
+}
+
+u32 Interconnect::oneway(u32 node_a, u32 node_b) const {
+  u32 lat = net_oneway_ + per_hop_ * hops(node_a, node_b);
+  // Crossing hub -> router -> hub costs extra even between the two nodes of
+  // one router (NUMA only).
+  if (!uma_ && node_a != node_b) lat += off_node_extra_;
+  return lat;
+}
+
+u32 Interconnect::oneway_data(u32 node_a, u32 node_b) const {
+  return oneway(node_a, node_b) + line_transfer_;
+}
+
+}  // namespace dss::sim

@@ -1,0 +1,43 @@
+// Interconnect latency models.
+//
+// V-Class: a non-blocking hyperplane crossbar between processor agents and
+// memory controllers — uniform latency (UMA), no hop structure.
+//
+// Origin 2000: dual-processor nodes, two nodes per router, routers joined in
+// a hypercube ("bristled hypercube"). Latency grows with router hop count, so
+// memory placement matters.
+#pragma once
+
+#include "sim/config.hpp"
+#include "util/types.hpp"
+
+namespace dss::sim {
+
+class Interconnect {
+ public:
+  explicit Interconnect(const MachineConfig& cfg);
+
+  /// Router an Origin node hangs off.
+  [[nodiscard]] u32 router_of(u32 node) const;
+
+  /// Router hops between two nodes (0 for UMA or same router).
+  [[nodiscard]] u32 hops(u32 node_a, u32 node_b) const;
+
+  /// One-way message latency between two nodes, in cycles.
+  [[nodiscard]] u32 oneway(u32 node_a, u32 node_b) const;
+
+  /// One-way latency including data payload serialization.
+  [[nodiscard]] u32 oneway_data(u32 node_a, u32 node_b) const;
+
+  [[nodiscard]] bool uma() const { return uma_; }
+
+ private:
+  bool uma_;
+  u32 nodes_per_router_;
+  u32 net_oneway_;
+  u32 per_hop_;
+  u32 off_node_extra_;
+  u32 line_transfer_;
+};
+
+}  // namespace dss::sim

@@ -1,0 +1,485 @@
+#include "sim/machine.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace dss::sim {
+
+MachineSim::MachineSim(const MachineConfig& cfg)
+    : cfg_(cfg),
+      net_(cfg),
+      mc_(cfg.uma ? cfg.mem_banks : cfg.num_nodes(), cfg.mc_occupancy,
+          cfg.mc_burst),
+      counters_(cfg.num_processors, nullptr) {
+  assert(!cfg_.dcache.empty());
+  caches_.reserve(cfg_.num_processors);
+  for (u32 p = 0; p < cfg_.num_processors; ++p) {
+    std::vector<SetAssocCache> levels;
+    levels.reserve(cfg_.dcache.size());
+    for (const auto& lc : cfg_.dcache) levels.emplace_back(lc);
+    caches_.push_back(std::move(levels));
+  }
+  const u32 l1_shift = caches_[0][0].line_shift();
+  const u32 ll_shift = caches_[0].back().line_shift();
+  assert(ll_shift >= l1_shift && "last-level line must be >= L1 line");
+  unit_vs_l1_shift_ = ll_shift - l1_shift;
+
+  if (cfg_.tlb_entries != 0) {
+    // A fully-associative LRU TLB is a one-set cache of page-sized lines.
+    const CacheConfig tlb_geom{
+        static_cast<u64>(cfg_.tlb_entries) * kPlacementPageBytes,
+        static_cast<u32>(kPlacementPageBytes), cfg_.tlb_entries, 1};
+    tlbs_.reserve(cfg_.num_processors);
+    for (u32 p = 0; p < cfg_.num_processors; ++p) tlbs_.emplace_back(tlb_geom);
+  }
+}
+
+u64 MachineSim::translate(u32 proc, SimAddr addr, u32 len) {
+  if (tlbs_.empty()) return 0;
+  SetAssocCache& tlb = tlbs_[proc];
+  perf::Counters& c = ctr(proc);
+  u64 exposed = 0;
+  const u64 first = addr / kPlacementPageBytes;
+  const u64 last = (addr + len - 1) / kPlacementPageBytes;
+  for (u64 page = first; page <= last; ++page) {
+    if (tlb.lookup(page).has_value()) continue;
+    ++c.tlb_misses;
+    exposed += cfg_.tlb_miss_penalty;
+    (void)tlb.insert(page, LineState::E);  // state unused; E = valid
+  }
+  return exposed;
+}
+
+void MachineSim::attach_counters(u32 proc, perf::Counters* c) {
+  assert(proc < counters_.size());
+  counters_[proc] = c;
+}
+
+u32 MachineSim::home_of(SimAddr addr) const {
+  if (cfg_.uma) {
+    // The V-Class interleaves memory across EMAC banks at line granularity.
+    const u64 unit = addr >> caches_[0].back().line_shift();
+    return static_cast<u32>(unit % cfg_.mem_banks);
+  }
+  const u64 page = addr / kPlacementPageBytes;
+  if (is_private(addr)) {
+    // First-touch: a process's private pages live on its own node.
+    const u32 owner = private_owner(addr);
+    return node_of_proc(owner % cfg_.num_processors);
+  }
+  if (is_shared(addr) && !cfg_.shared_home_nodes.empty()) {
+    // The DBMS shared segment is homed on a small set of nodes; the paper
+    // points at exactly this placement to explain the Origin's 6-8 process
+    // behaviour.
+    return cfg_.shared_home_nodes[page % cfg_.shared_home_nodes.size()] %
+           cfg_.num_nodes();
+  }
+  return static_cast<u32>(page % cfg_.num_nodes());
+}
+
+u64 MachineSim::access(u32 proc, AccessKind kind, SimAddr addr, u32 len,
+                       u64 now) {
+  assert(proc < cfg_.num_processors);
+  assert(len > 0);
+  if (trace_hook_) trace_hook_(proc, kind, addr, len);
+  perf::Counters& c = ctr(proc);
+  const u32 l1_shift = caches_[proc][0].line_shift();
+  const u64 first = addr >> l1_shift;
+  const u64 last = (addr + len - 1) >> l1_shift;
+  u64 exposed = translate(proc, addr, len);
+  for (u64 line = first; line <= last; ++line) {
+    switch (kind) {
+      case AccessKind::Read: ++c.loads; break;
+      case AccessKind::Write: ++c.stores; break;
+      case AccessKind::Atomic: ++c.atomics; break;
+    }
+    exposed += access_line(proc, kind, line, now + exposed);
+  }
+  return exposed;
+}
+
+u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
+  perf::Counters& c = ctr(proc);
+  const bool want_excl = kind != AccessKind::Read;
+  const u64 extra_atomic = kind == AccessKind::Atomic ? cfg_.atomic_penalty : 0;
+  auto& levels = caches_[proc];
+  SetAssocCache& l1 = levels[0];
+  const bool two_level = levels.size() > 1;
+  SetAssocCache& ll = levels.back();
+  const u64 unit = unit_of_l1_line(l1_line);
+
+  // ---- L1 ----
+  if (auto st = l1.lookup(l1_line)) {
+    if (!want_excl) return extra_atomic;          // read hit
+    if (is_exclusive(*st)) {                      // write hit on E/M
+      l1.set_state(l1_line, LineState::M);
+      if (two_level) ll.set_state(unit, LineState::M);
+      return extra_atomic;
+    }
+    // Write hit on an S line: upgrade at the coherence level.
+    ++c.upgrades;
+    const GlobalResult g =
+        global_op(proc, /*want_excl=*/true, /*had_shared_copy=*/true, unit, now);
+    l1.set_state(l1_line, LineState::M);
+    if (two_level) ll.set_state(unit, LineState::M);
+    ++c.mem_requests;
+    c.mem_latency_cycles += g.latency;
+    return static_cast<u64>(static_cast<double>(g.latency) *
+                            cfg_.exposed_mem_frac) +
+           extra_atomic;
+  }
+
+  ++c.l1d_misses;
+
+  // ---- L2 (Origin only) ----
+  if (two_level) {
+    if (auto st2 = ll.lookup(unit)) {
+      const u64 l2_exposed = static_cast<u64>(
+          static_cast<double>(ll.config().hit_latency) * cfg_.exposed_l2_frac);
+      if (!want_excl || is_exclusive(*st2)) {
+        const LineState fill =
+            want_excl ? LineState::M
+                      : (*st2 == LineState::S ? LineState::S : LineState::E);
+        if (want_excl) ll.set_state(unit, LineState::M);
+        if (auto ev = l1.insert(l1_line, fill)) {
+          // L1 victim folds into the inclusive L2; only dirtiness propagates.
+          if (ev->state == LineState::M) {
+            ll.set_state(unit_of_l1_line(ev->line_addr), LineState::M);
+          }
+        }
+        return l2_exposed + extra_atomic;
+      }
+      // Write to an S line resident in L2: upgrade.
+      ++c.upgrades;
+      const GlobalResult g = global_op(proc, true, true, unit, now);
+      ll.set_state(unit, LineState::M);
+      if (auto ev = l1.insert(l1_line, LineState::M)) {
+        if (ev->state == LineState::M) {
+          ll.set_state(unit_of_l1_line(ev->line_addr), LineState::M);
+        }
+      }
+      ++c.mem_requests;
+      c.mem_latency_cycles += g.latency;
+      return l2_exposed +
+             static_cast<u64>(static_cast<double>(g.latency) *
+                              cfg_.exposed_mem_frac) +
+             extra_atomic;
+    }
+    ++c.l2d_misses;
+  }
+
+  // ---- Coherence-unit transaction ----
+  const GlobalResult g = global_op(proc, want_excl, false, unit, now);
+  ++c.mem_requests;
+  c.mem_latency_cycles += g.latency;
+
+  if (two_level) {
+    if (auto ev = ll.insert(unit, g.fill)) last_level_eviction(proc, *ev, now);
+    // Maintain inclusion: drop any stale L1 sublines of a (re)filled unit.
+    // (None should exist — checked by invariants — but inserting fresh is
+    // what the hardware does.)
+    if (auto ev = l1.insert(l1_line, g.fill)) {
+      if (ev->state == LineState::M) {
+        const u64 ev_unit = unit_of_l1_line(ev->line_addr);
+        if (ll.probe(ev_unit).has_value()) ll.set_state(ev_unit, LineState::M);
+      }
+    }
+  } else {
+    if (auto ev = l1.insert(l1_line, g.fill)) last_level_eviction(proc, *ev, now);
+  }
+  return static_cast<u64>(static_cast<double>(g.latency) *
+                          cfg_.exposed_mem_frac) +
+         extra_atomic;
+}
+
+MachineSim::GlobalResult MachineSim::global_op(u32 proc, bool want_excl,
+                                               bool had_shared_copy,
+                                               u64 unit_line, u64 now) {
+  perf::Counters& c = ctr(proc);
+  const u32 ll_shift = caches_[proc].back().line_shift();
+  const SimAddr byte_addr = unit_line << ll_shift;
+  const u32 pnode = node_of_proc(proc);
+  const u32 home = home_of(byte_addr);
+  if (!cfg_.uma && home != pnode) ++c.remote_accesses;
+
+  DirEntry& e = dir_.entry(unit_line);
+  GlobalResult r;
+
+  const u64 req_leg = net_.oneway(pnode, home);
+  const u64 data_leg = net_.oneway_data(home, pnode);
+
+  switch (e.state) {
+    case DirState::Uncached: {
+      const u64 queue = mc_.request(home, now + req_leg);
+      r.latency = req_leg + queue + cfg_.mem_access + data_leg;
+      r.fill = want_excl ? LineState::M : LineState::E;
+      e.state = DirState::Owned;
+      e.owner = proc;
+      e.sharers = 0;
+      break;
+    }
+    case DirState::Shared: {
+      if (!want_excl) {
+        const u64 queue = mc_.request(home, now + req_leg);
+        r.latency = req_leg + queue + cfg_.mem_access + data_leg;
+        r.fill = LineState::S;
+        e.add_sharer(proc);
+      } else {
+        // Invalidate every other sharer; acks largely overlap, so charge a
+        // base plus a small per-sharer serialization term.
+        u32 invalidated = 0;
+        for (u32 q = 0; q < cfg_.num_processors; ++q) {
+          if (q == proc || !e.is_sharer(q)) continue;
+          invalidate_unit_at(q, unit_line);
+          ++invalidated;
+        }
+        const u64 queue = mc_.request(home, now + req_leg);
+        r.latency = req_leg + queue + cfg_.dir_lookup +
+                    (had_shared_copy ? 0 : cfg_.mem_access) + data_leg +
+                    static_cast<u64>(6) * invalidated;
+        r.fill = LineState::M;
+        // Migratory detection: this write completes a read-from-dirty ->
+        // write pattern by the same processor.
+        if (e.has_dirty_reader && e.last_dirty_reader == proc) {
+          e.migratory = true;
+        } else {
+          e.migratory = false;
+        }
+        e.has_dirty_reader = false;
+        e.state = DirState::Owned;
+        e.owner = proc;
+        e.sharers = 0;
+      }
+      break;
+    }
+    case DirState::Owned: {
+      assert(e.owner != proc &&
+             "requester missed in its own cache but directory says it owns "
+             "the unit: cache/directory out of sync");
+      const u32 q = e.owner;
+      const u32 qnode = node_of_proc(q);
+      ++ctr(q).cache_interventions;
+      const auto q_state = caches_[q].back().probe(unit_line);
+      assert(q_state.has_value() && "owner lost the line without notifying "
+                                    "the directory");
+      const bool dirty = q_state == LineState::M;
+      if (dirty) ++c.dirty_misses;
+
+      const bool migratory_handoff =
+          !want_excl && cfg_.migratory_opt && e.migratory;
+      // The directory lives in home memory: every transaction occupies the
+      // home controller exactly once.
+      const u64 queue = mc_.request(home, now + req_leg);
+      const u64 three_hop = req_leg + cfg_.dir_lookup + queue +
+                            net_.oneway(home, qnode) + cfg_.cache_penalty +
+                            net_.oneway_data(qnode, pnode);
+      if (want_excl || migratory_handoff) {
+        invalidate_unit_at(q, unit_line);
+        e.owner = proc;
+        e.sharers = 0;
+        r.fill = LineState::M;
+        r.latency = three_hop;
+        if (migratory_handoff) {
+          ++c.migratory_transfers;
+        } else if (e.has_dirty_reader && e.last_dirty_reader == proc) {
+          e.migratory = true;
+          e.has_dirty_reader = false;
+        }
+      } else {
+        // Read to an owned unit: owner downgrades to S, both end up sharers.
+        if (downgrade_unit_at(q, unit_line)) {
+          // Dirty data returns to the home in the same transaction.
+          mc_.post(home, now + req_leg);
+        }
+        if (dirty) {
+          e.has_dirty_reader = true;
+          e.last_dirty_reader = proc;
+        }
+        if (!dirty && cfg_.speculative_reply) {
+          // Origin speculative memory reply: home sends the memory copy in
+          // parallel with confirming the clean owner, hiding the third hop.
+          r.latency = req_leg + queue + cfg_.mem_access + data_leg +
+                      cfg_.dir_lookup;
+        } else {
+          r.latency = three_hop;
+        }
+        r.fill = LineState::S;
+        e.state = DirState::Shared;
+        e.sharers = 0;
+        e.add_sharer(q);
+        e.add_sharer(proc);
+      }
+      break;
+    }
+  }
+  return r;
+}
+
+bool MachineSim::invalidate_unit_at(u32 q, u64 unit_line) {
+  auto& levels = caches_[q];
+  bool dirty = false;
+  if (levels.size() > 1) {
+    const u64 base_l1 = unit_line << unit_vs_l1_shift_;
+    const u64 count = u64{1} << unit_vs_l1_shift_;
+    for (u64 i = 0; i < count; ++i) {
+      if (auto st = levels[0].invalidate(base_l1 + i)) {
+        dirty = dirty || (*st == LineState::M);
+      }
+    }
+  }
+  if (auto st = levels.back().invalidate(unit_line)) {
+    dirty = dirty || (*st == LineState::M);
+  }
+  ++ctr(q).invalidations_recv;
+  return dirty;
+}
+
+bool MachineSim::downgrade_unit_at(u32 q, u64 unit_line) {
+  auto& levels = caches_[q];
+  bool dirty = false;
+  if (levels.size() > 1) {
+    const u64 base_l1 = unit_line << unit_vs_l1_shift_;
+    const u64 count = u64{1} << unit_vs_l1_shift_;
+    for (u64 i = 0; i < count; ++i) {
+      if (auto st = levels[0].probe(base_l1 + i)) {
+        dirty = dirty || (*st == LineState::M);
+        levels[0].set_state(base_l1 + i, LineState::S);
+      }
+    }
+  }
+  if (auto st = levels.back().probe(unit_line)) {
+    dirty = dirty || (*st == LineState::M);
+    levels.back().set_state(unit_line, LineState::S);
+  }
+  return dirty;
+}
+
+void MachineSim::last_level_eviction(u32 proc, const Eviction& ev, u64 now) {
+  perf::Counters& c = ctr(proc);
+  const u32 ll_shift = caches_[proc].back().line_shift();
+  const SimAddr byte_addr = ev.line_addr << ll_shift;
+  const u32 home = home_of(byte_addr);
+
+  // Back-invalidate L1 sublines (multilevel inclusion).
+  bool l1_dirty = false;
+  if (caches_[proc].size() > 1) {
+    const u64 base_l1 = ev.line_addr << unit_vs_l1_shift_;
+    const u64 count = u64{1} << unit_vs_l1_shift_;
+    for (u64 i = 0; i < count; ++i) {
+      if (auto st = caches_[proc][0].invalidate(base_l1 + i)) {
+        l1_dirty = l1_dirty || (*st == LineState::M);
+      }
+    }
+  }
+
+  DirEntry& e = dir_.entry(ev.line_addr);
+  const bool dirty = ev.state == LineState::M || l1_dirty;
+  if (ev.state == LineState::S) {
+    assert(e.state == DirState::Shared && e.is_sharer(proc));
+    e.remove_sharer(proc);
+    if (e.sharer_count() == 0) e.state = DirState::Uncached;
+  } else {
+    assert(e.state == DirState::Owned && e.owner == proc);
+    e.state = DirState::Uncached;
+    e.sharers = 0;
+    if (dirty) {
+      ++c.writebacks;
+      // Writebacks are posted through the write buffer; the processor does
+      // not stall, but the home controller is occupied.
+      mc_.post(home, now + net_.oneway(node_of_proc(proc), home));
+    }
+  }
+  e.migratory = false;
+  e.has_dirty_reader = false;
+  dir_.erase_if_uncached(ev.line_addr);
+}
+
+bool MachineSim::check_invariants() const {
+  bool ok = true;
+  auto fail = [&ok](const std::string& msg) {
+    log_error("coherence invariant violated: ", msg);
+    ok = false;
+  };
+
+  // 1. Directory -> caches.
+  dir_.for_each([&](u64 unit, const DirEntry& e) {
+    switch (e.state) {
+      case DirState::Uncached:
+        for (u32 p = 0; p < cfg_.num_processors; ++p) {
+          if (caches_[p].back().probe(unit).has_value()) {
+            fail("uncached unit resident in a cache");
+          }
+        }
+        break;
+      case DirState::Shared:
+        if (e.sharer_count() == 0) fail("shared unit with empty sharer set");
+        for (u32 p = 0; p < cfg_.num_processors; ++p) {
+          const auto st = caches_[p].back().probe(unit);
+          if (e.is_sharer(p)) {
+            if (!st.has_value()) {
+              fail("directory sharer does not hold the line");
+            } else if (is_exclusive(*st)) {
+              fail("sharer holds line in exclusive state");
+            }
+          } else if (st.has_value()) {
+            fail("non-sharer holds a shared line");
+          }
+        }
+        break;
+      case DirState::Owned: {
+        const auto st = caches_[e.owner].back().probe(unit);
+        if (!st.has_value()) {
+          fail("owner does not hold the owned line");
+        } else if (!is_exclusive(*st)) {
+          fail("owner holds line in non-exclusive state");
+        }
+        for (u32 p = 0; p < cfg_.num_processors; ++p) {
+          if (p != e.owner && caches_[p].back().probe(unit).has_value()) {
+            fail("second copy of an owned line");
+          }
+        }
+        break;
+      }
+    }
+  });
+
+  // 2. Caches -> directory, plus multilevel inclusion.
+  for (u32 p = 0; p < cfg_.num_processors; ++p) {
+    caches_[p].back().for_each_line([&](u64 unit, LineState st) {
+      const DirEntry* e = dir_.probe(unit);
+      if (e == nullptr || e->state == DirState::Uncached) {
+        fail("cached line unknown to the directory");
+        return;
+      }
+      if (is_exclusive(st) &&
+          !(e->state == DirState::Owned && e->owner == p)) {
+        fail("exclusive cache copy not registered as owner");
+      }
+      if (st == LineState::S &&
+          !(e->state == DirState::Shared && e->is_sharer(p))) {
+        fail("shared cache copy not registered as sharer");
+      }
+    });
+    if (caches_[p].size() > 1) {
+      caches_[p][0].for_each_line([&](u64 l1_line, LineState st) {
+        const u64 unit = l1_line >> unit_vs_l1_shift_;
+        const auto st2 = caches_[p].back().probe(unit);
+        if (!st2.has_value()) {
+          fail("L1 line not contained in L2 (inclusion)");
+          return;
+        }
+        if (is_exclusive(st) && !is_exclusive(*st2)) {
+          fail("L1 holds exclusive state above a shared L2 line");
+        }
+        if (st == LineState::M && *st2 != LineState::M) {
+          fail("dirty L1 line above a non-dirty L2 line");
+        }
+      });
+    }
+  }
+  return ok;
+}
+
+}  // namespace dss::sim

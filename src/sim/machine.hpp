@@ -1,0 +1,133 @@
+// MachineSim: execution-driven multiprocessor memory-system simulator.
+//
+// One instance models one machine (a V-Class or an Origin 2000). Simulated
+// processes issue read/write/atomic references through `access()`; the
+// simulator walks the per-processor cache hierarchy, runs the directory
+// coherence protocol across processors, models interconnect and
+// memory-controller latency, and updates each process's hardware counters.
+//
+// Protocol summary (MESI, full-map directory at the home):
+//   * read miss, unit uncached            -> fetch from home, fill E
+//   * read miss, unit shared              -> fetch from home, fill S
+//   * read miss, unit owned (E/M) remote  -> 3-hop intervention, both end S
+//        - Origin "speculative reply": a clean-owned read is serviced at
+//          memory latency (home speculatively sends data while confirming
+//          with the owner), hiding the third hop
+//        - V-Class "migratory optimization": a read to a unit detected as
+//          migratory invalidates the owner and hands over M directly, so the
+//          following write needs no upgrade (Section 4.2.3 of the paper)
+//   * write miss / upgrade                -> invalidate sharers, fill M
+//
+// Timing: each reference returns the *exposed* (non-overlapped) stall cycles;
+// the full request latency is accumulated into the PA-8200-style
+// "open-request ticks" counter used for the paper's Fig. 9.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "perf/counters.hpp"
+#include "sim/addr.hpp"
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/directory.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/memctrl.hpp"
+
+namespace dss::sim {
+
+class MachineSim {
+ public:
+  explicit MachineSim(const MachineConfig& cfg);
+
+  MachineSim(const MachineSim&) = delete;
+  MachineSim& operator=(const MachineSim&) = delete;
+
+  /// Point processor `proc`'s event stream at a counter block (typically the
+  /// owning simulated process's). Events caused *at* a processor (received
+  /// invalidations, interventions) land in that processor's counters.
+  void attach_counters(u32 proc, perf::Counters* c);
+
+  /// Issue a memory reference from processor `proc` at absolute cycle `now`.
+  /// Returns the exposed stall cycles the processor must add to its clock.
+  [[nodiscard]] u64 access(u32 proc, AccessKind kind, SimAddr addr, u32 len,
+                           u64 now);
+
+  /// Roll the memory-controller contention estimate; the scheduler calls
+  /// this once per lockstep window.
+  void begin_epoch(u64 epoch_cycles) { mc_.begin_epoch(epoch_cycles); }
+
+  /// Observer invoked for every reference (trace capture); nullptr clears.
+  using TraceHook = std::function<void(u32, AccessKind, SimAddr, u32)>;
+  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+  [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+  [[nodiscard]] u32 node_of_proc(u32 proc) const {
+    return proc / cfg_.procs_per_node;
+  }
+  /// Home (memory bank or node) of the coherence unit containing `addr`.
+  [[nodiscard]] u32 home_of(SimAddr addr) const;
+
+  // --- introspection for tests and invariant checks ---
+  [[nodiscard]] const SetAssocCache& cache(u32 proc, u32 level) const {
+    return caches_[proc][level];
+  }
+  [[nodiscard]] const Directory& directory() const { return dir_; }
+  [[nodiscard]] const MemCtrl& memctrl() const { return mc_; }
+  [[nodiscard]] const Interconnect& interconnect() const { return net_; }
+
+  /// Verify directory/cache consistency and multilevel inclusion; aborts via
+  /// assert-like check and returns false on the first violation (the message
+  /// is logged). Used by property tests after randomized access storms.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  struct GlobalResult {
+    u64 latency = 0;        ///< full round-trip latency, cycles
+    LineState fill = LineState::S;
+  };
+
+  /// Coherence-unit transaction. `had_shared_copy` marks an upgrade (the
+  /// requester already holds S data; no data transfer needed).
+  GlobalResult global_op(u32 proc, bool want_excl, bool had_shared_copy,
+                         u64 unit_line, u64 now);
+
+  /// Invalidate every copy of a coherence unit at processor q, counting the
+  /// external invalidation at q. Returns true if a dirty copy was destroyed
+  /// (the protocol forwards its data, so no separate writeback is charged).
+  bool invalidate_unit_at(u32 q, u64 unit_line);
+
+  /// Downgrade processor q's copy of a unit from E/M to S. Returns true if
+  /// it was dirty (data written back to home).
+  bool downgrade_unit_at(u32 q, u64 unit_line);
+
+  /// Handle a victim evicted from the last (coherence) level at `proc`.
+  void last_level_eviction(u32 proc, const Eviction& ev, u64 now);
+
+  /// Per-L1-line reference; returns exposed stall cycles.
+  u64 access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now);
+
+  [[nodiscard]] perf::Counters& ctr(u32 proc) {
+    return counters_[proc] != nullptr ? *counters_[proc] : scratch_;
+  }
+  [[nodiscard]] u64 unit_of_l1_line(u64 l1_line) const {
+    return l1_line >> unit_vs_l1_shift_;
+  }
+
+  /// Translate an access's pages through proc's data TLB; returns exposed
+  /// refill cycles (0 when the TLB model is disabled).
+  u64 translate(u32 proc, SimAddr addr, u32 len);
+
+  MachineConfig cfg_;
+  Interconnect net_;
+  Directory dir_;
+  MemCtrl mc_;
+  std::vector<std::vector<SetAssocCache>> caches_;  ///< [proc][level]
+  std::vector<SetAssocCache> tlbs_;                 ///< [proc], optional
+  std::vector<perf::Counters*> counters_;
+  perf::Counters scratch_;  ///< sink for unattached processors
+  u32 unit_vs_l1_shift_;    ///< log2(last-level line / L1 line)
+  TraceHook trace_hook_;
+};
+
+}  // namespace dss::sim

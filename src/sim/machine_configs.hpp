@@ -1,0 +1,24 @@
+// Factory functions for the two machines studied in the paper.
+#pragma once
+
+#include "perf/platform_events.hpp"
+#include "sim/config.hpp"
+
+namespace dss::sim {
+
+/// 16-processor HP V-Class (Section 2.1, Fig. 1a): PA-8200 @ 200 MHz,
+/// single-level 2 MB direct-mapped data cache with 32 B lines, hyperplane
+/// crossbar UMA memory behind 8 EMAC banks, directory coherence with the
+/// migratory-sharing enhancement.
+[[nodiscard]] MachineConfig vclass();
+
+/// 32-processor SGI Origin 2000 (Section 2.1, Fig. 1b): R10000 @ 250 MHz,
+/// 32 KB 2-way L1 D (32 B lines) + 4 MB 2-way unified L2 (128 B lines),
+/// dual-processor nodes on a bristled hypercube, ccNUMA directory coherence
+/// with speculative memory replies.
+[[nodiscard]] MachineConfig origin2000();
+
+/// Config for a Platform enum value.
+[[nodiscard]] MachineConfig config_for(perf::Platform p);
+
+}  // namespace dss::sim

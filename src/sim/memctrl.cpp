@@ -1,0 +1,56 @@
+#include "sim/memctrl.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dss::sim {
+
+MemCtrl::MemCtrl(u32 num_homes, u32 occupancy, double burst)
+    : occupancy_(occupancy),
+      burst_(burst),
+      cur_count_(num_homes, 0),
+      prev_count_(num_homes, 0),
+      requests_(num_homes, 0),
+      queued_(num_homes, 0) {}
+
+void MemCtrl::begin_epoch(u64 epoch_cycles) {
+  assert(epoch_cycles > 0);
+  epoch_cycles_ = epoch_cycles;
+  prev_count_ = cur_count_;
+  std::fill(cur_count_.begin(), cur_count_.end(), 0);
+}
+
+double MemCtrl::utilization(u32 home) const {
+  // Effective utilization includes the burstiness factor: misses arrive in
+  // batches (a scan faults several lines back to back), so queueing kicks
+  // in well before the mean rate saturates the controller.
+  return std::min(0.97, burst_ * static_cast<double>(prev_count_[home]) *
+                            occupancy_ /
+                            static_cast<double>(epoch_cycles_));
+}
+
+u64 MemCtrl::queue_delay(u32 home) const {
+  // M/D/1 mean wait: rho * s / (2 * (1 - rho)), capped by the utilization
+  // clamp above so a saturated home costs ~16x occupancy, not infinity.
+  const double rho = utilization(home);
+  return static_cast<u64>(rho * occupancy_ / (2.0 * (1.0 - rho)));
+}
+
+u64 MemCtrl::request(u32 home, u64 arrival) {
+  (void)arrival;
+  assert(home < cur_count_.size());
+  ++cur_count_[home];
+  ++requests_[home];
+  const u64 wait = queue_delay(home);
+  queued_[home] += wait;
+  return wait;
+}
+
+void MemCtrl::post(u32 home, u64 arrival) {
+  (void)arrival;
+  assert(home < cur_count_.size());
+  ++cur_count_[home];
+  ++requests_[home];
+}
+
+}  // namespace dss::sim

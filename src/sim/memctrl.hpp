@@ -1,0 +1,56 @@
+// Memory-controller occupancy model.
+//
+// Each home (an EMAC bank on the V-Class, a node's hub/memory on the Origin)
+// services one request per `occupancy` cycles; concurrent query processes
+// queue. Because the simulator advances processes in lockstep windows rather
+// than true parallel order, requests arrive out of host order within a
+// window; a naive busy-until model would serialize an entire window of one
+// process ahead of another's. Queueing is therefore estimated from the
+// per-home request *rate* observed in the previous scheduling epoch
+// (an M/D/1-style delay), which is insensitive to intra-window ordering and
+// still deterministic.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dss::sim {
+
+class MemCtrl {
+ public:
+  MemCtrl(u32 num_homes, u32 occupancy, double burst = 2.0);
+
+  /// Begin a new scheduling epoch of `epoch_cycles` (called by the
+  /// scheduler each lockstep window). Rolls the rate estimate.
+  void begin_epoch(u64 epoch_cycles);
+
+  /// A blocking request at `home`; returns the estimated queueing delay in
+  /// cycles (0 when the home is lightly loaded).
+  [[nodiscard]] u64 request(u32 home, u64 arrival);
+
+  /// A posted (non-blocking) request such as a writeback: adds load but
+  /// nobody waits for it.
+  void post(u32 home, u64 arrival);
+
+  [[nodiscard]] u64 total_requests(u32 home) const { return requests_[home]; }
+  [[nodiscard]] u64 total_queue_cycles(u32 home) const { return queued_[home]; }
+  [[nodiscard]] u32 num_homes() const {
+    return static_cast<u32>(requests_.size());
+  }
+  [[nodiscard]] double utilization(u32 home) const;
+  [[nodiscard]] u32 occupancy() const { return occupancy_; }
+
+ private:
+  [[nodiscard]] u64 queue_delay(u32 home) const;
+
+  u32 occupancy_;
+  double burst_;
+  u64 epoch_cycles_ = 20'000;
+  std::vector<u32> cur_count_;   ///< requests seen this epoch
+  std::vector<u32> prev_count_;  ///< requests in the finished epoch
+  std::vector<u64> requests_;
+  std::vector<u64> queued_;
+};
+
+}  // namespace dss::sim

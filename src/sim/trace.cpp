@@ -1,0 +1,78 @@
+#include "sim/trace.hpp"
+
+#include <cstring>
+
+namespace dss::sim {
+
+namespace {
+constexpr char kMagic[8] = {'D', 'S', 'S', 'T', 'R', 'C', '0', '1'};
+}
+
+void TraceWriter::record(u32 proc, AccessKind kind, SimAddr addr, u32 len,
+                         u64 instr_gap) {
+  records_.push_back(
+      TraceRecord{proc, static_cast<u8>(kind), len, addr, instr_gap});
+}
+
+bool TraceWriter::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(kMagic, sizeof kMagic, 1, f) == 1;
+  const u64 n = records_.size();
+  ok = ok && std::fwrite(&n, sizeof n, 1, f) == 1;
+  ok = ok && (n == 0 || std::fwrite(records_.data(), sizeof(TraceRecord), n,
+                                    f) == n);
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+bool TraceReader::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[8];
+  bool ok = std::fread(magic, sizeof magic, 1, f) == 1 &&
+            std::memcmp(magic, kMagic, sizeof magic) == 0;
+  u64 n = 0;
+  ok = ok && std::fread(&n, sizeof n, 1, f) == 1;
+  if (ok) {
+    records_.resize(n);
+    ok = n == 0 ||
+         std::fread(records_.data(), sizeof(TraceRecord), n, f) == n;
+  }
+  std::fclose(f);
+  if (!ok) records_.clear();
+  return ok;
+}
+
+std::vector<perf::Counters> replay(MachineSim& machine,
+                                   const std::vector<TraceRecord>& records) {
+  const u32 nproc = machine.config().num_processors;
+  std::vector<perf::Counters> counters(nproc);
+  std::vector<u64> clock(nproc, 0);
+  for (u32 p = 0; p < nproc; ++p) machine.attach_counters(p, &counters[p]);
+
+  const double cpi = machine.config().base_cpi;
+  for (const TraceRecord& r : records) {
+    const u32 p = r.proc % nproc;
+    clock[p] += static_cast<u64>(static_cast<double>(r.instr_gap) * cpi);
+    counters[p].instructions += r.instr_gap;
+    const u64 stall = machine.access(p, static_cast<AccessKind>(r.kind),
+                                     r.addr, r.len, clock[p]);
+    clock[p] += stall;
+    counters[p].cycles = clock[p];
+  }
+  for (u32 p = 0; p < nproc; ++p) machine.attach_counters(p, nullptr);
+  return counters;
+}
+
+TraceCapture::TraceCapture(MachineSim& machine, TraceWriter& writer)
+    : machine_(machine) {
+  machine.set_trace_hook(
+      [&writer](u32 proc, AccessKind kind, SimAddr addr, u32 len) {
+        writer.record(proc, kind, addr, len, 0);
+      });
+}
+
+TraceCapture::~TraceCapture() { machine_.set_trace_hook(nullptr); }
+
+}  // namespace dss::sim

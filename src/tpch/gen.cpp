@@ -1,0 +1,226 @@
+#include "tpch/gen.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "tpch/schema.hpp"
+#include "util/rng.hpp"
+
+namespace dss::tpch {
+
+namespace {
+
+using db::Date;
+using db::Value;
+using db::make_date;
+
+constexpr std::array<const char*, 25> kNations = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+
+constexpr std::array<u32, 25> kNationRegion = {0, 1, 1, 1, 4, 0, 3, 3, 2,
+                                               2, 4, 4, 2, 4, 0, 0, 0, 1,
+                                               2, 3, 4, 2, 3, 3, 1};
+
+constexpr std::array<const char*, 5> kRegions = {"AFRICA", "AMERICA", "ASIA",
+                                                 "EUROPE", "MIDDLE EAST"};
+
+constexpr std::array<const char*, 5> kPriorities = {
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+
+constexpr std::array<const char*, 7> kShipModes = {
+    "REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+
+constexpr std::array<const char*, 6> kTypeClasses = {
+    "PROMO", "STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY"};
+constexpr std::array<const char*, 5> kTypeFinish = {
+    "ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"};
+
+constexpr std::array<const char*, 4> kInstructs = {
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+
+constexpr std::array<const char*, 5> kSegments = {
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"};
+
+std::string fmt_key(const char* prefix, u64 k) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s#%09llu", prefix,
+                static_cast<unsigned long long>(k));
+  return buf;
+}
+
+std::string phone(Rng& rng, u32 nationkey) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%02u-%03u-%03u-%04u", nationkey + 10,
+                static_cast<u32>(rng.uniform(100, 999)),
+                static_cast<u32>(rng.uniform(100, 999)),
+                static_cast<u32>(rng.uniform(1000, 9999)));
+  return buf;
+}
+
+}  // namespace
+
+const char* nation_name(u32 nationkey) { return kNations.at(nationkey); }
+u32 nation_region(u32 nationkey) { return kNationRegion.at(nationkey); }
+
+void generate(db::Database& dbase, const GenConfig& cfg) {
+  Rng master(cfg.seed);
+  Rng r_sup = master.split();
+  Rng r_cust = master.split();
+  Rng r_part = master.split();
+  Rng r_ord = master.split();
+  Rng r_li = master.split();
+
+  // region / nation: fixed contents.
+  {
+    auto& region = dbase.table_mut("region");
+    for (u32 k = 0; k < kRegions.size(); ++k) {
+      region.add_row({Value::of_int(k), Value::of_str(kRegions[k]),
+                      Value::of_str("synthetic region comment")});
+    }
+    auto& nation = dbase.table_mut("nation");
+    for (u32 k = 0; k < kNations.size(); ++k) {
+      nation.add_row({Value::of_int(k), Value::of_str(kNations[k]),
+                      Value::of_int(kNationRegion[k]),
+                      Value::of_str("synthetic nation comment")});
+    }
+  }
+
+  const u64 n_supp = cfg.num_supplier();
+  {
+    auto& supplier = dbase.table_mut("supplier");
+    supplier.reserve(n_supp);
+    for (u64 k = 1; k <= n_supp; ++k) {
+      const u32 nk = static_cast<u32>(r_sup.uniform(0, 24));
+      supplier.add_row({Value::of_int(static_cast<i64>(k)),
+                        Value::of_str(fmt_key("Supplier", k)),
+                        Value::of_str(r_sup.text(20)), Value::of_int(nk),
+                        Value::of_str(phone(r_sup, nk)),
+                        Value::of_double(r_sup.uniform(-99999, 999999) / 100.0),
+                        Value::of_str(r_sup.text(40))});
+    }
+  }
+
+  const u64 n_cust = cfg.num_customer();
+  {
+    auto& customer = dbase.table_mut("customer");
+    customer.reserve(n_cust);
+    for (u64 k = 1; k <= n_cust; ++k) {
+      const u32 nk = static_cast<u32>(r_cust.uniform(0, 24));
+      customer.add_row(
+          {Value::of_int(static_cast<i64>(k)),
+           Value::of_str(fmt_key("Customer", k)),
+           Value::of_str(r_cust.text(20)), Value::of_int(nk),
+           Value::of_str(phone(r_cust, nk)),
+           Value::of_double(r_cust.uniform(-99999, 999999) / 100.0),
+           Value::of_str(kSegments[r_cust.uniform(0, 4)]),
+           Value::of_str(r_cust.text(40))});
+    }
+  }
+
+  const u64 n_part = cfg.num_part();
+  {
+    auto& part = dbase.table_mut("part");
+    part.reserve(n_part);
+    auto& partsupp = dbase.table_mut("partsupp");
+    partsupp.reserve(n_part * 4);
+    for (u64 k = 1; k <= n_part; ++k) {
+      const double retail =
+          (90000.0 + static_cast<double>(k % 200001) / 10.0 +
+           100.0 * static_cast<double>(k % 1000)) / 100.0;
+      part.add_row({Value::of_int(static_cast<i64>(k)),
+                    Value::of_str(r_part.text(30)),
+                    Value::of_str(fmt_key("Manufacturer", 1 + k % 5)),
+                    Value::of_str(fmt_key("Brand", 1 + k % 25)),
+                    Value::of_str(std::string(kTypeClasses[r_part.uniform(0, 5)]) +
+                                  " " + kTypeFinish[r_part.uniform(0, 4)]),
+                    Value::of_int(r_part.uniform(1, 50)),
+                    Value::of_str(r_part.text(8)), Value::of_double(retail),
+                    Value::of_str(r_part.text(14))});
+      for (u32 s = 0; s < 4; ++s) {
+        // Spec supplier-assignment formula keeps part/supplier joinable.
+        const u64 suppkey =
+            (k + (s * ((n_supp / 4) + (k - 1) / n_supp))) % n_supp + 1;
+        partsupp.add_row({Value::of_int(static_cast<i64>(k)),
+                          Value::of_int(static_cast<i64>(suppkey)),
+                          Value::of_int(r_part.uniform(1, 9999)),
+                          Value::of_double(r_part.uniform(100, 100000) / 100.0),
+                          Value::of_str(r_part.text(60))});
+      }
+    }
+  }
+
+  // orders + lineitem, generated together so o_orderstatus is consistent
+  // with the line statuses (spec 4.2.3).
+  const u64 n_orders = cfg.num_orders();
+  const Date start = make_date(1992, 1, 1);
+  const Date end = make_date(1998, 8, 2);
+  const Date current = make_date(1995, 6, 17);
+  auto& orders = dbase.table_mut("orders");
+  orders.reserve(n_orders);
+  auto& lineitem = dbase.table_mut("lineitem");
+  lineitem.reserve(n_orders * 4);
+
+  for (u64 ok = 1; ok <= n_orders; ++ok) {
+    const Date odate =
+        static_cast<Date>(r_ord.uniform(start, end - 151));
+    const u32 nlines = static_cast<u32>(r_ord.uniform(1, 7));
+    double total = 0.0;
+    u32 f_count = 0;
+    for (u32 ln = 1; ln <= nlines; ++ln) {
+      const double qty = static_cast<double>(r_li.uniform(1, 50));
+      const u64 partkey = static_cast<u64>(r_li.uniform(1, static_cast<i64>(n_part)));
+      const double price = qty * (900.0 + static_cast<double>(partkey % 1000)) / 10.0;
+      const double disc = static_cast<double>(r_li.uniform(0, 10)) / 100.0;
+      const double tax = static_cast<double>(r_li.uniform(0, 8)) / 100.0;
+      const Date ship = odate + static_cast<Date>(r_li.uniform(1, 121));
+      const Date commit = odate + static_cast<Date>(r_li.uniform(30, 90));
+      const Date receipt = ship + static_cast<Date>(r_li.uniform(1, 30));
+      const bool fell_behind = receipt > current;
+      const char linestatus = fell_behind ? 'O' : 'F';
+      const char returnflag =
+          fell_behind ? 'N' : (r_li.chance(0.5) ? 'R' : 'A');
+      const u64 suppkey =
+          static_cast<u64>(r_li.uniform(1, static_cast<i64>(n_supp)));
+      total += price * (1.0 + tax) * (1.0 - disc);
+      if (linestatus == 'F') ++f_count;
+      lineitem.add_row(
+          {Value::of_int(static_cast<i64>(ok)),
+           Value::of_int(static_cast<i64>(partkey)),
+           Value::of_int(static_cast<i64>(suppkey)), Value::of_int(ln),
+           Value::of_double(qty), Value::of_double(price),
+           Value::of_double(disc), Value::of_double(tax),
+           Value::of_str(std::string(1, returnflag)),
+           Value::of_str(std::string(1, linestatus)), Value::of_date(ship),
+           Value::of_date(commit), Value::of_date(receipt),
+           Value::of_str(kInstructs[r_li.uniform(0, 3)]),
+           Value::of_str(kShipModes[r_li.uniform(0, 6)]),
+           Value::of_str(r_li.text(27))});
+    }
+    const char ostatus =
+        f_count == nlines ? 'F' : (f_count == 0 ? 'O' : 'P');
+    orders.add_row(
+        {Value::of_int(static_cast<i64>(ok)),
+         Value::of_int(r_ord.uniform(1, static_cast<i64>(n_cust))),
+         Value::of_str(std::string(1, ostatus)), Value::of_double(total),
+         Value::of_date(odate),
+         Value::of_str(kPriorities[r_ord.uniform(0, 4)]),
+         Value::of_str(fmt_key("Clerk", static_cast<u64>(r_ord.uniform(
+                                    1, std::max<i64>(1, static_cast<i64>(
+                                           n_orders / 1000)))))),
+         Value::of_int(0), Value::of_str(r_ord.text(30))});
+  }
+}
+
+std::unique_ptr<db::Database> build_database(const GenConfig& cfg) {
+  auto dbase = std::make_unique<db::Database>();
+  create_tables(*dbase);
+  generate(*dbase, cfg);
+  create_indexes(*dbase);
+  return dbase;
+}
+
+}  // namespace dss::tpch

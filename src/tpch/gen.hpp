@@ -1,0 +1,41 @@
+// Deterministic dbgen-style TPC-H data generator.
+//
+// Cardinalities, value domains, and cross-table consistency rules follow the
+// TPC-H 1.1.0 specification (scaled by SF); text payloads are synthetic. The
+// same (scale, seed) pair always produces byte-identical data, so experiment
+// trials are exactly repeatable and oracle results are stable.
+#pragma once
+
+#include "db/database.hpp"
+#include "util/types.hpp"
+
+namespace dss::tpch {
+
+struct GenConfig {
+  double scale_factor = 0.0125;  ///< paper's 200 MB config / 16 (DESIGN.md §6)
+  u64 seed = 42;
+
+  [[nodiscard]] u64 num_supplier() const { return scaled(10'000); }
+  [[nodiscard]] u64 num_customer() const { return scaled(150'000); }
+  [[nodiscard]] u64 num_part() const { return scaled(200'000); }
+  [[nodiscard]] u64 num_orders() const { return scaled(1'500'000); }
+
+ private:
+  [[nodiscard]] u64 scaled(u64 base) const {
+    const u64 v = static_cast<u64>(static_cast<double>(base) * scale_factor);
+    return v == 0 ? 1 : v;
+  }
+};
+
+/// Populate an empty Database (tables created, no indexes yet) with data.
+void generate(db::Database& dbase, const GenConfig& cfg);
+
+/// Convenience: create tables, generate, create indexes.
+[[nodiscard]] std::unique_ptr<db::Database> build_database(const GenConfig& cfg);
+
+/// The 25 nation names of the spec (index = nationkey).
+[[nodiscard]] const char* nation_name(u32 nationkey);
+/// Region of a nation per the spec.
+[[nodiscard]] u32 nation_region(u32 nationkey);
+
+}  // namespace dss::tpch

@@ -1,0 +1,254 @@
+#include "tpch/oracle.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <unordered_map>
+
+#include "tpch/schema.hpp"
+
+namespace dss::tpch::oracle {
+
+using db::Date;
+using db::RowId;
+
+double q6(const db::Database& dbase, const QueryParams& params) {
+  const auto& l = dbase.table("lineitem");
+  const Date lo = params.q6_date != 0 ? params.q6_date : db::make_date(1994, 1, 1);
+  const Date hi = db::add_years(lo, 1);
+  const double dlo = params.q6_discount - 0.01 - 1e-9;
+  const double dhi = params.q6_discount + 0.01 + 1e-9;
+  double revenue = 0.0;
+  for (RowId r = 0; r < l.num_rows(); ++r) {
+    if (l.is_deleted(r)) continue;
+    const Date ship = l.get_date(r, li::shipdate);
+    if (ship < lo || ship >= hi) continue;
+    const double disc = l.get_double(r, li::discount);
+    if (disc < dlo || disc > dhi) continue;
+    if (l.get_double(r, li::quantity) >= params.q6_quantity) continue;
+    revenue += l.get_double(r, li::extendedprice) * disc;
+  }
+  return revenue;
+}
+
+std::vector<ResultRow> q12(const db::Database& dbase,
+                           const QueryParams& params) {
+  const auto& l = dbase.table("lineitem");
+  const auto& o = dbase.table("orders");
+  const Date lo = params.q12_date != 0 ? params.q12_date : db::make_date(1994, 1, 1);
+  const Date hi = db::add_years(lo, 1);
+
+  // o_orderkey -> row (keys are dense 1..N but stay general).
+  std::unordered_map<i64, RowId> orders_by_key;
+  orders_by_key.reserve(o.num_rows());
+  for (RowId r = 0; r < o.num_rows(); ++r) {
+    orders_by_key.emplace(o.get_int(r, ord::orderkey), r);
+  }
+
+  std::map<std::string, std::pair<double, double>> groups;
+  for (RowId r = 0; r < l.num_rows(); ++r) {
+    if (l.is_deleted(r)) continue;
+    const std::string& mode = l.get_str(r, li::shipmode);
+    if (mode != params.q12_mode1 && mode != params.q12_mode2) continue;
+    const Date receipt = l.get_date(r, li::receiptdate);
+    if (receipt < lo || receipt >= hi) continue;
+    const Date commit = l.get_date(r, li::commitdate);
+    if (commit >= receipt) continue;
+    if (l.get_date(r, li::shipdate) >= commit) continue;
+    const auto it = orders_by_key.find(l.get_int(r, li::orderkey));
+    if (it == orders_by_key.end()) continue;
+    const std::string& prio = o.get_str(it->second, ord::orderpriority);
+    const bool high = prio == "1-URGENT" || prio == "2-HIGH";
+    auto& g = groups[mode];
+    if (high) {
+      g.first += 1.0;
+    } else {
+      g.second += 1.0;
+    }
+  }
+
+  std::vector<ResultRow> out;
+  for (const auto& [k, v] : groups) {
+    out.push_back(ResultRow{k, {v.first, v.second}});
+  }
+  return out;
+}
+
+std::vector<ResultRow> q21(const db::Database& dbase,
+                           const QueryParams& params) {
+  const auto& l = dbase.table("lineitem");
+  const auto& o = dbase.table("orders");
+  const auto& s = dbase.table("supplier");
+  const auto& n = dbase.table("nation");
+
+  // lineitems grouped by orderkey.
+  std::unordered_map<i64, std::vector<RowId>> li_by_order;
+  for (RowId r = 0; r < l.num_rows(); ++r) {
+    if (l.is_deleted(r)) continue;
+    li_by_order[l.get_int(r, li::orderkey)].push_back(r);
+  }
+  std::unordered_map<i64, RowId> supp_by_key;
+  for (RowId r = 0; r < s.num_rows(); ++r) {
+    supp_by_key.emplace(s.get_int(r, sup::suppkey), r);
+  }
+  std::unordered_map<i64, std::string> nation_by_key;
+  for (RowId r = 0; r < n.num_rows(); ++r) {
+    nation_by_key.emplace(n.get_int(r, nat::nationkey), n.get_str(r, nat::name));
+  }
+
+  std::map<std::string, double> numwait;
+  for (RowId orow = 0; orow < o.num_rows(); ++orow) {
+    if (o.is_deleted(orow)) continue;
+    if (o.get_str(orow, ord::orderstatus) != "F") continue;
+    const i64 okey = o.get_int(orow, ord::orderkey);
+    const auto it = li_by_order.find(okey);
+    if (it == li_by_order.end()) continue;
+    const auto& items = it->second;
+    for (RowId r1 : items) {
+      if (l.get_date(r1, li::receiptdate) <= l.get_date(r1, li::commitdate))
+        continue;
+      const i64 supp = l.get_int(r1, li::suppkey);
+      bool exists_other = false;
+      bool exists_other_late = false;
+      for (RowId r2 : items) {
+        const i64 s2 = l.get_int(r2, li::suppkey);
+        if (s2 == supp) continue;
+        exists_other = true;
+        if (l.get_date(r2, li::receiptdate) > l.get_date(r2, li::commitdate)) {
+          exists_other_late = true;
+          break;
+        }
+      }
+      if (!exists_other || exists_other_late) continue;
+      const auto sit = supp_by_key.find(supp);
+      if (sit == supp_by_key.end()) continue;
+      const i64 nk = s.get_int(sit->second, sup::nationkey);
+      if (nation_by_key.at(nk) != params.q21_nation) continue;
+      numwait[s.get_str(sit->second, sup::name)] += 1.0;
+    }
+  }
+
+  std::vector<ResultRow> out;
+  for (const auto& [k, v] : numwait) out.push_back(ResultRow{k, {v}});
+  std::stable_sort(out.begin(), out.end(), [](const ResultRow& a,
+                                              const ResultRow& b) {
+    return a.vals[0] > b.vals[0];
+  });
+  if (out.size() > 100) out.resize(100);
+  return out;
+}
+
+std::vector<ResultRow> q1(const db::Database& dbase,
+                          const QueryParams& params) {
+  const auto& l = dbase.table("lineitem");
+  const Date cutoff = db::make_date(1998, 12, 1) - params.q1_delta_days;
+  std::map<std::string, std::array<double, 5>> groups;
+  for (RowId r = 0; r < l.num_rows(); ++r) {
+    if (l.is_deleted(r)) continue;
+    if (l.get_date(r, li::shipdate) > cutoff) continue;
+    const double qty = l.get_double(r, li::quantity);
+    const double price = l.get_double(r, li::extendedprice);
+    const double disc = l.get_double(r, li::discount);
+    const double tax = l.get_double(r, li::tax);
+    auto& g = groups[l.get_str(r, li::returnflag) + l.get_str(r, li::linestatus)];
+    g[0] += qty;
+    g[1] += price;
+    g[2] += price * (1.0 - disc);
+    g[3] += price * (1.0 - disc) * (1.0 + tax);
+    g[4] += 1.0;
+  }
+  std::vector<ResultRow> out;
+  for (const auto& [k, g] : groups) {
+    out.push_back(ResultRow{k, {g[0], g[1], g[2], g[3], g[4]}});
+  }
+  return out;
+}
+
+std::vector<ResultRow> q3(const db::Database& dbase,
+                          const QueryParams& params) {
+  const auto& c = dbase.table("customer");
+  const auto& o = dbase.table("orders");
+  const auto& l = dbase.table("lineitem");
+  const Date date = params.q3_date != 0 ? params.q3_date : db::make_date(1995, 3, 15);
+  const u32 seg_col = c.schema().col_index("c_mktsegment");
+
+  std::unordered_map<i64, bool> in_segment;
+  for (RowId r = 0; r < c.num_rows(); ++r) {
+    if (c.get_str(r, seg_col) == params.q3_segment) {
+      in_segment.emplace(c.get_int(r, 0), true);
+    }
+  }
+  std::unordered_map<i64, std::vector<RowId>> li_by_order;
+  for (RowId r = 0; r < l.num_rows(); ++r) {
+    if (l.is_deleted(r)) continue;
+    li_by_order[l.get_int(r, li::orderkey)].push_back(r);
+  }
+
+  struct Row {
+    i64 okey;
+    double revenue;
+    Date odate;
+    i64 pri;
+  };
+  std::vector<Row> rows;
+  for (RowId r = 0; r < o.num_rows(); ++r) {
+    if (o.is_deleted(r)) continue;
+    if (o.get_date(r, ord::orderdate) >= date) continue;
+    if (!in_segment.contains(o.get_int(r, ord::custkey))) continue;
+    const i64 okey = o.get_int(r, ord::orderkey);
+    const auto it = li_by_order.find(okey);
+    if (it == li_by_order.end()) continue;
+    double revenue = 0.0;
+    for (RowId lr : it->second) {
+      if (l.get_date(lr, li::shipdate) <= date) continue;
+      revenue += l.get_double(lr, li::extendedprice) *
+                 (1.0 - l.get_double(lr, li::discount));
+    }
+    if (revenue > 0.0) {
+      rows.push_back(Row{okey, revenue, o.get_date(r, ord::orderdate),
+                         o.get_int(r, ord::shippriority)});
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.revenue != b.revenue) return a.revenue > b.revenue;
+    return a.odate < b.odate;
+  });
+  if (rows.size() > 10) rows.resize(10);
+  std::vector<ResultRow> out;
+  for (const auto& r : rows) {
+    out.push_back(ResultRow{std::to_string(r.okey),
+                            {r.revenue, static_cast<double>(r.odate),
+                             static_cast<double>(r.pri)}});
+  }
+  return out;
+}
+
+std::vector<ResultRow> q14(const db::Database& dbase,
+                           const QueryParams& params) {
+  const auto& l = dbase.table("lineitem");
+  const auto& p = dbase.table("part");
+  const Date lo = params.q14_date != 0 ? params.q14_date : db::make_date(1995, 9, 1);
+  const Date hi = db::add_months(lo, 1);
+  const u32 type_col = p.schema().col_index("p_type");
+
+  std::unordered_map<i64, RowId> part_by_key;
+  for (RowId r = 0; r < p.num_rows(); ++r) {
+    part_by_key.emplace(p.get_int(r, 0), r);
+  }
+  double promo = 0.0, total = 0.0;
+  for (RowId r = 0; r < l.num_rows(); ++r) {
+    if (l.is_deleted(r)) continue;
+    const Date ship = l.get_date(r, li::shipdate);
+    if (ship < lo || ship >= hi) continue;
+    const auto it = part_by_key.find(l.get_int(r, li::partkey));
+    if (it == part_by_key.end()) continue;
+    const double rev = l.get_double(r, li::extendedprice) *
+                       (1.0 - l.get_double(r, li::discount));
+    if (p.get_str(it->second, type_col).rfind("PROMO", 0) == 0) promo += rev;
+    total += rev;
+  }
+  const double pct = total == 0.0 ? 0.0 : 100.0 * promo / total;
+  return {ResultRow{"promo_revenue", {pct, promo, total}}};
+}
+
+}  // namespace dss::tpch::oracle

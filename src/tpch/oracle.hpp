@@ -1,0 +1,36 @@
+// Host-side reference ("oracle") implementations of the three queries.
+//
+// These compute the same results as the timed query drivers by brute force
+// over the column storage, with no simulation involved. Tests assert the
+// timed executor's answers match the oracle exactly, which pins down the
+// functional correctness of the scan/index/join plumbing.
+#pragma once
+
+#include "tpch/queries.hpp"
+
+namespace dss::tpch::oracle {
+
+[[nodiscard]] double q6(const db::Database& dbase, const QueryParams& params);
+
+/// Rows sorted by shipmode: (mode, high_line_count, low_line_count).
+[[nodiscard]] std::vector<ResultRow> q12(const db::Database& dbase,
+                                         const QueryParams& params);
+
+/// Rows sorted by (numwait desc, s_name), limit 100: (s_name, numwait).
+[[nodiscard]] std::vector<ResultRow> q21(const db::Database& dbase,
+                                         const QueryParams& params);
+
+/// Rows sorted by (returnflag, linestatus):
+/// (flag+status, sum_qty, sum_base, sum_disc, sum_charge, count).
+[[nodiscard]] std::vector<ResultRow> q1(const db::Database& dbase,
+                                        const QueryParams& params);
+
+/// Top-10 rows by (revenue desc, orderdate): (orderkey, revenue, odate, pri).
+[[nodiscard]] std::vector<ResultRow> q3(const db::Database& dbase,
+                                        const QueryParams& params);
+
+/// One row: (promo_revenue_percent, promo, total).
+[[nodiscard]] std::vector<ResultRow> q14(const db::Database& dbase,
+                                         const QueryParams& params);
+
+}  // namespace dss::tpch::oracle

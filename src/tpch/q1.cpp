@@ -1,0 +1,74 @@
+// TPC-H Q1 — "pricing summary report" (extension beyond the paper's three).
+//
+//   SELECT l_returnflag, l_linestatus, sum(l_quantity),
+//          sum(l_extendedprice), sum(l_extendedprice*(1-l_discount)),
+//          sum(l_extendedprice*(1-l_discount)*(1+l_tax)),
+//          count(*)
+//   FROM lineitem WHERE l_shipdate <= date '1998-12-01' - :delta days
+//   GROUP BY l_returnflag, l_linestatus ORDER BY 1, 2
+//
+// Plan: one sequential scan with heavyweight per-tuple aggregation — the
+// most compute-dense of the sequential queries (every qualifying tuple
+// evaluates four aggregate expressions over five columns).
+#include "db/costs.hpp"
+#include "tpch/queries.hpp"
+#include "tpch/schema.hpp"
+
+namespace dss::tpch {
+
+namespace {
+
+class Q1Run final : public QueryRun {
+ public:
+  Q1Run(db::DbRuntime& rt, os::Process& p, const QueryParams& params)
+      : wm_(p, params.workmem_arena_bytes),
+        scan_(rt, "lineitem"),
+        groups_(p, wm_, 8) {
+    cutoff_ = db::make_date(1998, 12, 1) - params.q1_delta_days;
+    p.instr(db::cost::kQueryStartup);
+    scan_.open(p);
+  }
+
+  bool step(os::Process& p) override {
+    db::HeapTuple t;
+    if (!scan_.next(p, t)) {
+      scan_.close(p);
+      db::charge_sort(p, wm_, groups_.num_groups());
+      for (const auto& g : groups_.sorted_groups()) {
+        result_.push_back(ResultRow{
+            g.key, {g.acc[0], g.acc[1], g.acc[2], g.acc[3], g.acc[4]}});
+      }
+      return true;
+    }
+    wm_.touch(p, 3);
+    p.instr(db::cost::kQualClause);
+    const db::Date ship = t.read_date(p, li::shipdate);
+    if (ship > cutoff_) return false;
+    const double qty = t.read_double(p, li::quantity);
+    const double price = t.read_double(p, li::extendedprice);
+    const double disc = t.read_double(p, li::discount);
+    const double tax = t.read_double(p, li::tax);
+    const std::string key =
+        t.read_str(p, li::returnflag) + t.read_str(p, li::linestatus);
+    p.instr(4 * db::cost::kAggTransition);
+    groups_.update(p, key,
+                   {qty, price, price * (1.0 - disc),
+                    price * (1.0 - disc) * (1.0 + tax), 1.0, 0.0});
+    return false;
+  }
+
+ private:
+  db::WorkMem wm_;
+  db::SeqScan scan_;
+  db::HashGroupBy groups_;
+  db::Date cutoff_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<QueryRun> make_q1(db::DbRuntime& rt, os::Process& p,
+                                  const QueryParams& params) {
+  return std::make_unique<Q1Run>(rt, p, params);
+}
+
+}  // namespace dss::tpch

@@ -1,0 +1,97 @@
+// TPC-H Q12 — "shipping modes and order priority".
+//
+//   SELECT l_shipmode,
+//          sum(CASE WHEN o_orderpriority IN ('1-URGENT','2-HIGH')
+//              THEN 1 ELSE 0 END) AS high_line_count,
+//          sum(CASE WHEN o_orderpriority NOT IN ('1-URGENT','2-HIGH')
+//              THEN 1 ELSE 0 END) AS low_line_count
+//   FROM orders, lineitem
+//   WHERE o_orderkey = l_orderkey
+//     AND l_shipmode IN (:m1, :m2)
+//     AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+//     AND l_receiptdate >= :date AND l_receiptdate < :date + 1 year
+//   GROUP BY l_shipmode
+//
+// Plan: sequential scan of lineitem; for each qualifying tuple an index
+// lookup into orders by primary key (Section 2.2: "characteristics of both
+// the sequential scan and the index scan").
+#include "db/costs.hpp"
+#include "tpch/queries.hpp"
+#include "tpch/schema.hpp"
+
+namespace dss::tpch {
+
+namespace {
+
+class Q12Run final : public QueryRun {
+ public:
+  Q12Run(db::DbRuntime& rt, os::Process& p, const QueryParams& params)
+      : wm_(p, params.workmem_arena_bytes),
+        scan_(rt, "lineitem"),
+        orders_(rt, "orders_pkey", &wm_),
+        groups_(p, wm_, 8),
+        mode1_(params.q12_mode1),
+        mode2_(params.q12_mode2) {
+    date_lo_ = params.q12_date != 0 ? params.q12_date : db::make_date(1994, 1, 1);
+    date_hi_ = db::add_years(date_lo_, 1);
+    p.instr(db::cost::kQueryStartup);
+    scan_.open(p);
+    orders_.open(p);
+  }
+
+  bool step(os::Process& p) override {
+    db::HeapTuple t;
+    if (!scan_.next(p, t)) {
+      orders_.close(p);
+      scan_.close(p);
+      db::charge_sort(p, wm_, groups_.num_groups());
+      for (const auto& g : groups_.sorted_groups()) {
+        result_.push_back(ResultRow{g.key, {g.acc[0], g.acc[1]}});
+      }
+      return true;
+    }
+    wm_.touch(p, 3);
+    p.instr(db::cost::kQualClause);
+    const std::string& mode = t.read_str(p, li::shipmode);
+    if (mode != mode1_ && mode != mode2_) return false;
+    p.instr(db::cost::kQualClause);
+    const db::Date receipt = t.read_date(p, li::receiptdate);
+    if (receipt < date_lo_ || receipt >= date_hi_) return false;
+    p.instr(db::cost::kQualClause);
+    const db::Date commit = t.read_date(p, li::commitdate);
+    if (commit >= receipt) return false;
+    p.instr(db::cost::kQualClause);
+    const db::Date ship = t.read_date(p, li::shipdate);
+    if (ship >= commit) return false;
+
+    // Join: point lookup of the owning order.
+    const i64 okey = t.read_int(p, li::orderkey);
+    orders_.probe(p, okey);
+    db::HeapTuple o;
+    if (orders_.next(p, o)) {
+      p.instr(db::cost::kQualClause);
+      const std::string& prio = o.read_str(p, ord::orderpriority);
+      const bool high = prio == "1-URGENT" || prio == "2-HIGH";
+      groups_.update(p, mode, {high ? 1.0 : 0.0, high ? 0.0 : 1.0, 0.0, 0.0});
+    }
+    orders_.end_probe(p);
+    return false;
+  }
+
+ private:
+  db::WorkMem wm_;
+  db::SeqScan scan_;
+  db::IndexScan orders_;
+  db::HashGroupBy groups_;
+  std::string mode1_, mode2_;
+  db::Date date_lo_ = 0, date_hi_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<QueryRun> make_q12(db::DbRuntime& rt, os::Process& p,
+                                   const QueryParams& params) {
+  return std::make_unique<Q12Run>(rt, p, params);
+}
+
+}  // namespace dss::tpch

@@ -1,0 +1,83 @@
+// TPC-H Q14 — "promotion effect" (extension beyond the paper's three).
+//
+//   SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+//                       THEN l_extendedprice*(1-l_discount) ELSE 0 END)
+//               / sum(l_extendedprice*(1-l_discount))
+//   FROM lineitem, part
+//   WHERE l_partkey = p_partkey
+//     AND l_shipdate >= :date AND l_shipdate < :date + 1 month
+//
+// Plan: sequential scan of one month of lineitem with a point index lookup
+// into part per qualifying tuple — like Q12 but joining into a much smaller
+// dimension table whose hot pages stay cached.
+#include "db/costs.hpp"
+#include "tpch/queries.hpp"
+#include "tpch/schema.hpp"
+
+namespace dss::tpch {
+
+namespace {
+
+namespace prt {
+inline constexpr u32 partkey = 0, type = 4;
+}
+
+class Q14Run final : public QueryRun {
+ public:
+  Q14Run(db::DbRuntime& rt, os::Process& p, const QueryParams& params)
+      : wm_(p, params.workmem_arena_bytes),
+        scan_(rt, "lineitem"),
+        part_(rt, "part_pkey", &wm_) {
+    date_lo_ = params.q14_date != 0 ? params.q14_date : db::make_date(1995, 9, 1);
+    date_hi_ = db::add_months(date_lo_, 1);
+    p.instr(db::cost::kQueryStartup);
+    scan_.open(p);
+    part_.open(p);
+  }
+
+  bool step(os::Process& p) override {
+    db::HeapTuple t;
+    if (!scan_.next(p, t)) {
+      part_.close(p);
+      scan_.close(p);
+      const double pct = total_ == 0.0 ? 0.0 : 100.0 * promo_ / total_;
+      result_.push_back(ResultRow{"promo_revenue", {pct, promo_, total_}});
+      return true;
+    }
+    wm_.touch(p, 2);
+    p.instr(db::cost::kQualClause);
+    const db::Date ship = t.read_date(p, li::shipdate);
+    if (ship < date_lo_ || ship >= date_hi_) return false;
+    const double rev = t.read_double(p, li::extendedprice) *
+                       (1.0 - t.read_double(p, li::discount));
+    const i64 partkey = t.read_int(p, li::partkey);
+
+    part_.probe(p, partkey);
+    db::HeapTuple pt;
+    if (part_.next(p, pt)) {
+      p.instr(db::cost::kQualClause);
+      const std::string& type = pt.read_str(p, prt::type);
+      p.instr(db::cost::kAggTransition);
+      if (type.rfind("PROMO", 0) == 0) promo_ += rev;
+      total_ += rev;
+    }
+    part_.end_probe(p);
+    return false;
+  }
+
+ private:
+  db::WorkMem wm_;
+  db::SeqScan scan_;
+  db::IndexScan part_;
+  db::Date date_lo_ = 0, date_hi_ = 0;
+  double promo_ = 0.0, total_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<QueryRun> make_q14(db::DbRuntime& rt, os::Process& p,
+                                   const QueryParams& params) {
+  return std::make_unique<Q14Run>(rt, p, params);
+}
+
+}  // namespace dss::tpch

@@ -1,0 +1,72 @@
+// TPC-H Q6 — "forecasting revenue change".
+//
+//   SELECT sum(l_extendedprice * l_discount) AS revenue
+//   FROM lineitem
+//   WHERE l_shipdate >= :date AND l_shipdate < :date + 1 year
+//     AND l_discount BETWEEN :d - 0.01 AND :d + 0.01
+//     AND l_quantity < :qty
+//
+// Plan: one sequential scan of lineitem (Section 2.2 of the paper). Pure
+// streaming: excellent spatial locality, no temporal reuse of record data —
+// the canonical "sequential query" of the paper's analysis.
+#include "db/costs.hpp"
+#include "tpch/queries.hpp"
+#include "tpch/schema.hpp"
+
+namespace dss::tpch {
+
+namespace {
+
+class Q6Run final : public QueryRun {
+ public:
+  Q6Run(db::DbRuntime& rt, os::Process& p, const QueryParams& params)
+      : wm_(p, params.workmem_arena_bytes), scan_(rt, "lineitem") {
+    date_lo_ = params.q6_date != 0 ? params.q6_date : db::make_date(1994, 1, 1);
+    date_hi_ = db::add_years(date_lo_, 1);
+    disc_lo_ = params.q6_discount - 0.01;
+    disc_hi_ = params.q6_discount + 0.01;
+    qty_ = params.q6_quantity;
+    p.instr(db::cost::kQueryStartup);
+    scan_.open(p);
+  }
+
+  bool step(os::Process& p) override {
+    db::HeapTuple t;
+    if (!scan_.next(p, t)) {
+      scan_.close(p);
+      result_.push_back(ResultRow{"revenue", {revenue_}});
+      return true;
+    }
+    // Interpreted qual evaluation with PostgreSQL-style short circuit; each
+    // evaluated clause reads its column and burns interpreter instructions.
+    wm_.touch(p, 3);
+    p.instr(db::cost::kQualClause);
+    const db::Date ship = t.read_date(p, li::shipdate);
+    if (ship < date_lo_ || ship >= date_hi_) return false;
+    p.instr(db::cost::kQualClause);
+    const double disc = t.read_double(p, li::discount);
+    if (disc < disc_lo_ - 1e-9 || disc > disc_hi_ + 1e-9) return false;
+    p.instr(db::cost::kQualClause);
+    const double qty = t.read_double(p, li::quantity);
+    if (qty >= qty_) return false;
+    p.instr(db::cost::kAggTransition);
+    revenue_ += t.read_double(p, li::extendedprice) * disc;
+    return false;
+  }
+
+ private:
+  db::WorkMem wm_;
+  db::SeqScan scan_;
+  db::Date date_lo_ = 0, date_hi_ = 0;
+  double disc_lo_ = 0, disc_hi_ = 0, qty_ = 0;
+  double revenue_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<QueryRun> make_q6(db::DbRuntime& rt, os::Process& p,
+                                  const QueryParams& params) {
+  return std::make_unique<Q6Run>(rt, p, params);
+}
+
+}  // namespace dss::tpch

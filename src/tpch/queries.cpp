@@ -1,0 +1,51 @@
+#include "tpch/queries.hpp"
+
+#include <stdexcept>
+
+namespace dss::tpch {
+
+const char* query_name(QueryId q) {
+  switch (q) {
+    case QueryId::Q6: return "Q6";
+    case QueryId::Q12: return "Q12";
+    case QueryId::Q21: return "Q21";
+    case QueryId::Q1: return "Q1";
+    case QueryId::Q3: return "Q3";
+    case QueryId::Q14: return "Q14";
+  }
+  return "?";
+}
+
+QueryId query_from_name(const std::string& name) {
+  if (name == "Q6" || name == "q6") return QueryId::Q6;
+  if (name == "Q12" || name == "q12") return QueryId::Q12;
+  if (name == "Q21" || name == "q21") return QueryId::Q21;
+  if (name == "Q1" || name == "q1") return QueryId::Q1;
+  if (name == "Q3" || name == "q3") return QueryId::Q3;
+  if (name == "Q14" || name == "q14") return QueryId::Q14;
+  throw std::invalid_argument("unknown query: " + name);
+}
+
+// make_query dispatches to the per-query translation units.
+std::unique_ptr<QueryRun> make_q6(db::DbRuntime&, os::Process&, const QueryParams&);
+std::unique_ptr<QueryRun> make_q12(db::DbRuntime&, os::Process&, const QueryParams&);
+std::unique_ptr<QueryRun> make_q21(db::DbRuntime&, os::Process&, const QueryParams&);
+std::unique_ptr<QueryRun> make_q1(db::DbRuntime&, os::Process&, const QueryParams&);
+std::unique_ptr<QueryRun> make_q3(db::DbRuntime&, os::Process&, const QueryParams&);
+std::unique_ptr<QueryRun> make_q14(db::DbRuntime&, os::Process&, const QueryParams&);
+
+std::unique_ptr<QueryRun> make_query(QueryId q, db::DbRuntime& rt,
+                                     os::Process& p,
+                                     const QueryParams& params) {
+  switch (q) {
+    case QueryId::Q6: return make_q6(rt, p, params);
+    case QueryId::Q12: return make_q12(rt, p, params);
+    case QueryId::Q21: return make_q21(rt, p, params);
+    case QueryId::Q1: return make_q1(rt, p, params);
+    case QueryId::Q3: return make_q3(rt, p, params);
+    case QueryId::Q14: return make_q14(rt, p, params);
+  }
+  throw std::invalid_argument("unknown query id");
+}
+
+}  // namespace dss::tpch

@@ -1,0 +1,77 @@
+// Timed TPC-H query drivers (Q6, Q12, Q21 — the paper's three).
+//
+// Each query is a stepwise state machine: step() performs one bounded unit
+// of work (roughly one outer tuple) so the lockstep scheduler can interleave
+// concurrent query processes. Results are real values, checked against the
+// host-side oracle in tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+#include "db/exec.hpp"
+#include "os/process.hpp"
+
+namespace dss::tpch {
+
+/// Q6/Q12/Q21 are the paper's three; Q1/Q3/Q14 are extensions covering the
+/// remaining representative plan shapes (pure aggregation scan, hash join +
+/// index join, scan + point-lookup join).
+enum class QueryId { Q6, Q12, Q21, Q1, Q3, Q14 };
+
+[[nodiscard]] const char* query_name(QueryId q);
+[[nodiscard]] QueryId query_from_name(const std::string& name);
+
+/// One aggregate/group row of a query result.
+struct ResultRow {
+  std::string key;        ///< group key ("" for scalar results)
+  std::vector<double> vals;
+};
+
+class QueryRun {
+ public:
+  virtual ~QueryRun() = default;
+
+  /// Perform one unit of work; true when the query is complete.
+  virtual bool step(os::Process& p) = 0;
+
+  /// Valid once step() returned true.
+  [[nodiscard]] const std::vector<ResultRow>& result() const { return result_; }
+
+ protected:
+  std::vector<ResultRow> result_;
+};
+
+/// Per-run knobs; defaults follow the TPC-H validation parameters the paper
+/// would have used.
+struct QueryParams {
+  // Q6
+  db::Date q6_date = 0;          ///< 0 = default 1994-01-01
+  double q6_discount = 0.06;
+  double q6_quantity = 24.0;
+  // Q12
+  std::string q12_mode1 = "MAIL";
+  std::string q12_mode2 = "SHIP";
+  db::Date q12_date = 0;         ///< 0 = default 1994-01-01
+  // Q21
+  std::string q21_nation = "SAUDI ARABIA";
+  // Q1
+  i32 q1_delta_days = 90;       ///< shipdate <= 1998-12-01 - delta
+  // Q3
+  std::string q3_segment = "BUILDING";
+  db::Date q3_date = 0;         ///< 0 = default 1995-03-15
+  // Q14
+  db::Date q14_date = 0;        ///< 0 = default 1995-09-01 (one month)
+  // Executor
+  u64 workmem_arena_bytes = 24 * 1024;
+};
+
+/// Instantiate a query job over shared runtime state. The WorkMem arena is
+/// private to the process and sized by params (scaled with the experiment).
+[[nodiscard]] std::unique_ptr<QueryRun> make_query(QueryId q, db::DbRuntime& rt,
+                                                   os::Process& p,
+                                                   const QueryParams& params);
+
+}  // namespace dss::tpch

@@ -1,0 +1,146 @@
+#include "tpch/refresh.hpp"
+
+#include <algorithm>
+
+#include "db/costs.hpp"
+#include "db/exec.hpp"
+#include "tpch/schema.hpp"
+#include "util/rng.hpp"
+
+namespace dss::tpch {
+
+namespace {
+
+u64 batch_size(const db::Database& dbase, const RefreshConfig& cfg) {
+  if (cfg.batch_orders != 0) return cfg.batch_orders;
+  const u64 spec = dbase.table("orders").num_rows() / 1000;
+  return std::max<u64>(spec, 1);
+}
+
+constexpr const char* kModes[7] = {"REG AIR", "AIR",   "RAIL", "SHIP",
+                                   "TRUCK",   "MAIL",  "FOB"};
+constexpr const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                        "4-NOT SPECIFIED", "5-LOW"};
+
+}  // namespace
+
+RefreshResult rf1(db::Database& dbase, db::DbRuntime& rt, os::Process& p,
+                  const RefreshConfig& cfg) {
+  using db::Value;
+  auto& orders = dbase.table_mut("orders");
+  auto& lineitem = dbase.table_mut("lineitem");
+  auto& orders_idx = dbase.index_mut("orders_pkey");
+  auto& li_idx = dbase.index_mut("lineitem_orderkey_idx");
+  const u32 orders_id = dbase.rel_id("orders");
+  const u32 li_id = dbase.rel_id("lineitem");
+  const u64 n_cust = dbase.table("customer").num_rows();
+  const u64 n_part = dbase.table("part").num_rows();
+  const u64 n_supp = dbase.table("supplier").num_rows();
+
+  Rng rng(cfg.seed);
+  const u64 batch = batch_size(dbase, cfg);
+  // New keys continue past the current maximum.
+  i64 next_key = orders.num_rows() == 0
+                     ? 1
+                     : orders.get_int(orders.num_rows() - 1, ord::orderkey) + 1;
+
+  p.instr(db::cost::kQueryStartup);
+  rt.locks().lock_relation(p, orders_id, db::LockMode::RowExclusive);
+  rt.locks().lock_relation(p, li_id, db::LockMode::RowExclusive);
+
+  RefreshResult res;
+  const db::Date start = db::make_date(1995, 1, 1);
+  for (u64 i = 0; i < batch; ++i, ++next_key) {
+    const db::Date odate = start + static_cast<db::Date>(rng.uniform(0, 800));
+    const u32 nlines = static_cast<u32>(rng.uniform(1, 7));
+    double total = 0.0;
+    for (u32 ln = 1; ln <= nlines; ++ln) {
+      const double qty = static_cast<double>(rng.uniform(1, 50));
+      const double price = qty * 950.0;
+      const db::Date ship = odate + static_cast<db::Date>(rng.uniform(1, 121));
+      total += price;
+      const db::RowId rid = db::heap_append(
+          p, rt, lineitem, li_id,
+          {Value::of_int(next_key),
+           Value::of_int(rng.uniform(1, static_cast<i64>(n_part))),
+           Value::of_int(rng.uniform(1, static_cast<i64>(n_supp))),
+           Value::of_int(ln), Value::of_double(qty), Value::of_double(price),
+           Value::of_double(0.05), Value::of_double(0.04),
+           Value::of_str("N"), Value::of_str("O"), Value::of_date(ship),
+           Value::of_date(odate + 60),
+           Value::of_date(ship + static_cast<db::Date>(rng.uniform(1, 30))),
+           Value::of_str("NONE"),
+           Value::of_str(kModes[rng.uniform(0, 6)]),
+           Value::of_str(rng.text(27))});
+      li_idx.insert(p, rt.pool(), next_key, rid);
+      ++res.lineitems;
+    }
+    const db::RowId orid = db::heap_append(
+        p, rt, orders, orders_id,
+        {Value::of_int(next_key),
+         Value::of_int(rng.uniform(1, static_cast<i64>(n_cust))),
+         Value::of_str("O"), Value::of_double(total), Value::of_date(odate),
+         Value::of_str(kPriorities[rng.uniform(0, 4)]),
+         Value::of_str("Clerk#000000001"), Value::of_int(0),
+         Value::of_str(rng.text(30))});
+    orders_idx.insert(p, rt.pool(), next_key, orid);
+    ++res.orders;
+  }
+
+  rt.locks().unlock_relation(p, li_id, db::LockMode::RowExclusive);
+  rt.locks().unlock_relation(p, orders_id, db::LockMode::RowExclusive);
+  return res;
+}
+
+RefreshResult rf2(db::Database& dbase, db::DbRuntime& rt, os::Process& p,
+                  const RefreshConfig& cfg) {
+  auto& orders = dbase.table_mut("orders");
+  auto& lineitem = dbase.table_mut("lineitem");
+  auto& orders_idx = dbase.index_mut("orders_pkey");
+  auto& li_idx = dbase.index_mut("lineitem_orderkey_idx");
+  const u32 orders_id = dbase.rel_id("orders");
+  const u32 li_id = dbase.rel_id("lineitem");
+
+  const u64 batch = batch_size(dbase, cfg);
+  p.instr(db::cost::kQueryStartup);
+  rt.locks().lock_relation(p, orders_id, db::LockMode::RowExclusive);
+  rt.locks().lock_relation(p, li_id, db::LockMode::RowExclusive);
+
+  RefreshResult res;
+  u64 deleted = 0;
+  // Delete the lowest-keyed live orders, as the spec's RF2 consumes keys
+  // from the front of the delete stream.
+  for (u64 pos = 0; pos < orders_idx.num_entries() && deleted < batch;) {
+    const auto e = orders_idx.entry(pos);
+    if (orders.is_deleted(e.rid)) {
+      ++pos;
+      continue;
+    }
+    const i64 okey = e.key;
+    // Delete the order's lineitems: probe, collect, then mutate (cursors
+    // are invalidated by erase).
+    std::vector<db::RowId> rids;
+    auto cur = li_idx.seek(p, rt.pool(), okey);
+    while (cur.valid() && cur.key() == okey) {
+      rids.push_back(cur.rid());
+      cur.next(p, rt.pool());
+    }
+    cur.close(p, rt.pool());
+    for (db::RowId rid : rids) {
+      db::heap_delete(p, rt, lineitem, li_id, rid);
+      (void)li_idx.erase(p, rt.pool(), okey, rid);
+      ++res.lineitems;
+    }
+    db::heap_delete(p, rt, orders, orders_id, e.rid);
+    (void)orders_idx.erase(p, rt.pool(), okey, e.rid);
+    ++res.orders;
+    ++deleted;
+    // pos stays: the erase shifted later entries down.
+  }
+
+  rt.locks().unlock_relation(p, li_id, db::LockMode::RowExclusive);
+  rt.locks().unlock_relation(p, orders_id, db::LockMode::RowExclusive);
+  return res;
+}
+
+}  // namespace dss::tpch

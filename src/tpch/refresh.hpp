@@ -1,0 +1,40 @@
+// TPC-H refresh functions RF1 (new sales) and RF2 (old sales removal).
+//
+// The paper runs only the 22 read-only queries ("our research just focuses
+// on read-only queries"), but the benchmark it models includes the two
+// refresh functions; we implement them as an extension so the write path of
+// the DBMS substrate (heap extension, B-tree inserts with splits, MVCC
+// deletes, RowExclusive locking) is real and measurable.
+//
+// RF1 inserts `batch_orders` new orders (each with 1..7 lineitems) at the
+// tail of the key space; RF2 deletes the `batch_orders` lowest-keyed live
+// orders and their lineitems. The spec's batch is 0.1% of SF * 1500.
+#pragma once
+
+#include "db/database.hpp"
+#include "os/process.hpp"
+#include "util/types.hpp"
+
+namespace dss::tpch {
+
+struct RefreshConfig {
+  u64 batch_orders = 0;  ///< 0 = spec default: 0.1% of the orders table
+  u64 seed = 99;
+};
+
+struct RefreshResult {
+  u64 orders = 0;
+  u64 lineitems = 0;
+};
+
+/// RF1: insert a batch of new orders + lineitems (timed through `p`).
+/// Mutates `dbase`; the runtime's buffer pool must have free frames for the
+/// extended pages.
+RefreshResult rf1(db::Database& dbase, db::DbRuntime& rt, os::Process& p,
+                  const RefreshConfig& cfg);
+
+/// RF2: delete the lowest-keyed live orders and their lineitems (timed).
+RefreshResult rf2(db::Database& dbase, db::DbRuntime& rt, os::Process& p,
+                  const RefreshConfig& cfg);
+
+}  // namespace dss::tpch

@@ -1,0 +1,114 @@
+#include "tpch/schema.hpp"
+
+namespace dss::tpch {
+
+using db::ColType;
+using db::ColumnDef;
+using db::Schema;
+
+Schema region_schema() {
+  return Schema({{"r_regionkey", ColType::Int64, 0},
+                 {"r_name", ColType::Str, 25},
+                 {"r_comment", ColType::Str, 80}});
+}
+
+Schema nation_schema() {
+  return Schema({{"n_nationkey", ColType::Int64, 0},
+                 {"n_name", ColType::Str, 25},
+                 {"n_regionkey", ColType::Int64, 0},
+                 {"n_comment", ColType::Str, 80}});
+}
+
+Schema supplier_schema() {
+  return Schema({{"s_suppkey", ColType::Int64, 0},
+                 {"s_name", ColType::Str, 25},
+                 {"s_address", ColType::Str, 32},
+                 {"s_nationkey", ColType::Int64, 0},
+                 {"s_phone", ColType::Str, 15},
+                 {"s_acctbal", ColType::Double, 0},
+                 {"s_comment", ColType::Str, 60}});
+}
+
+Schema customer_schema() {
+  return Schema({{"c_custkey", ColType::Int64, 0},
+                 {"c_name", ColType::Str, 25},
+                 {"c_address", ColType::Str, 32},
+                 {"c_nationkey", ColType::Int64, 0},
+                 {"c_phone", ColType::Str, 15},
+                 {"c_acctbal", ColType::Double, 0},
+                 {"c_mktsegment", ColType::Str, 10},
+                 {"c_comment", ColType::Str, 60}});
+}
+
+Schema part_schema() {
+  return Schema({{"p_partkey", ColType::Int64, 0},
+                 {"p_name", ColType::Str, 35},
+                 {"p_mfgr", ColType::Str, 25},
+                 {"p_brand", ColType::Str, 10},
+                 {"p_type", ColType::Str, 25},
+                 {"p_size", ColType::Int64, 0},
+                 {"p_container", ColType::Str, 10},
+                 {"p_retailprice", ColType::Double, 0},
+                 {"p_comment", ColType::Str, 20}});
+}
+
+Schema partsupp_schema() {
+  return Schema({{"ps_partkey", ColType::Int64, 0},
+                 {"ps_suppkey", ColType::Int64, 0},
+                 {"ps_availqty", ColType::Int64, 0},
+                 {"ps_supplycost", ColType::Double, 0},
+                 {"ps_comment", ColType::Str, 100}});
+}
+
+Schema orders_schema() {
+  return Schema({{"o_orderkey", ColType::Int64, 0},
+                 {"o_custkey", ColType::Int64, 0},
+                 {"o_orderstatus", ColType::Str, 1},
+                 {"o_totalprice", ColType::Double, 0},
+                 {"o_orderdate", ColType::Date, 0},
+                 {"o_orderpriority", ColType::Str, 15},
+                 {"o_clerk", ColType::Str, 15},
+                 {"o_shippriority", ColType::Int64, 0},
+                 {"o_comment", ColType::Str, 30}});
+}
+
+Schema lineitem_schema() {
+  return Schema({{"l_orderkey", ColType::Int64, 0},
+                 {"l_partkey", ColType::Int64, 0},
+                 {"l_suppkey", ColType::Int64, 0},
+                 {"l_linenumber", ColType::Int64, 0},
+                 {"l_quantity", ColType::Double, 0},
+                 {"l_extendedprice", ColType::Double, 0},
+                 {"l_discount", ColType::Double, 0},
+                 {"l_tax", ColType::Double, 0},
+                 {"l_returnflag", ColType::Str, 1},
+                 {"l_linestatus", ColType::Str, 1},
+                 {"l_shipdate", ColType::Date, 0},
+                 {"l_commitdate", ColType::Date, 0},
+                 {"l_receiptdate", ColType::Date, 0},
+                 {"l_shipinstruct", ColType::Str, 25},
+                 {"l_shipmode", ColType::Str, 10},
+                 {"l_comment", ColType::Str, 27}});
+}
+
+void create_tables(db::Database& dbase) {
+  dbase.create_table("region", region_schema());
+  dbase.create_table("nation", nation_schema());
+  dbase.create_table("supplier", supplier_schema());
+  dbase.create_table("customer", customer_schema());
+  dbase.create_table("part", part_schema());
+  dbase.create_table("partsupp", partsupp_schema());
+  dbase.create_table("orders", orders_schema());
+  dbase.create_table("lineitem", lineitem_schema());
+}
+
+void create_indexes(db::Database& dbase) {
+  dbase.create_index("lineitem_orderkey_idx", "lineitem", "l_orderkey");
+  dbase.create_index("orders_pkey", "orders", "o_orderkey");
+  dbase.create_index("supplier_pkey", "supplier", "s_suppkey");
+  dbase.create_index("nation_pkey", "nation", "n_nationkey");
+  dbase.create_index("part_pkey", "part", "p_partkey");
+  dbase.create_index("customer_pkey", "customer", "c_custkey");
+}
+
+}  // namespace dss::tpch

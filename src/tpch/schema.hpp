@@ -1,0 +1,53 @@
+// TPC-H schema subset (rev 1.1.0 column layout, fixed-width CHAR storage).
+//
+// Tables generated: region, nation, supplier, customer, part, partsupp,
+// orders, lineitem — enough to populate a database whose size matches the
+// paper's configuration knob (200 MB of raw data at their scale). The three
+// studied queries touch lineitem, orders, supplier and nation.
+#pragma once
+
+#include <string>
+
+#include "db/database.hpp"
+
+namespace dss::tpch {
+
+[[nodiscard]] db::Schema region_schema();
+[[nodiscard]] db::Schema nation_schema();
+[[nodiscard]] db::Schema supplier_schema();
+[[nodiscard]] db::Schema customer_schema();
+[[nodiscard]] db::Schema part_schema();
+[[nodiscard]] db::Schema partsupp_schema();
+[[nodiscard]] db::Schema orders_schema();
+[[nodiscard]] db::Schema lineitem_schema();
+
+/// Create all eight tables in a fresh Database (no rows, no indexes).
+void create_tables(db::Database& dbase);
+
+/// Create the indexes the query plans use: lineitem(l_orderkey),
+/// orders(o_orderkey), supplier(s_suppkey), nation(n_nationkey). Call after
+/// loading rows.
+void create_indexes(db::Database& dbase);
+
+// Column index constants (keep in sync with the schema definitions).
+namespace li {
+inline constexpr u32 orderkey = 0, partkey = 1, suppkey = 2, linenumber = 3,
+                     quantity = 4, extendedprice = 5, discount = 6, tax = 7,
+                     returnflag = 8, linestatus = 9, shipdate = 10,
+                     commitdate = 11, receiptdate = 12, shipinstruct = 13,
+                     shipmode = 14, comment = 15;
+}
+namespace ord {
+inline constexpr u32 orderkey = 0, custkey = 1, orderstatus = 2,
+                     totalprice = 3, orderdate = 4, orderpriority = 5,
+                     clerk = 6, shippriority = 7, comment = 8;
+}
+namespace sup {
+inline constexpr u32 suppkey = 0, name = 1, address = 2, nationkey = 3,
+                     phone = 4, acctbal = 5, comment = 6;
+}
+namespace nat {
+inline constexpr u32 nationkey = 0, name = 1, regionkey = 2, comment = 3;
+}
+
+}  // namespace dss::tpch

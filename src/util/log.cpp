@@ -1,0 +1,42 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dss {
+
+namespace {
+
+LogLevel g_level = []() {
+  const char* env = std::getenv("DSS_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "off") == 0) return LogLevel::Off;
+  return LogLevel::Warn;
+}();
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel lvl) { g_level = lvl; }
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel lvl, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace dss

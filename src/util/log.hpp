@@ -1,0 +1,45 @@
+// Minimal leveled logging. Off by default so benches produce clean tables;
+// enable with DSS_LOG=debug|info in the environment or set_log_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dss {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel lvl);
+[[nodiscard]] LogLevel log_level();
+
+/// Initialize from the DSS_LOG environment variable (called lazily).
+void log_message(LogLevel lvl, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel lvl, const Args&... args) {
+  if (lvl < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  log_message(lvl, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log_fmt(LogLevel::Debug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log_fmt(LogLevel::Info, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log_fmt(LogLevel::Warn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log_fmt(LogLevel::Error, args...);
+}
+
+}  // namespace dss

@@ -1,0 +1,59 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+
+namespace dss {
+
+u64 splitmix64(u64& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+u64 Rng::next() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+i64 Rng::uniform(i64 lo, i64 hi) {
+  assert(lo <= hi);
+  const u64 span = static_cast<u64>(hi - lo) + 1;
+  if (span == 0) return static_cast<i64>(next());  // full 64-bit range
+  // Rejection-free modulo is fine here: span << 2^64 for all of our uses,
+  // so the bias is far below anything an experiment could observe.
+  return lo + static_cast<i64>(next() % span);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+std::string Rng::text(std::size_t len) {
+  std::string out(len, 'a');
+  for (auto& c : out) c = static_cast<char>('a' + uniform(0, 25));
+  return out;
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace dss

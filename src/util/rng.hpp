@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the project (the TPC-H data generator, workload
+// jitter, placement decisions) draw from this xoshiro256** implementation so
+// that every experiment is exactly reproducible from a seed.
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace dss {
+
+/// splitmix64 step; used to expand a single seed into a full xoshiro state.
+[[nodiscard]] u64 splitmix64(u64& state);
+
+/// xoshiro256** generator. Small, fast, and good enough for workload
+/// synthesis; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] u64 next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] i64 uniform(i64 lo, i64 hi);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01();
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool chance(double p);
+
+  /// Random lowercase alphabetic string of exactly `len` characters.
+  [[nodiscard]] std::string text(std::size_t len);
+
+  /// Derive an independent generator (e.g. one per table / per column) so
+  /// that changing how many values one stream consumes does not perturb
+  /// another stream.
+  [[nodiscard]] Rng split();
+
+ private:
+  u64 s_[4];
+};
+
+}  // namespace dss

@@ -1,0 +1,40 @@
+// Small statistics helpers for trial aggregation.
+//
+// The paper runs each configuration four times and reports the average; the
+// harness does the same and additionally keeps the spread so EXPERIMENTS.md
+// can report stability.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace dss {
+
+/// Online mean/variance accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a vector (0 for empty input).
+[[nodiscard]] double mean_of(const std::vector<double>& xs);
+
+/// Geometric mean; all inputs must be positive.
+[[nodiscard]] double geomean_of(const std::vector<double>& xs);
+
+}  // namespace dss

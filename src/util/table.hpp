@@ -1,0 +1,39 @@
+// Aligned plain-text table printing plus CSV emission.
+//
+// Every figure-reproduction bench prints two blocks: a human-readable table
+// (the "figure") and a machine-readable CSV block for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dss {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; the row must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with the given precision.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+  /// Render with aligned columns (first column left-aligned, the rest
+  /// right-aligned, which matches how the paper lays out its data).
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header + rows).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dss

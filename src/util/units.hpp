@@ -1,0 +1,55 @@
+// Byte-size constants and human-readable number formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace dss {
+
+inline constexpr u64 KiB = 1024;
+inline constexpr u64 MiB = 1024 * KiB;
+inline constexpr u64 GiB = 1024 * MiB;
+
+/// Format a count the way the paper annotates its bars: "4.1M", "232M",
+/// "9.4k", "310". Uses decimal thousands.
+[[nodiscard]] inline std::string human_count(double v) {
+  char buf[32];
+  const char* suffix = "";
+  if (v >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    suffix = "k";
+  }
+  if (v >= 100 || v == 0.0) {
+    std::snprintf(buf, sizeof buf, "%.0f%s", v, suffix);
+  } else if (v >= 10) {
+    std::snprintf(buf, sizeof buf, "%.1f%s", v, suffix);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f%s", v, suffix);
+  }
+  return buf;
+}
+
+/// Format a byte count as "2 MiB", "32 KiB", ...
+[[nodiscard]] inline std::string human_bytes(u64 b) {
+  char buf[32];
+  if (b % GiB == 0 && b >= GiB) {
+    std::snprintf(buf, sizeof buf, "%llu GiB", static_cast<unsigned long long>(b / GiB));
+  } else if (b % MiB == 0 && b >= MiB) {
+    std::snprintf(buf, sizeof buf, "%llu MiB", static_cast<unsigned long long>(b / MiB));
+  } else if (b % KiB == 0 && b >= KiB) {
+    std::snprintf(buf, sizeof buf, "%llu KiB", static_cast<unsigned long long>(b / KiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+}  // namespace dss

@@ -1,0 +1,197 @@
+// B+-tree tests: structure, host-side queries vs a reference multimap, and
+// the timed cursor API (descent emission, duplicate iteration, leaf hops).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "db/btree.hpp"
+#include "test_rig.hpp"
+#include "util/rng.hpp"
+
+namespace dss::db {
+namespace {
+
+using testing::DbRig;
+
+Relation make_keyed_relation(const std::vector<i64>& keys) {
+  Relation r("t", Schema({{"k", ColType::Int64, 0}}));
+  for (i64 k : keys) r.add_row({Value::of_int(k)});
+  return r;
+}
+
+ShmAllocator g_shm;
+
+struct PoolRig {
+  PoolRig(const BTreeIndex& idx, u32 frames = 64) : shm(), pool(shm, frames) {
+    for (u32 pg = 0; pg < idx.num_pages(); ++pg) {
+      pool.prewarm(BufferPool::PageKey{idx.rel_id(), pg});
+    }
+  }
+  ShmAllocator shm;
+  BufferPool pool;
+};
+
+TEST(BTree, EmptyRelation) {
+  Relation r = make_keyed_relation({});
+  BTreeIndex idx("i", r, 0);
+  EXPECT_EQ(idx.num_entries(), 0u);
+  EXPECT_EQ(idx.num_levels(), 1u);
+  EXPECT_EQ(idx.num_pages(), 1u);
+  EXPECT_EQ(idx.count_eq(5), 0u);
+}
+
+TEST(BTree, SingleLevelStructure) {
+  Relation r = make_keyed_relation({5, 3, 9, 3});
+  BTreeIndex idx("i", r, 0);
+  EXPECT_EQ(idx.num_entries(), 4u);
+  EXPECT_EQ(idx.num_levels(), 1u);
+  EXPECT_EQ(idx.count_eq(3), 2u);
+  EXPECT_EQ(idx.lower_bound(4), 2u);
+}
+
+TEST(BTree, MultiLevelStructure) {
+  std::vector<i64> keys;
+  for (i64 i = 0; i < 2'000; ++i) keys.push_back(i);
+  Relation r = make_keyed_relation(keys);
+  BTreeIndex idx("i", r, 0);
+  EXPECT_EQ(idx.num_levels(), 2u);  // 5 leaves + root
+  EXPECT_EQ(idx.num_pages(), 6u);
+}
+
+TEST(BTree, StableSortPreservesInsertionOrderOfDuplicates) {
+  Relation r = make_keyed_relation({7, 7, 7});
+  BTreeIndex idx("i", r, 0);
+  EXPECT_EQ(idx.entry(0).rid, 0u);
+  EXPECT_EQ(idx.entry(1).rid, 1u);
+  EXPECT_EQ(idx.entry(2).rid, 2u);
+}
+
+TEST(BTree, HostQueriesMatchMultimapReference) {
+  Rng rng(31);
+  std::vector<i64> keys;
+  std::multimap<i64, RowId> ref;
+  for (RowId i = 0; i < 5'000; ++i) {
+    const i64 k = rng.uniform(0, 500);
+    keys.push_back(k);
+    ref.emplace(k, i);
+  }
+  Relation r = make_keyed_relation(keys);
+  BTreeIndex idx("i", r, 0);
+  for (i64 k = -1; k <= 501; ++k) {
+    ASSERT_EQ(idx.count_eq(k), ref.count(k)) << "key " << k;
+  }
+}
+
+TEST(BTree, TimedSeekFindsAllDuplicatesAcrossLeaves) {
+  DbRig rig(1);
+  // 1000 entries of each of 3 keys -> duplicates straddle leaf boundaries.
+  std::vector<i64> keys;
+  for (int rep = 0; rep < 1'000; ++rep) {
+    for (i64 k : {10, 20, 30}) keys.push_back(k);
+  }
+  Relation r = make_keyed_relation(keys);
+  BTreeIndex idx("i", r, 0);
+  idx.set_rel_id(3);
+  PoolRig pr(idx);
+  for (i64 k : {10, 20, 30}) {
+    auto cur = idx.seek(rig.p(), pr.pool, k);
+    u64 n = 0;
+    std::multimap<i64, RowId> seen;
+    while (cur.valid() && cur.key() == k) {
+      seen.emplace(cur.key(), cur.rid());
+      ++n;
+      cur.next(rig.p(), pr.pool);
+    }
+    cur.close(rig.p(), pr.pool);
+    EXPECT_EQ(n, 1'000u) << "key " << k;
+  }
+  EXPECT_GE(rig.p().counters().index_descents, 3u);
+}
+
+TEST(BTree, SeekPastEndYieldsInvalidCursor) {
+  DbRig rig(1);
+  Relation r = make_keyed_relation({1, 2, 3});
+  BTreeIndex idx("i", r, 0);
+  idx.set_rel_id(3);
+  PoolRig pr(idx);
+  auto cur = idx.seek(rig.p(), pr.pool, 100);
+  EXPECT_FALSE(cur.valid());
+  cur.close(rig.p(), pr.pool);
+}
+
+TEST(BTree, SeekEmitsDescentReferences) {
+  DbRig rig(1);
+  std::vector<i64> keys;
+  for (i64 i = 0; i < 2'000; ++i) keys.push_back(i);
+  Relation r = make_keyed_relation(keys);
+  BTreeIndex idx("i", r, 0);
+  idx.set_rel_id(3);
+  PoolRig pr(idx);
+  const u64 loads_before = rig.p().counters().loads;
+  auto cur = idx.seek(rig.p(), pr.pool, 777);
+  ASSERT_TRUE(cur.valid());
+  EXPECT_EQ(cur.key(), 777);
+  EXPECT_GT(rig.p().counters().loads, loads_before + 5)
+      << "binary searches must touch key slots";
+  EXPECT_GE(rig.p().counters().buffer_pins, 2u) << "root + leaf pins";
+  cur.close(rig.p(), pr.pool);
+}
+
+TEST(BTree, CursorUnpinsOnCloseAndHop) {
+  DbRig rig(1);
+  std::vector<i64> keys;
+  for (i64 i = 0; i < 1'000; ++i) keys.push_back(i);
+  Relation r = make_keyed_relation(keys);
+  BTreeIndex idx("i", r, 0);
+  idx.set_rel_id(3);
+  PoolRig pr(idx);
+  auto cur = idx.seek(rig.p(), pr.pool, 0);
+  for (int i = 0; i < 900; ++i) cur.next(rig.p(), pr.pool);  // cross leaves
+  cur.close(rig.p(), pr.pool);
+  // Every index page must end up unpinned.
+  for (u32 pg = 0; pg < idx.num_pages(); ++pg) {
+    EXPECT_EQ(pr.pool.pin_count(BufferPool::PageKey{3, pg}), 0u)
+        << "page " << pg;
+  }
+}
+
+TEST(BTree, DateKeysSupported) {
+  Relation r("t", Schema({{"d", ColType::Date, 0}}));
+  r.add_row({Value::of_date(make_date(1994, 1, 1))});
+  r.add_row({Value::of_date(make_date(1993, 1, 1))});
+  BTreeIndex idx("i", r, 0);
+  EXPECT_EQ(idx.entry(0).rid, 1u);  // 1993 sorts first
+}
+
+class BTreeRandomProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(BTreeRandomProperty, TimedIterationMatchesHostLowerBound) {
+  DbRig rig(1);
+  Rng rng(GetParam());
+  std::vector<i64> keys;
+  const int n = 3'000;
+  for (int i = 0; i < n; ++i) keys.push_back(rng.uniform(0, 997));
+  Relation r = make_keyed_relation(keys);
+  BTreeIndex idx("i", r, 0);
+  idx.set_rel_id(3);
+  PoolRig pr(idx);
+  for (int probe = 0; probe < 40; ++probe) {
+    const i64 k = rng.uniform(-5, 1'005);
+    auto cur = idx.seek(rig.p(), pr.pool, k);
+    const u64 lb = idx.lower_bound(k);
+    if (lb == idx.num_entries()) {
+      EXPECT_FALSE(cur.valid());
+    } else {
+      ASSERT_TRUE(cur.valid());
+      EXPECT_EQ(cur.key(), idx.entry(lb).key);
+      EXPECT_EQ(cur.rid(), idx.entry(lb).rid);
+    }
+    cur.close(rig.p(), pr.pool);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dss::db

@@ -1,0 +1,164 @@
+// Unit + property tests for the set-associative cache model.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <optional>
+
+#include "sim/cache.hpp"
+#include "util/rng.hpp"
+
+namespace dss::sim {
+namespace {
+
+CacheConfig small_cfg(u64 size = 1024, u32 line = 32, u32 assoc = 2) {
+  return CacheConfig{size, line, assoc, 1};
+}
+
+TEST(Cache, Geometry) {
+  SetAssocCache c(small_cfg());
+  EXPECT_EQ(c.config().num_sets(), 16u);
+  EXPECT_EQ(c.line_bytes(), 32u);
+  EXPECT_EQ(c.line_of(0), 0u);
+  EXPECT_EQ(c.line_of(31), 0u);
+  EXPECT_EQ(c.line_of(32), 1u);
+}
+
+TEST(Cache, MissThenHit) {
+  SetAssocCache c(small_cfg());
+  EXPECT_FALSE(c.lookup(5).has_value());
+  EXPECT_FALSE(c.insert(5, LineState::E).has_value());
+  auto st = c.lookup(5);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(*st, LineState::E);
+  EXPECT_EQ(c.resident_lines(), 1u);
+}
+
+TEST(Cache, SetStateAndInvalidate) {
+  SetAssocCache c(small_cfg());
+  (void)c.insert(7, LineState::S);
+  c.set_state(7, LineState::M);
+  EXPECT_EQ(*c.probe(7), LineState::M);
+  EXPECT_EQ(*c.invalidate(7), LineState::M);
+  EXPECT_FALSE(c.probe(7).has_value());
+  EXPECT_FALSE(c.invalidate(7).has_value());
+  EXPECT_EQ(c.resident_lines(), 0u);
+}
+
+TEST(Cache, EvictsLruWithinSet) {
+  // 16 sets, 2-way: lines 0, 16, 32 all map to set 0.
+  SetAssocCache c(small_cfg());
+  (void)c.insert(0, LineState::E);
+  (void)c.insert(16, LineState::E);
+  (void)c.lookup(0);  // 0 now MRU, 16 LRU
+  auto ev = c.insert(32, LineState::E);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 16u);
+  EXPECT_EQ(ev->state, LineState::E);
+  EXPECT_TRUE(c.probe(0).has_value());
+  EXPECT_TRUE(c.probe(32).has_value());
+}
+
+TEST(Cache, DirectMappedConflicts) {
+  SetAssocCache c(small_cfg(1024, 32, 1));  // 32 sets, direct-mapped
+  (void)c.insert(3, LineState::M);
+  auto ev = c.insert(3 + 32, LineState::E);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 3u);
+  EXPECT_EQ(ev->state, LineState::M);
+}
+
+TEST(Cache, ForEachLineVisitsAll) {
+  SetAssocCache c(small_cfg());
+  for (u64 l = 0; l < 10; ++l) (void)c.insert(l * 3 + 1000, LineState::S);
+  std::map<u64, LineState> seen;
+  c.for_each_line([&](u64 l, LineState s) { seen[l] = s; });
+  EXPECT_EQ(seen.size(), 10u);
+  for (const auto& [l, s] : seen) EXPECT_EQ(s, LineState::S);
+}
+
+/// Reference model: per-set LRU list.
+class RefCache {
+ public:
+  RefCache(u32 sets, u32 assoc) : sets_(sets), assoc_(assoc), lru_(sets) {}
+
+  std::optional<u64> access(u64 line) {  // returns eviction
+    auto& set = lru_[line % sets_];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (*it == line) {
+        set.erase(it);
+        set.push_front(line);
+        return std::nullopt;
+      }
+    }
+    set.push_front(line);
+    if (set.size() > assoc_) {
+      const u64 victim = set.back();
+      set.pop_back();
+      return victim;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  u32 sets_, assoc_;
+  std::vector<std::list<u64>> lru_;
+};
+
+struct GeomParam {
+  u64 size;
+  u32 line;
+  u32 assoc;
+};
+
+class CacheLruProperty : public ::testing::TestWithParam<GeomParam> {};
+
+TEST_P(CacheLruProperty, MatchesReferenceModelUnderRandomAccesses) {
+  const auto gp = GetParam();
+  SetAssocCache c(CacheConfig{gp.size, gp.line, gp.assoc, 1});
+  RefCache ref(c.config().num_sets(), gp.assoc);
+  Rng rng(gp.size + gp.line + gp.assoc);
+  for (int i = 0; i < 20'000; ++i) {
+    const u64 line = static_cast<u64>(rng.uniform(0, 4096));
+    const bool hit = c.lookup(line).has_value();
+    const auto ref_ev = ref.access(line);
+    if (hit) {
+      EXPECT_FALSE(ref_ev.has_value()) << "model hit but reference evicted";
+      continue;
+    }
+    const auto ev = c.insert(line, LineState::S);
+    ASSERT_EQ(ev.has_value(), ref_ev.has_value()) << "eviction disagreement";
+    if (ev) EXPECT_EQ(ev->line_addr, *ref_ev);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheLruProperty,
+    ::testing::Values(GeomParam{1024, 32, 1}, GeomParam{1024, 32, 2},
+                      GeomParam{2048, 32, 4}, GeomParam{4096, 128, 2},
+                      GeomParam{8192, 64, 8}, GeomParam{512, 32, 2}),
+    [](const auto& info) {
+      return "s" + std::to_string(info.param.size) + "l" +
+             std::to_string(info.param.line) + "a" +
+             std::to_string(info.param.assoc);
+    });
+
+TEST(Cache, ResidentCountTracksInsertEvictInvalidate) {
+  SetAssocCache c(small_cfg(512, 32, 2));  // 8 sets * 2 ways = 16 lines
+  Rng rng(99);
+  u64 expected = 0;
+  for (int i = 0; i < 5'000; ++i) {
+    const u64 line = static_cast<u64>(rng.uniform(0, 100));
+    if (rng.chance(0.3)) {
+      if (c.invalidate(line).has_value()) --expected;
+    } else if (!c.lookup(line).has_value()) {
+      const auto ev = c.insert(line, LineState::S);
+      if (!ev) ++expected;
+    }
+    ASSERT_EQ(c.resident_lines(), expected);
+    ASSERT_LE(c.resident_lines(), 16u);
+  }
+}
+
+}  // namespace
+}  // namespace dss::sim

@@ -1,0 +1,101 @@
+// Core experiment-harness tests: scaling rules, trial averaging, option
+// parsing, and the figure-table plumbing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+
+namespace dss::core {
+namespace {
+
+TEST(ScaleConfig, FollowsDesignRules) {
+  const ScaleConfig s{16};
+  EXPECT_DOUBLE_EQ(s.scale_factor(), 0.0125);
+  EXPECT_EQ(s.pool_frames(), 4096u);       // 32 MiB of 8 KiB frames
+  EXPECT_EQ(s.arena_bytes(), 24u * 1024);  // 384 KiB / 16
+  const ScaleConfig full{1};
+  EXPECT_DOUBLE_EQ(full.scale_factor(), 0.2);
+  EXPECT_EQ(full.pool_frames(), 65536u);
+}
+
+TEST(ExperimentRunner, PoolHoldsWholeDatabaseAtEveryScale) {
+  for (u32 denom : {32u, 64u}) {
+    ExperimentRunner r(ScaleConfig{denom}, 1);
+    EXPECT_LT(r.database().total_pages(), ScaleConfig{denom}.pool_frames())
+        << "denom " << denom;
+  }
+}
+
+TEST(ExperimentRunner, DeterministicAcrossRunnerInstances) {
+  ExperimentRunner r1(ScaleConfig{64}, 5);
+  ExperimentRunner r2(ScaleConfig{64}, 5);
+  const auto a = r1.run(perf::Platform::VClass, tpch::QueryId::Q6, 2, 2);
+  const auto b = r2.run(perf::Platform::VClass, tpch::QueryId::Q6, 2, 2);
+  EXPECT_EQ(a.mean.cycles, b.mean.cycles);
+  EXPECT_EQ(a.mean.l1d_misses, b.mean.l1d_misses);
+  EXPECT_EQ(a.mean.vol_ctx_switches, b.mean.vol_ctx_switches);
+  EXPECT_DOUBLE_EQ(a.query_result[0].vals[0], b.query_result[0].vals[0]);
+}
+
+TEST(ExperimentRunner, TrialsJitterButAverage) {
+  ExperimentRunner r(ScaleConfig{64}, 5);
+  const auto one = r.run(perf::Platform::Origin2000, tpch::QueryId::Q6, 2, 1);
+  const auto four = r.run(perf::Platform::Origin2000, tpch::QueryId::Q6, 2, 4);
+  // Averaged metrics stay close to a single trial (jitter is small).
+  EXPECT_NEAR(four.cpi, one.cpi, 0.05);
+  EXPECT_NEAR(four.thread_time_cycles / one.thread_time_cycles, 1.0, 0.05);
+}
+
+TEST(ExperimentRunner, WallClockAtLeastThreadTime) {
+  ExperimentRunner r(ScaleConfig{64}, 5);
+  const auto res = r.run(perf::Platform::VClass, tpch::QueryId::Q6, 1, 1);
+  const double thread_s = res.thread_time_cycles / 200e6;
+  EXPECT_GE(res.wall_seconds * 1.001, thread_s);
+}
+
+TEST(ExperimentRunner, VClassReportsNoL2) {
+  ExperimentRunner r(ScaleConfig{64}, 5);
+  const auto res = r.run(perf::Platform::VClass, tpch::QueryId::Q12, 1, 1);
+  EXPECT_EQ(res.l2d_misses, 0.0);
+  const auto sgi = r.run(perf::Platform::Origin2000, tpch::QueryId::Q12, 1, 1);
+  EXPECT_GT(sgi.l2d_misses, 0.0);
+  EXPECT_LT(sgi.l2d_misses, sgi.l1d_misses);
+}
+
+TEST(BenchOptions, ParsesFlags) {
+  const char* argv[] = {"bench", "--scale", "32", "--trials", "2",
+                        "--seed", "99"};
+  const auto o = parse_bench_options(7, const_cast<char**>(argv));
+  EXPECT_EQ(o.scale_denom, 32u);
+  EXPECT_EQ(o.trials, 2u);
+  EXPECT_EQ(o.seed, 99u);
+}
+
+TEST(BenchOptions, DefaultsAndErrors) {
+  const char* argv0[] = {"bench"};
+  const auto o = parse_bench_options(1, const_cast<char**>(argv0));
+  EXPECT_EQ(o.scale_denom, 16u);
+  EXPECT_EQ(o.trials, 4u);
+  const char* bad[] = {"bench", "--wat"};
+  EXPECT_THROW((void)parse_bench_options(2, const_cast<char**>(bad)),
+               std::invalid_argument);
+  const char* dangling[] = {"bench", "--scale"};
+  EXPECT_THROW((void)parse_bench_options(2, const_cast<char**>(dangling)),
+               std::invalid_argument);
+}
+
+TEST(Figures, PrintFigureIncludesCsvBlock) {
+  Table t({"q", "v"});
+  t.add_row({"Q6", "1"});
+  std::ostringstream os;
+  print_figure(os, "Fig. X", t);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== Fig. X =="), std::string::npos);
+  EXPECT_NE(s.find("# csv"), std::string::npos);
+  EXPECT_NE(s.find("q,v"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dss::core

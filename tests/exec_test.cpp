@@ -1,0 +1,215 @@
+// Executor tests: Database/DbRuntime wiring, SeqScan, IndexScan, group-by,
+// lazy field reads, and pin hygiene.
+#include <gtest/gtest.h>
+
+#include "db/exec.hpp"
+#include "test_rig.hpp"
+
+namespace dss::db {
+namespace {
+
+using testing::DbRig;
+
+std::unique_ptr<Database> make_db(u64 rows = 500) {
+  auto dbase = std::make_unique<Database>();
+  Relation& t = dbase->create_table(
+      "items", Schema({{"id", ColType::Int64, 0},
+                       {"grp", ColType::Int64, 0},
+                       {"val", ColType::Double, 0},
+                       {"name", ColType::Str, 12}}));
+  for (u64 i = 0; i < rows; ++i) {
+    t.add_row({Value::of_int(static_cast<i64>(i)),
+               Value::of_int(static_cast<i64>(i % 7)),
+               Value::of_double(static_cast<double>(i) * 0.5),
+               Value::of_str("n" + std::to_string(i % 3))});
+  }
+  dbase->create_index("items_grp_idx", "items", "grp");
+  return dbase;
+}
+
+struct RtRig {
+  explicit RtRig(const Database& dbase, u32 frames = 256)
+      : rt(dbase, RuntimeConfig{frames, 4096}) {
+    rt.prewarm_all();
+  }
+  DbRuntime rt;
+};
+
+TEST(Database, ObjectRegistry) {
+  auto dbase = make_db();
+  EXPECT_EQ(dbase->rel_id("items"), 0u);
+  EXPECT_EQ(dbase->rel_id("items_grp_idx"), 1u);
+  EXPECT_EQ(dbase->index("items_grp_idx").rel_id(), 1u);
+  EXPECT_THROW((void)dbase->rel_id("nope"), std::out_of_range);
+  EXPECT_THROW((void)dbase->table("items_grp_idx"), std::invalid_argument);
+  EXPECT_THROW((void)dbase->index("items"), std::invalid_argument);
+  EXPECT_THROW((void)dbase->create_table("items", Schema(std::vector<ColumnDef>{})),
+               std::invalid_argument);
+  EXPECT_EQ(dbase->total_pages(),
+            dbase->table("items").num_pages() +
+                dbase->index("items_grp_idx").num_pages());
+}
+
+TEST(DbRuntime, PrewarmMapsEveryPage) {
+  auto dbase = make_db();
+  RtRig rig(*dbase);
+  for (const auto& [rel_id, pages] : dbase->page_inventory()) {
+    for (u64 pg = 0; pg < pages; ++pg) {
+      EXPECT_TRUE(rig.rt.pool().resident(
+          BufferPool::PageKey{rel_id, static_cast<u32>(pg)}));
+    }
+  }
+}
+
+TEST(SeqScan, VisitsEveryRowInOrder) {
+  auto dbase = make_db(300);
+  RtRig rig(*dbase);
+  DbRig procs(1);
+  SeqScan scan(rig.rt, "items");
+  scan.open(procs.p());
+  HeapTuple t;
+  i64 expect = 0;
+  while (scan.next(procs.p(), t)) {
+    EXPECT_EQ(t.read_int(procs.p(), 0), expect);
+    ++expect;
+  }
+  scan.close(procs.p());
+  EXPECT_EQ(expect, 300);
+  EXPECT_EQ(procs.p().counters().tuples_scanned, 300u);
+  // Relation lock released at close.
+  EXPECT_EQ(rig.rt.locks().share_holders(0), 0u);
+}
+
+TEST(SeqScan, LazyFieldReadsOnlyTouchRequestedColumns) {
+  auto dbase = make_db(100);
+  RtRig rig(*dbase);
+  DbRig procs(1);
+  SeqScan scan(rig.rt, "items");
+  scan.open(procs.p());
+  HeapTuple t;
+  (void)scan.next(procs.p(), t);
+  const u64 loads_before = procs.p().counters().loads;
+  (void)t.read_int(procs.p(), 0);
+  EXPECT_EQ(procs.p().counters().loads, loads_before + 1);
+  (void)t.read_str(procs.p(), 3);  // 12-byte string: still one line
+  EXPECT_LE(procs.p().counters().loads, loads_before + 3);
+  scan.close(procs.p());
+}
+
+TEST(SeqScan, LeavesNoPinnedPages) {
+  auto dbase = make_db(400);
+  RtRig rig(*dbase);
+  DbRig procs(1);
+  SeqScan scan(rig.rt, "items");
+  scan.open(procs.p());
+  HeapTuple t;
+  while (scan.next(procs.p(), t)) {
+  }
+  scan.close(procs.p());
+  for (u64 pg = 0; pg < dbase->table("items").num_pages(); ++pg) {
+    EXPECT_EQ(rig.rt.pool().pin_count(
+                  BufferPool::PageKey{0, static_cast<u32>(pg)}),
+              0u);
+  }
+}
+
+TEST(SeqScan, EarlyCloseUnpins) {
+  auto dbase = make_db(400);
+  RtRig rig(*dbase);
+  DbRig procs(1);
+  SeqScan scan(rig.rt, "items");
+  scan.open(procs.p());
+  HeapTuple t;
+  (void)scan.next(procs.p(), t);
+  scan.close(procs.p());  // mid-scan
+  EXPECT_EQ(rig.rt.pool().pin_count(BufferPool::PageKey{0, 0}), 0u);
+}
+
+TEST(IndexScan, FindsAllGroupMembers) {
+  auto dbase = make_db(700);
+  RtRig rig(*dbase);
+  DbRig procs(1);
+  IndexScan scan(rig.rt, "items_grp_idx");
+  scan.open(procs.p());
+  for (i64 g = 0; g < 7; ++g) {
+    scan.probe(procs.p(), g);
+    HeapTuple t;
+    u64 n = 0;
+    while (scan.next(procs.p(), t)) {
+      EXPECT_EQ(t.read_int(procs.p(), 1), g);
+      ++n;
+    }
+    scan.end_probe(procs.p());
+    EXPECT_EQ(n, 100u) << "group " << g;
+  }
+  scan.close(procs.p());
+}
+
+TEST(IndexScan, MissingKeyYieldsNothing) {
+  auto dbase = make_db(50);
+  RtRig rig(*dbase);
+  DbRig procs(1);
+  IndexScan scan(rig.rt, "items_grp_idx");
+  scan.open(procs.p());
+  scan.probe(procs.p(), 999);
+  HeapTuple t;
+  EXPECT_FALSE(scan.next(procs.p(), t));
+  scan.end_probe(procs.p());
+  scan.close(procs.p());
+}
+
+TEST(IndexScan, ReprobeWithoutEndProbeIsSafe) {
+  auto dbase = make_db(200);
+  RtRig rig(*dbase);
+  DbRig procs(1);
+  IndexScan scan(rig.rt, "items_grp_idx");
+  scan.open(procs.p());
+  scan.probe(procs.p(), 1);
+  HeapTuple t;
+  (void)scan.next(procs.p(), t);
+  scan.probe(procs.p(), 2);  // implicit end_probe
+  u64 n = 0;
+  while (scan.next(procs.p(), t)) ++n;
+  EXPECT_GT(n, 0u);
+  scan.close(procs.p());
+  // All pins returned.
+  for (const auto& [rel_id, pages] : dbase->page_inventory()) {
+    for (u64 pg = 0; pg < pages; ++pg) {
+      EXPECT_EQ(rig.rt.pool().pin_count(
+                    BufferPool::PageKey{rel_id, static_cast<u32>(pg)}),
+                0u);
+    }
+  }
+}
+
+TEST(HashGroupBy, AccumulatesPerKey) {
+  DbRig procs(1);
+  WorkMem wm(procs.p(), 4096);
+  HashGroupBy g(procs.p(), wm, 8);
+  g.update(procs.p(), "b", {1, 10, 0, 0});
+  g.update(procs.p(), "a", {2, 0, 0, 0});
+  g.update(procs.p(), "b", {3, 1, 0, 0});
+  const auto rows = g.sorted_groups();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].key, "a");
+  EXPECT_DOUBLE_EQ(rows[0].acc[0], 2.0);
+  EXPECT_EQ(rows[1].key, "b");
+  EXPECT_DOUBLE_EQ(rows[1].acc[0], 4.0);
+  EXPECT_DOUBLE_EQ(rows[1].acc[1], 11.0);
+}
+
+TEST(ChargeSort, ScalesWithN) {
+  DbRig procs(1);
+  WorkMem wm(procs.p(), 4096);
+  const u64 before = procs.p().counters().instructions;
+  charge_sort(procs.p(), wm, 1);  // no-op
+  EXPECT_EQ(procs.p().counters().instructions, before);
+  charge_sort(procs.p(), wm, 1'000);
+  const u64 small = procs.p().counters().instructions - before;
+  charge_sort(procs.p(), wm, 100'000);
+  const u64 large = procs.p().counters().instructions - before - small;
+  EXPECT_GT(large, small * 10);
+}
+
+}  // namespace
+}  // namespace dss::db

@@ -1,0 +1,137 @@
+// Heap mutation + scan integration: appended rows become visible to scans,
+// deletes disappear from both scan types, pool extension works.
+#include <gtest/gtest.h>
+
+#include "db/exec.hpp"
+#include "test_rig.hpp"
+
+namespace dss::db {
+namespace {
+
+using testing::DbRig;
+
+struct Rig {
+  Rig() {
+    auto& t = dbase.create_table(
+        "t", Schema({{"k", ColType::Int64, 0}, {"v", ColType::Double, 0}}));
+    for (i64 i = 0; i < 1'000; ++i) {
+      t.add_row({Value::of_int(i % 50), Value::of_double(i * 1.0)});
+    }
+    dbase.create_index("t_k", "t", "k");
+    rt = std::make_unique<DbRuntime>(dbase, RuntimeConfig{512, 4096});
+    rt->prewarm_all();
+  }
+  Database dbase;
+  std::unique_ptr<DbRuntime> rt;
+};
+
+u64 count_seq(Rig& rig, os::Process& p) {
+  SeqScan scan(*rig.rt, "t");
+  scan.open(p);
+  HeapTuple t;
+  u64 n = 0;
+  while (scan.next(p, t)) ++n;
+  scan.close(p);
+  return n;
+}
+
+TEST(HeapMutation, AppendedRowsVisibleToSeqScan) {
+  Rig rig;
+  DbRig procs(1);
+  auto& rel = rig.dbase.table_mut("t");
+  const u32 rel_id = rig.dbase.rel_id("t");
+  const u64 before = count_seq(rig, procs.p());
+  const u64 pages_before = rel.num_pages();
+  // Append enough rows to force page extension through pool.allocate.
+  const u32 rpp = rel.rows_per_page();
+  for (u64 i = 0; i < rpp + 5; ++i) {
+    (void)heap_append(procs.p(), *rig.rt, rel, rel_id,
+                      {Value::of_int(999), Value::of_double(1.0)});
+  }
+  EXPECT_GT(rel.num_pages(), pages_before);
+  EXPECT_EQ(count_seq(rig, procs.p()), before + rpp + 5);
+  // Newly extended pages are resident and unpinned.
+  for (u64 pg = pages_before; pg < rel.num_pages(); ++pg) {
+    EXPECT_TRUE(rig.rt->pool().resident(
+        BufferPool::PageKey{rel_id, static_cast<u32>(pg)}));
+    EXPECT_EQ(rig.rt->pool().pin_count(
+                  BufferPool::PageKey{rel_id, static_cast<u32>(pg)}),
+              0u);
+  }
+}
+
+TEST(HeapMutation, DeletedRowsVanishFromBothScans) {
+  Rig rig;
+  DbRig procs(1);
+  auto& rel = rig.dbase.table_mut("t");
+  const u32 rel_id = rig.dbase.rel_id("t");
+  auto& idx = rig.dbase.index_mut("t_k");
+
+  // Delete every row with k == 7 (20 rows), via index lookup.
+  std::vector<RowId> victims;
+  for (u64 pos = idx.lower_bound(7); pos < idx.num_entries(); ++pos) {
+    const auto e = idx.entry(pos);
+    if (e.key != 7) break;
+    victims.push_back(e.rid);
+  }
+  ASSERT_EQ(victims.size(), 20u);
+  for (RowId rid : victims) {
+    heap_delete(procs.p(), *rig.rt, rel, rel_id, rid);
+    ASSERT_TRUE(idx.erase(procs.p(), rig.rt->pool(), 7, rid));
+  }
+
+  EXPECT_EQ(count_seq(rig, procs.p()), 980u);
+  IndexScan scan(*rig.rt, "t_k");
+  scan.open(procs.p());
+  scan.probe(procs.p(), 7);
+  HeapTuple t;
+  EXPECT_FALSE(scan.next(procs.p(), t));
+  scan.end_probe(procs.p());
+  // Neighbouring keys unaffected.
+  scan.probe(procs.p(), 8);
+  u64 n = 0;
+  while (scan.next(procs.p(), t)) ++n;
+  scan.end_probe(procs.p());
+  scan.close(procs.p());
+  EXPECT_EQ(n, 20u);
+}
+
+TEST(HeapMutation, DeleteWithoutIndexEraseStillSkippedByIndexScan) {
+  // MVCC: the index may briefly point at a dead tuple; the heap fetch's
+  // visibility check must filter it (as PostgreSQL does before vacuum).
+  Rig rig;
+  DbRig procs(1);
+  auto& rel = rig.dbase.table_mut("t");
+  const u32 rel_id = rig.dbase.rel_id("t");
+  auto& idx = rig.dbase.index("t_k");
+  const RowId victim = idx.entry(idx.lower_bound(3)).rid;
+  heap_delete(procs.p(), *rig.rt, rel, rel_id, victim);
+
+  IndexScan scan(*rig.rt, "t_k");
+  scan.open(procs.p());
+  scan.probe(procs.p(), 3);
+  HeapTuple t;
+  u64 n = 0;
+  while (scan.next(procs.p(), t)) {
+    EXPECT_NE(t.rid(), victim);
+    ++n;
+  }
+  scan.end_probe(procs.p());
+  scan.close(procs.p());
+  EXPECT_EQ(n, 19u);
+}
+
+TEST(HeapMutation, LiveRowAccounting) {
+  Rig rig;
+  DbRig procs(1);
+  auto& rel = rig.dbase.table_mut("t");
+  EXPECT_EQ(rel.num_live_rows(), 1'000u);
+  rel.mark_deleted(5);
+  rel.mark_deleted(5);  // idempotent
+  EXPECT_EQ(rel.num_live_rows(), 999u);
+  EXPECT_TRUE(rel.is_deleted(5));
+  EXPECT_FALSE(rel.is_deleted(6));
+}
+
+}  // namespace
+}  // namespace dss::db

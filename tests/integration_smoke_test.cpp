@@ -1,0 +1,64 @@
+// End-to-end smoke: build a tiny TPC-H database, run each query on each
+// machine with 1 and 2 processes, check functional correctness against the
+// oracle and basic sanity of the measured counters.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "tpch/oracle.hpp"
+
+namespace dss {
+namespace {
+
+core::ExperimentRunner& runner() {
+  static core::ExperimentRunner r(core::ScaleConfig{64}, 42);
+  return r;
+}
+
+TEST(IntegrationSmoke, Q6MatchesOracleOnBothMachines) {
+  tpch::QueryParams params;
+  const double expected = tpch::oracle::q6(runner().database(), params);
+  for (auto platform : {perf::Platform::VClass, perf::Platform::Origin2000}) {
+    const auto res = runner().run(platform, tpch::QueryId::Q6, 1, 1);
+    ASSERT_EQ(res.query_result.size(), 1u);
+    EXPECT_NEAR(res.query_result[0].vals[0], expected, 1e-6 * (1 + expected));
+    EXPECT_GT(res.thread_time_cycles, 0);
+    EXPECT_GT(res.cpi, 1.0);
+    EXPECT_LT(res.cpi, 3.0);
+  }
+}
+
+TEST(IntegrationSmoke, Q12MatchesOracle) {
+  tpch::QueryParams params;
+  const auto expected = tpch::oracle::q12(runner().database(), params);
+  const auto res = runner().run(perf::Platform::Origin2000, tpch::QueryId::Q12, 1, 1);
+  ASSERT_EQ(res.query_result.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(res.query_result[i].key, expected[i].key);
+    EXPECT_DOUBLE_EQ(res.query_result[i].vals[0], expected[i].vals[0]);
+    EXPECT_DOUBLE_EQ(res.query_result[i].vals[1], expected[i].vals[1]);
+  }
+}
+
+TEST(IntegrationSmoke, Q21MatchesOracle) {
+  tpch::QueryParams params;
+  const auto expected = tpch::oracle::q21(runner().database(), params);
+  const auto res = runner().run(perf::Platform::VClass, tpch::QueryId::Q21, 1, 1);
+  ASSERT_EQ(res.query_result.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(res.query_result[i].key, expected[i].key) << "row " << i;
+    EXPECT_DOUBLE_EQ(res.query_result[i].vals[0], expected[i].vals[0]);
+  }
+}
+
+TEST(IntegrationSmoke, MultiProcessProducesSameAnswers) {
+  const auto r1 = runner().run(perf::Platform::Origin2000, tpch::QueryId::Q6, 1, 1);
+  const auto r2 = runner().run(perf::Platform::Origin2000, tpch::QueryId::Q6, 2, 1);
+  ASSERT_EQ(r2.query_result.size(), 1u);
+  EXPECT_DOUBLE_EQ(r1.query_result[0].vals[0], r2.query_result[0].vals[0]);
+  // More processes -> more per-process work is not expected, but coherence
+  // overhead must not *reduce* thread time.
+  EXPECT_GE(r2.thread_time_cycles, 0.95 * r1.thread_time_cycles);
+}
+
+}  // namespace
+}  // namespace dss

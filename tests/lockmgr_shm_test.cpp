@@ -1,0 +1,117 @@
+// Lock manager and shared-memory allocator tests.
+#include <gtest/gtest.h>
+
+#include "db/lockmgr.hpp"
+#include "db/shm.hpp"
+#include "test_rig.hpp"
+
+namespace dss::db {
+namespace {
+
+using testing::DbRig;
+
+TEST(Shm, AllocatesAlignedDisjointRanges) {
+  ShmAllocator shm;
+  const sim::SimAddr a = shm.alloc(100, 64);
+  const sim::SimAddr b = shm.alloc(10, 64);
+  EXPECT_GE(a, sim::kSharedBase);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_TRUE(sim::is_shared(a));
+  EXPECT_TRUE(sim::is_shared(b));
+  EXPECT_GT(shm.used(), 110u);
+}
+
+TEST(Shm, PageAlignment) {
+  ShmAllocator shm;
+  (void)shm.alloc(100, 64);
+  const sim::SimAddr p = shm.alloc(8192, 8192);
+  EXPECT_EQ(p % 8192, 0u);
+}
+
+TEST(WorkMem, LivesInOwnersPrivateRegion) {
+  DbRig rig(2);
+  WorkMem w0(rig.p(0), 4096);
+  WorkMem w1(rig.p(1), 4096);
+  EXPECT_TRUE(sim::is_private(w0.arena_base()));
+  EXPECT_EQ(sim::private_owner(w0.arena_base()), 0u);
+  EXPECT_EQ(sim::private_owner(w1.arena_base()), 1u);
+}
+
+TEST(WorkMem, TouchRotatesThroughArena) {
+  DbRig rig(1);
+  WorkMem w(rig.p(), 4096);
+  const u64 before = rig.p().counters().loads;
+  for (int i = 0; i < 100; ++i) w.touch(rig.p(), 1);
+  EXPECT_EQ(rig.p().counters().loads, before + 100);
+  // 100 touches with 96-byte stride cover more lines than one hot line:
+  // a cold pass must have missed repeatedly.
+  EXPECT_GT(rig.p().counters().l1d_misses, 20u);
+}
+
+TEST(WorkMem, AllocAfterArenaIsDisjoint) {
+  DbRig rig(1);
+  WorkMem w(rig.p(), 4096);
+  const sim::SimAddr a = w.alloc(256);
+  EXPECT_GE(a, w.arena_base() + w.arena_bytes());
+  const sim::SimAddr b = w.alloc(64);
+  EXPECT_GE(b, a + 256);
+}
+
+TEST(LockMgr, SharedLocksAreCompatible) {
+  DbRig rig(2);
+  ShmAllocator shm;
+  LockManager lm(shm);
+  lm.lock_relation(rig.p(0), 7, LockMode::AccessShare);
+  lm.lock_relation(rig.p(1), 7, LockMode::AccessShare);
+  EXPECT_EQ(lm.share_holders(7), 2u);
+  EXPECT_EQ(rig.p(1).counters().vol_ctx_switches, 0u)
+      << "read locks must not block";
+  lm.unlock_relation(rig.p(0), 7, LockMode::AccessShare);
+  lm.unlock_relation(rig.p(1), 7, LockMode::AccessShare);
+  EXPECT_EQ(lm.share_holders(7), 0u);
+}
+
+TEST(LockMgr, ExclusiveConflictsWithShared) {
+  DbRig rig(2);
+  ShmAllocator shm;
+  LockManager lm(shm);
+  lm.lock_relation(rig.p(0), 7, LockMode::AccessShare);
+  // The exclusive requester must wait (sleep-retry) until the share lock is
+  // gone. Run the release "in the past" is impossible here, so grab/release
+  // first, then verify an exclusive acquires cleanly afterwards.
+  lm.unlock_relation(rig.p(0), 7, LockMode::AccessShare);
+  lm.lock_relation(rig.p(1), 7, LockMode::AccessExclusive);
+  EXPECT_EQ(lm.share_holders(7), 0u);
+  lm.unlock_relation(rig.p(1), 7, LockMode::AccessExclusive);
+}
+
+TEST(LockMgr, LockBookkeepingEmitsSharedWrites) {
+  DbRig rig(1);
+  ShmAllocator shm;
+  LockManager lm(shm);
+  const u64 stores_before = rig.p().counters().stores;
+  lm.lock_relation(rig.p(), 3, LockMode::AccessShare);
+  EXPECT_GT(rig.p().counters().stores, stores_before)
+      << "lock acquisition updates the shared lock table";
+  lm.unlock_relation(rig.p(), 3, LockMode::AccessShare);
+}
+
+TEST(LockMgr, DistinctRelationsTrackedIndependently) {
+  DbRig rig(1);
+  ShmAllocator shm;
+  LockManager lm(shm);
+  lm.lock_relation(rig.p(), 1, LockMode::AccessShare);
+  lm.lock_relation(rig.p(), 2, LockMode::AccessShare);
+  EXPECT_EQ(lm.share_holders(1), 1u);
+  EXPECT_EQ(lm.share_holders(2), 1u);
+  EXPECT_EQ(lm.share_holders(3), 0u);
+  lm.unlock_relation(rig.p(), 1, LockMode::AccessShare);
+  EXPECT_EQ(lm.share_holders(1), 0u);
+  EXPECT_EQ(lm.share_holders(2), 1u);
+  lm.unlock_relation(rig.p(), 2, LockMode::AccessShare);
+}
+
+}  // namespace
+}  // namespace dss::db

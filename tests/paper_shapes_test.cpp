@@ -1,0 +1,114 @@
+// Regression tests for the paper's qualitative findings (EXPERIMENTS.md).
+//
+// These run the real experiment pipeline at 1/32 scale with one trial, so
+// they are coarser than the bench binaries, but they pin the *shape* results
+// the reproduction is for: if a refactor breaks the Fig. 2/4/5/7/10
+// structure, this suite fails.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace dss {
+namespace {
+
+using perf::Platform;
+using tpch::QueryId;
+
+core::ExperimentRunner& runner() {
+  static core::ExperimentRunner r(core::ScaleConfig{32}, 42);
+  return r;
+}
+
+TEST(PaperShapes, Fig2SingleProcessCyclesComparable) {
+  for (auto q : {QueryId::Q6, QueryId::Q21, QueryId::Q12}) {
+    const auto hpv = runner().run(Platform::VClass, q, 1, 1);
+    const auto sgi = runner().run(Platform::Origin2000, q, 1, 1);
+    EXPECT_NEAR(sgi.thread_time_cycles / hpv.thread_time_cycles, 1.0, 0.15)
+        << tpch::query_name(q);
+    // Clock-rate advantage: Origin finishes earlier in wall-clock terms.
+    EXPECT_LT(sgi.thread_time_cycles / 250e6, hpv.thread_time_cycles / 200e6);
+  }
+}
+
+TEST(PaperShapes, Fig3CpiBandAndGrowth) {
+  const auto h1 = runner().run(Platform::VClass, QueryId::Q6, 1, 1);
+  const auto h8 = runner().run(Platform::VClass, QueryId::Q6, 8, 1);
+  const auto s1 = runner().run(Platform::Origin2000, QueryId::Q6, 1, 1);
+  const auto s8 = runner().run(Platform::Origin2000, QueryId::Q6, 8, 1);
+  for (double v : {h1.cpi, h8.cpi, s1.cpi, s8.cpi}) {
+    EXPECT_GT(v, 1.25);
+    EXPECT_LT(v, 1.70);
+  }
+  EXPECT_GT(s8.cpi, s1.cpi);
+  EXPECT_GT(s8.cpi - s1.cpi, h8.cpi - h1.cpi)
+      << "Origin communication must cost more";
+}
+
+TEST(PaperShapes, Fig4CacheHierarchyContrast) {
+  const auto q6h = runner().run(Platform::VClass, QueryId::Q6, 1, 1);
+  const auto q6s = runner().run(Platform::Origin2000, QueryId::Q6, 1, 1);
+  const auto q21h = runner().run(Platform::VClass, QueryId::Q21, 1, 1);
+  const auto q21s = runner().run(Platform::Origin2000, QueryId::Q21, 1, 1);
+
+  const double q6_gap = q6s.l1d_misses / q6h.l1d_misses;
+  const double q21_gap = q21s.l1d_misses / q21h.l1d_misses;
+  EXPECT_GT(q6_gap, 1.1) << "sequential query: small L1 costs something";
+  EXPECT_LT(q6_gap, 3.5) << "but streaming keeps the gap modest";
+  EXPECT_GT(q21_gap, 2.0 * q6_gap) << "index query: L1 gap balloons";
+  EXPECT_LT(q21s.l2d_misses, q21h.l1d_misses)
+      << "the 4 MB L2 must beat the 2 MB single-level cache on Q21";
+  EXPECT_GT(q6s.l1d_misses / q6s.l2d_misses, 1.8)
+      << "128 B L2 lines cut sequential misses";
+}
+
+TEST(PaperShapes, Fig5and7ScalingContrast) {
+  const auto s1 = runner().run(Platform::Origin2000, QueryId::Q12, 1, 1);
+  const auto s8 = runner().run(Platform::Origin2000, QueryId::Q12, 8, 1);
+  const auto h1 = runner().run(Platform::VClass, QueryId::Q12, 1, 1);
+  const auto h8 = runner().run(Platform::VClass, QueryId::Q12, 8, 1);
+  const double sgi_rise = s8.cycles_per_minstr - s1.cycles_per_minstr;
+  const double hpv_rise = h8.cycles_per_minstr - h1.cycles_per_minstr;
+  EXPECT_GT(sgi_rise, 0.0);
+  EXPECT_GE(hpv_rise, -0.005 * h1.cycles_per_minstr);
+  EXPECT_GT(sgi_rise, hpv_rise);
+}
+
+TEST(PaperShapes, Fig9LatencyJumpAtTwoProcesses) {
+  const auto v1 = runner().run(Platform::VClass, QueryId::Q6, 1, 1);
+  const auto v2 = runner().run(Platform::VClass, QueryId::Q6, 2, 1);
+  EXPECT_GT(v2.avg_mem_latency, v1.avg_mem_latency + 2.0);
+}
+
+TEST(PaperShapes, Fig10ContextSwitchStructure) {
+  const auto v1 = runner().run(Platform::VClass, QueryId::Q21, 1, 1);
+  EXPECT_LT(v1.vol_ctx_per_minstr, 0.25 * v1.invol_ctx_per_minstr + 1e-9)
+      << "1 process: almost all switches involuntary";
+  const auto v2 = runner().run(Platform::VClass, QueryId::Q21, 2, 1);
+  const auto v8 = runner().run(Platform::VClass, QueryId::Q21, 8, 1);
+  EXPECT_GT(v2.vol_ctx_per_minstr, 0.0) << "contention appears at 2";
+  EXPECT_GT(v8.vol_ctx_per_minstr, v2.vol_ctx_per_minstr)
+      << "voluntary switches grow with process count";
+  EXPECT_GT(v8.invol_ctx_per_minstr, v1.invol_ctx_per_minstr)
+      << "involuntary switches grow slowly";
+}
+
+TEST(PaperShapes, MigratoryHandoffsHappenOnVClass) {
+  const auto v4 = runner().run(Platform::VClass, QueryId::Q6, 4, 1);
+  EXPECT_GT(v4.mean.migratory_transfers, 0u)
+      << "the V-Class protocol enhancement must trigger on lock/header "
+         "read-update patterns";
+}
+
+TEST(PaperShapes, RemoteAccessShareGrowsOnOrigin) {
+  const auto s1 = runner().run(Platform::Origin2000, QueryId::Q6, 1, 1);
+  const auto s8 = runner().run(Platform::Origin2000, QueryId::Q6, 8, 1);
+  const double share1 = static_cast<double>(s1.mean.remote_accesses) /
+                        static_cast<double>(s1.mean.mem_requests);
+  const double share8 = static_cast<double>(s8.mean.remote_accesses) /
+                        static_cast<double>(s8.mean.mem_requests);
+  EXPECT_GT(share8, share1)
+      << "more processes sit on nodes away from the shared segment's homes";
+}
+
+}  // namespace
+}  // namespace dss

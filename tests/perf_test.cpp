@@ -1,0 +1,98 @@
+// Performance-counter model tests.
+#include <gtest/gtest.h>
+
+#include "perf/counters.hpp"
+#include "perf/platform_events.hpp"
+
+namespace dss::perf {
+namespace {
+
+TEST(Counters, DerivedMetrics) {
+  Counters c;
+  c.cycles = 14'000'000;
+  c.instructions = 10'000'000;
+  c.l1d_misses = 5'000;
+  c.l2d_misses = 1'000;
+  c.loads = 90'000;
+  c.stores = 10'000;
+  c.mem_requests = 1'000;
+  c.mem_latency_cycles = 110'000;
+  c.vol_ctx_switches = 20;
+  c.invol_ctx_switches = 10;
+  EXPECT_DOUBLE_EQ(c.cpi(), 1.4);
+  EXPECT_DOUBLE_EQ(c.cycles_per_minstr(), 1.4e6);
+  EXPECT_DOUBLE_EQ(c.l1d_per_minstr(), 500.0);
+  EXPECT_DOUBLE_EQ(c.l2d_per_minstr(), 100.0);
+  EXPECT_DOUBLE_EQ(c.avg_mem_latency(), 110.0);
+  EXPECT_DOUBLE_EQ(c.vol_ctx_per_minstr(), 2.0);
+  EXPECT_DOUBLE_EQ(c.invol_ctx_per_minstr(), 1.0);
+  EXPECT_DOUBLE_EQ(c.l1d_miss_rate(), 0.05);
+  EXPECT_DOUBLE_EQ(c.l2d_miss_rate(), 0.2);
+}
+
+TEST(Counters, ZeroSafeDerivedMetrics) {
+  const Counters c;
+  EXPECT_EQ(c.cpi(), 0.0);
+  EXPECT_EQ(c.avg_mem_latency(), 0.0);
+  EXPECT_EQ(c.l1d_miss_rate(), 0.0);
+}
+
+TEST(Counters, Accumulate) {
+  Counters a, b;
+  a.cycles = 10;
+  a.dirty_misses = 3;
+  b.cycles = 5;
+  b.dirty_misses = 4;
+  b.migratory_transfers = 2;
+  a += b;
+  EXPECT_EQ(a.cycles, 15u);
+  EXPECT_EQ(a.dirty_misses, 7u);
+  EXPECT_EQ(a.migratory_transfers, 2u);
+}
+
+TEST(PlatformEvents, CataloguesDiffer) {
+  const auto& hp = platform_events(Platform::VClass);
+  const auto& sgi = platform_events(Platform::Origin2000);
+  EXPECT_FALSE(hp.empty());
+  EXPECT_FALSE(sgi.empty());
+  // The V-Class has no L2 event; the Origin has no open-request counter.
+  Counters c;
+  EXPECT_FALSE(read_event(Platform::VClass, "L2_DCACHE_MISS", c).has_value());
+  EXPECT_FALSE(read_event(Platform::Origin2000, "MEM_OPEN_TICKS", c).has_value());
+}
+
+TEST(PlatformEvents, ReadsMapToCounters) {
+  Counters c;
+  c.cycles = 123;
+  c.instructions = 456;
+  c.l1d_misses = 7;
+  c.l2d_misses = 8;
+  c.cache_interventions = 9;
+  c.invalidations_recv = 10;
+  c.mem_latency_cycles = 11;
+  EXPECT_EQ(read_event(Platform::VClass, "CPU_CYCLES", c), 123u);
+  EXPECT_EQ(read_event(Platform::VClass, "DCACHE_MISS", c), 7u);
+  EXPECT_EQ(read_event(Platform::VClass, "MEM_OPEN_TICKS", c), 11u);
+  EXPECT_EQ(read_event(Platform::Origin2000, "GRAD_INSTR", c), 456u);
+  EXPECT_EQ(read_event(Platform::Origin2000, "L2_DCACHE_MISS", c), 8u);
+  EXPECT_EQ(read_event(Platform::Origin2000, "EXT_INTERVENTION", c), 9u);
+  EXPECT_EQ(read_event(Platform::Origin2000, "EXT_INVALIDATE", c), 10u);
+}
+
+TEST(PlatformEvents, EveryCataloguedEventIsReadable) {
+  const Counters c;
+  for (auto platform : {Platform::VClass, Platform::Origin2000}) {
+    for (const auto& ev : platform_events(platform)) {
+      EXPECT_TRUE(read_event(platform, ev.name, c).has_value())
+          << platform_name(platform) << "/" << ev.name;
+    }
+  }
+}
+
+TEST(PlatformEvents, Names) {
+  EXPECT_STREQ(platform_name(Platform::VClass), "HP V-Class");
+  EXPECT_STREQ(platform_name(Platform::Origin2000), "SGI Origin 2000");
+}
+
+}  // namespace
+}  // namespace dss::perf

@@ -1,0 +1,204 @@
+// Refresh functions RF1/RF2 and the dynamic B-tree write path.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "db/exec.hpp"
+#include "test_rig.hpp"
+#include "tpch/gen.hpp"
+#include "tpch/oracle.hpp"
+#include "tpch/refresh.hpp"
+#include "util/rng.hpp"
+
+namespace dss {
+namespace {
+
+struct MutableRig {
+  MutableRig() {
+    tpch::GenConfig gen;
+    gen.scale_factor = 0.001;
+    gen.seed = 5;
+    dbase = tpch::build_database(gen);
+    rt = std::make_unique<db::DbRuntime>(*dbase,
+                                         db::RuntimeConfig{2048, 4096});
+    rt->prewarm_all();
+    machine = std::make_unique<sim::MachineSim>(testing::small_machine());
+    proc = std::make_unique<os::Process>(*machine, 0);
+  }
+  std::unique_ptr<db::Database> dbase;
+  std::unique_ptr<db::DbRuntime> rt;
+  std::unique_ptr<sim::MachineSim> machine;
+  std::unique_ptr<os::Process> proc;
+};
+
+TEST(Refresh, Rf1InsertsBatchAndKeepsIndexesConsistent) {
+  MutableRig rig;
+  const u64 orders_before = rig.dbase->table("orders").num_rows();
+  const u64 li_before = rig.dbase->table("lineitem").num_rows();
+
+  tpch::RefreshConfig cfg;
+  cfg.batch_orders = 20;
+  const auto res = tpch::rf1(*rig.dbase, *rig.rt, *rig.proc, cfg);
+  EXPECT_EQ(res.orders, 20u);
+  EXPECT_GE(res.lineitems, 20u);
+  EXPECT_EQ(rig.dbase->table("orders").num_rows(), orders_before + 20);
+  EXPECT_EQ(rig.dbase->table("lineitem").num_rows(), li_before + res.lineitems);
+  EXPECT_EQ(rig.dbase->index("orders_pkey").num_entries(),
+            orders_before + 20);
+  EXPECT_EQ(rig.dbase->index("lineitem_orderkey_idx").num_entries(),
+            li_before + res.lineitems);
+  EXPECT_TRUE(rig.dbase->index("orders_pkey").check_structure());
+  EXPECT_TRUE(rig.dbase->index("lineitem_orderkey_idx").check_structure());
+  // Writing costs cycles and emits stores.
+  EXPECT_GT(rig.proc->counters().stores, 0u);
+  EXPECT_GT(rig.proc->counters().cycles, 0u);
+}
+
+TEST(Refresh, Rf1ThenQueriesStillMatchOracle) {
+  MutableRig rig;
+  tpch::RefreshConfig cfg;
+  cfg.batch_orders = 30;
+  (void)tpch::rf1(*rig.dbase, *rig.rt, *rig.proc, cfg);
+
+  tpch::QueryParams params;
+  auto q6 = tpch::make_query(tpch::QueryId::Q6, *rig.rt, *rig.proc, params);
+  while (!q6->step(*rig.proc)) {
+  }
+  EXPECT_NEAR(q6->result()[0].vals[0],
+              tpch::oracle::q6(*rig.dbase, params), 1e-6);
+}
+
+TEST(Refresh, Rf2DeletesFromTheFront) {
+  MutableRig rig;
+  const auto& orders = rig.dbase->table("orders");
+  tpch::RefreshConfig cfg;
+  cfg.batch_orders = 15;
+  const auto res = tpch::rf2(*rig.dbase, *rig.rt, *rig.proc, cfg);
+  EXPECT_EQ(res.orders, 15u);
+  EXPECT_GT(res.lineitems, 0u);
+  EXPECT_EQ(orders.num_live_rows(), orders.num_rows() - 15);
+  // The lowest keys are gone from the index.
+  EXPECT_EQ(rig.dbase->index("orders_pkey").count_eq(1), 0u);
+  EXPECT_TRUE(rig.dbase->index("orders_pkey").check_structure());
+  EXPECT_TRUE(rig.dbase->index("lineitem_orderkey_idx").check_structure());
+}
+
+TEST(Refresh, Rf2ThenQueriesMatchOracleAndSkipDeleted) {
+  MutableRig rig;
+  tpch::RefreshConfig cfg;
+  cfg.batch_orders = 25;
+  (void)tpch::rf2(*rig.dbase, *rig.rt, *rig.proc, cfg);
+
+  tpch::QueryParams params;
+  auto q12 = tpch::make_query(tpch::QueryId::Q12, *rig.rt, *rig.proc, params);
+  while (!q12->step(*rig.proc)) {
+  }
+  const auto expected = tpch::oracle::q12(*rig.dbase, params);
+  ASSERT_EQ(q12->result().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(q12->result()[i].key, expected[i].key);
+    EXPECT_DOUBLE_EQ(q12->result()[i].vals[0], expected[i].vals[0]);
+  }
+}
+
+TEST(Refresh, Rf1ThenRf2RoundTrip) {
+  MutableRig rig;
+  tpch::RefreshConfig cfg;
+  cfg.batch_orders = 10;
+  const u64 live_before = rig.dbase->table("orders").num_live_rows();
+  (void)tpch::rf1(*rig.dbase, *rig.rt, *rig.proc, cfg);
+  (void)tpch::rf2(*rig.dbase, *rig.rt, *rig.proc, cfg);
+  EXPECT_EQ(rig.dbase->table("orders").num_live_rows(), live_before);
+}
+
+// --- dynamic B-tree property tests ---
+
+class BTreeMutation : public ::testing::TestWithParam<u64> {};
+
+TEST_P(BTreeMutation, RandomInsertEraseMatchesMultimap) {
+  testing::DbRig procs(1);
+  db::Relation rel("t", db::Schema({{"k", db::ColType::Int64, 0}}));
+  // Start with enough rows that splits will occur during the storm.
+  std::multimap<i64, db::RowId> ref;
+  Rng rng(GetParam());
+  for (db::RowId r = 0; r < 900; ++r) {
+    const i64 k = rng.uniform(0, 499);
+    rel.add_row({db::Value::of_int(k)});
+    ref.emplace(k, r);
+  }
+  db::BTreeIndex idx("i", rel, 0);
+  idx.set_rel_id(3);
+  db::ShmAllocator shm;
+  db::BufferPool pool(shm, 128);
+  for (u32 pg = 0; pg < idx.num_pages(); ++pg) {
+    pool.prewarm(db::BufferPool::PageKey{3, pg});
+  }
+
+  db::RowId next_rid = 900;
+  for (int step = 0; step < 2'500; ++step) {
+    if (rng.chance(0.6)) {
+      const i64 k = rng.uniform(0, 499);
+      idx.insert(procs.p(), pool, k, next_rid);
+      ref.emplace(k, next_rid);
+      ++next_rid;
+    } else if (!ref.empty()) {
+      // Erase a pseudo-random existing entry.
+      auto it = ref.lower_bound(rng.uniform(0, 499));
+      if (it == ref.end()) it = ref.begin();
+      ASSERT_TRUE(idx.erase(procs.p(), pool, it->first, it->second));
+      ref.erase(it);
+    }
+    if (step % 500 == 499) {
+      ASSERT_TRUE(idx.check_structure()) << "step " << step;
+      for (i64 k : {0, 123, 250, 499}) {
+        ASSERT_EQ(idx.count_eq(k), ref.count(k)) << "key " << k;
+      }
+    }
+  }
+  ASSERT_EQ(idx.num_entries(), ref.size());
+  // Full sweep: every key count matches.
+  for (i64 k = 0; k < 500; ++k) {
+    ASSERT_EQ(idx.count_eq(k), ref.count(k)) << "key " << k;
+  }
+  // Erasing a non-existent entry fails cleanly.
+  EXPECT_FALSE(idx.erase(procs.p(), pool, 10'000, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeMutation, ::testing::Values(11, 22, 33));
+
+TEST(BTreeMutation, SplitsAllocateFreshPages) {
+  testing::DbRig procs(1);
+  db::Relation rel("t", db::Schema({{"k", db::ColType::Int64, 0}}));
+  for (db::RowId r = 0; r < 400; ++r) rel.add_row({db::Value::of_int(static_cast<i64>(r))});
+  db::BTreeIndex idx("i", rel, 0);
+  idx.set_rel_id(3);
+  db::ShmAllocator shm;
+  db::BufferPool pool(shm, 64);
+  for (u32 pg = 0; pg < idx.num_pages(); ++pg) {
+    pool.prewarm(db::BufferPool::PageKey{3, pg});
+  }
+  const u32 pages_before = idx.num_pages();
+  const u64 leaves_before = idx.num_leaves();
+  // Overflow the single leaf.
+  idx.insert(procs.p(), pool, 1000, 400);
+  EXPECT_GT(idx.num_leaves(), leaves_before);
+  EXPECT_GT(idx.num_pages(), pages_before);
+  EXPECT_TRUE(idx.check_structure());
+  // The new page is resident and unpinned.
+  EXPECT_EQ(pool.pin_count(db::BufferPool::PageKey{3, idx.num_pages() - 1}), 0u);
+}
+
+TEST(LockMgrModes, RowExclusiveCompatibleWithShare) {
+  testing::DbRig procs(2);
+  db::ShmAllocator shm;
+  db::LockManager lm(shm);
+  lm.lock_relation(procs.p(0), 4, db::LockMode::AccessShare);
+  lm.lock_relation(procs.p(1), 4, db::LockMode::RowExclusive);
+  EXPECT_EQ(procs.p(1).counters().vol_ctx_switches, 0u)
+      << "readers and writers must coexist";
+  lm.unlock_relation(procs.p(1), 4, db::LockMode::RowExclusive);
+  lm.unlock_relation(procs.p(0), 4, db::LockMode::AccessShare);
+}
+
+}  // namespace
+}  // namespace dss

@@ -1,0 +1,91 @@
+// Schema layout and relation storage tests.
+#include <gtest/gtest.h>
+
+#include "db/relation.hpp"
+
+namespace dss::db {
+namespace {
+
+Schema test_schema() {
+  return Schema({{"id", ColType::Int64, 0},
+                 {"price", ColType::Double, 0},
+                 {"when", ColType::Date, 0},
+                 {"tag", ColType::Str, 10}});
+}
+
+TEST(Schema, OffsetsAndWidths) {
+  const Schema s = test_schema();
+  EXPECT_EQ(s.num_cols(), 4u);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);
+  EXPECT_EQ(s.offset(2), 16u);
+  EXPECT_EQ(s.offset(3), 20u);
+  // 24 header + 30 data = 54, rounded to 56.
+  EXPECT_EQ(s.row_width(), 56u);
+  EXPECT_EQ(s.rows_per_page(), (kPageBytes - kPageHeaderBytes) / 56);
+}
+
+TEST(Schema, ColIndexLookup) {
+  const Schema s = test_schema();
+  EXPECT_EQ(s.col_index("price"), 1u);
+  EXPECT_THROW((void)s.col_index("nope"), std::out_of_range);
+}
+
+TEST(Relation, RoundTripsValues) {
+  Relation r("t", test_schema());
+  r.add_row({Value::of_int(7), Value::of_double(1.5),
+             Value::of_date(make_date(1994, 1, 1)), Value::of_str("hello")});
+  EXPECT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.get_int(0, 0), 7);
+  EXPECT_DOUBLE_EQ(r.get_double(0, 1), 1.5);
+  EXPECT_EQ(r.get_date(0, 2), make_date(1994, 1, 1));
+  EXPECT_EQ(r.get_str(0, 3), "hello");
+}
+
+TEST(Relation, PageGeometry) {
+  Relation r("t", test_schema());
+  const u32 rpp = r.rows_per_page();
+  for (u64 i = 0; i < static_cast<u64>(rpp) + 3; ++i) {
+    r.add_row({Value::of_int(static_cast<i64>(i)), Value::of_double(0),
+               Value::of_date(0), Value::of_str("x")});
+  }
+  EXPECT_EQ(r.num_pages(), 2u);
+  EXPECT_EQ(r.page_of(0), 0u);
+  EXPECT_EQ(r.page_of(rpp - 1), 0u);
+  EXPECT_EQ(r.page_of(rpp), 1u);
+  EXPECT_EQ(r.slot_of(rpp), 0u);
+  EXPECT_EQ(r.heap_bytes(), 2 * kPageBytes);
+}
+
+TEST(Relation, ByteOfIsWithinPageAndOrdered) {
+  Relation r("t", test_schema());
+  const u32 w = r.schema().row_width();
+  EXPECT_EQ(r.byte_of(0, 0), kPageHeaderBytes + kTupleHeaderBytes);
+  EXPECT_EQ(r.byte_of(1, 0), kPageHeaderBytes + w + kTupleHeaderBytes);
+  EXPECT_LT(r.byte_of(r.rows_per_page() - 1, 3) + 10, kPageBytes);
+  EXPECT_EQ(r.tuple_header_byte(2), kPageHeaderBytes + 2 * w);
+}
+
+TEST(Dates, CivilRoundTrip) {
+  const Date d = make_date(1995, 6, 17);
+  EXPECT_EQ(date_to_string(d), "1995-06-17");
+  EXPECT_EQ(date_to_string(add_years(d, 1)), "1996-06-17");
+  EXPECT_EQ(date_to_string(add_months(d, 3)), "1995-09-17");
+  EXPECT_EQ(date_to_string(add_months(make_date(1994, 12, 1), 1)),
+            "1995-01-01");
+  EXPECT_LT(make_date(1992, 1, 1), make_date(1998, 8, 2));
+}
+
+TEST(Dates, OrderingMatchesCalendar) {
+  Date prev = make_date(1992, 1, 1);
+  for (int y = 1992; y <= 1998; ++y) {
+    for (int m = 1; m <= 12; ++m) {
+      const Date d = make_date(y, m, 15);
+      EXPECT_GT(d, prev);
+      prev = d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dss::db

@@ -1,0 +1,32 @@
+// Shared fixtures for DB-layer tests: a small machine plus processes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "os/process.hpp"
+#include "sim/machine.hpp"
+#include "sim/machine_configs.hpp"
+
+namespace dss::testing {
+
+inline sim::MachineConfig small_machine() {
+  sim::MachineConfig c = sim::vclass().scaled(64);
+  c.num_processors = 8;
+  return c;
+}
+
+struct DbRig {
+  explicit DbRig(u32 nproc = 2, sim::MachineConfig cfg = small_machine())
+      : machine(cfg) {
+    for (u32 i = 0; i < nproc; ++i) {
+      procs.push_back(std::make_unique<os::Process>(machine, i));
+    }
+  }
+  os::Process& p(u32 i = 0) { return *procs[i]; }
+
+  sim::MachineSim machine;
+  std::vector<std::unique_ptr<os::Process>> procs;
+};
+
+}  // namespace dss::testing

@@ -1,0 +1,85 @@
+// Data-TLB model tests.
+#include <gtest/gtest.h>
+
+#include "perf/counters.hpp"
+#include "sim/machine.hpp"
+#include "sim/machine_configs.hpp"
+
+namespace dss::sim {
+namespace {
+
+MachineConfig tlb_machine(u32 entries, u32 penalty) {
+  MachineConfig c = vclass().scaled(64);
+  c.num_processors = 2;
+  c.tlb_entries = entries;
+  c.tlb_miss_penalty = penalty;
+  return c;
+}
+
+struct Rig {
+  explicit Rig(const MachineConfig& cfg) : m(cfg) {
+    m.attach_counters(0, &c0);
+    m.attach_counters(1, &c1);
+  }
+  MachineSim m;
+  perf::Counters c0, c1;
+  u64 t = 0;
+};
+
+TEST(Tlb, FirstTouchMissesThenHits) {
+  Rig r(tlb_machine(8, 50));
+  (void)r.m.access(0, AccessKind::Read, kSharedBase, 8, ++r.t);
+  EXPECT_EQ(r.c0.tlb_misses, 1u);
+  (void)r.m.access(0, AccessKind::Read, kSharedBase + 64, 8, ++r.t);
+  EXPECT_EQ(r.c0.tlb_misses, 1u) << "same page: no refill";
+  (void)r.m.access(0, AccessKind::Read, kSharedBase + kPlacementPageBytes, 8, ++r.t);
+  EXPECT_EQ(r.c0.tlb_misses, 2u);
+}
+
+TEST(Tlb, MissAddsExposedPenalty) {
+  Rig with(tlb_machine(8, 50));
+  Rig without(tlb_machine(0, 0));
+  const u64 lat_with =
+      with.m.access(0, AccessKind::Read, kSharedBase, 8, 1);
+  const u64 lat_without =
+      without.m.access(0, AccessKind::Read, kSharedBase, 8, 1);
+  EXPECT_EQ(lat_with, lat_without + 50);
+}
+
+TEST(Tlb, CapacityEvictionLru) {
+  Rig r(tlb_machine(4, 50));
+  for (u64 pg = 0; pg < 4; ++pg) {
+    (void)r.m.access(0, AccessKind::Read, kSharedBase + pg * kPlacementPageBytes, 8, ++r.t);
+  }
+  EXPECT_EQ(r.c0.tlb_misses, 4u);
+  // Page 0 is LRU; touching a 5th page evicts it.
+  (void)r.m.access(0, AccessKind::Read, kSharedBase + 4 * kPlacementPageBytes, 8, ++r.t);
+  (void)r.m.access(0, AccessKind::Read, kSharedBase, 8, ++r.t);
+  EXPECT_EQ(r.c0.tlb_misses, 6u) << "page 0 must have been evicted";
+}
+
+TEST(Tlb, PerProcessorPrivate) {
+  Rig r(tlb_machine(8, 50));
+  (void)r.m.access(0, AccessKind::Read, kSharedBase, 8, ++r.t);
+  (void)r.m.access(1, AccessKind::Read, kSharedBase, 8, ++r.t);
+  EXPECT_EQ(r.c0.tlb_misses, 1u);
+  EXPECT_EQ(r.c1.tlb_misses, 1u) << "each CPU has its own TLB";
+}
+
+TEST(Tlb, AccessSpanningPagesTranslatesBoth) {
+  Rig r(tlb_machine(8, 50));
+  (void)r.m.access(0, AccessKind::Read, kSharedBase + kPlacementPageBytes - 4,
+                   8, ++r.t);
+  EXPECT_EQ(r.c0.tlb_misses, 2u);
+}
+
+TEST(Tlb, StockMachinesHaveTlbs) {
+  EXPECT_EQ(vclass().tlb_entries, 120u);
+  EXPECT_EQ(origin2000().tlb_entries, 128u);
+  EXPECT_GT(origin2000().tlb_miss_penalty, vclass().tlb_miss_penalty)
+      << "software refill on the R10000 costs more than the PA's walker";
+  EXPECT_EQ(vclass().scaled(16).tlb_entries, 7u);
+}
+
+}  // namespace
+}  // namespace dss::sim

@@ -1,0 +1,94 @@
+// Extension queries Q1/Q3/Q14 vs their oracles, plus HashTableInt.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "db/exec.hpp"
+#include "test_rig.hpp"
+#include "tpch/oracle.hpp"
+
+namespace dss {
+namespace {
+
+core::ExperimentRunner& runner() {
+  static core::ExperimentRunner r(core::ScaleConfig{64}, 42);
+  return r;
+}
+
+void expect_rows_match(const std::vector<tpch::ResultRow>& got,
+                       const std::vector<tpch::ResultRow>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].key, want[i].key) << "row " << i;
+    ASSERT_EQ(got[i].vals.size(), want[i].vals.size()) << "row " << i;
+    for (std::size_t j = 0; j < want[i].vals.size(); ++j) {
+      EXPECT_NEAR(got[i].vals[j], want[i].vals[j],
+                  1e-6 * (1.0 + std::abs(want[i].vals[j])))
+          << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(TpchExt, Q1MatchesOracle) {
+  tpch::QueryParams params;
+  const auto expected = tpch::oracle::q1(runner().database(), params);
+  EXPECT_GE(expected.size(), 3u) << "R/F, N/O, (A/F) groups expected";
+  for (auto pl : {perf::Platform::VClass, perf::Platform::Origin2000}) {
+    const auto res = runner().run(pl, tpch::QueryId::Q1, 1, 1);
+    expect_rows_match(res.query_result, expected);
+  }
+}
+
+TEST(TpchExt, Q3MatchesOracle) {
+  tpch::QueryParams params;
+  const auto expected = tpch::oracle::q3(runner().database(), params);
+  EXPECT_FALSE(expected.empty());
+  EXPECT_LE(expected.size(), 10u);
+  const auto res = runner().run(perf::Platform::Origin2000, tpch::QueryId::Q3, 1, 1);
+  expect_rows_match(res.query_result, expected);
+}
+
+TEST(TpchExt, Q14MatchesOracle) {
+  tpch::QueryParams params;
+  const auto expected = tpch::oracle::q14(runner().database(), params);
+  ASSERT_EQ(expected.size(), 1u);
+  EXPECT_GT(expected[0].vals[0], 1.0) << "PROMO share should be ~1/6";
+  EXPECT_LT(expected[0].vals[0], 40.0);
+  const auto res = runner().run(perf::Platform::VClass, tpch::QueryId::Q14, 1, 1);
+  expect_rows_match(res.query_result, expected);
+}
+
+TEST(TpchExt, Q1IsSequentialShaped) {
+  const auto res = runner().run(perf::Platform::Origin2000, tpch::QueryId::Q1, 1, 1);
+  EXPECT_EQ(res.mean.index_descents, 0u);
+  EXPECT_GT(res.mean.tuples_scanned,
+            runner().database().table("lineitem").num_rows() - 1);
+}
+
+TEST(TpchExt, Q3UsesHashAndIndexJoin) {
+  const auto res = runner().run(perf::Platform::Origin2000, tpch::QueryId::Q3, 1, 1);
+  EXPECT_GT(res.mean.index_descents, 0u);
+}
+
+TEST(TpchExt, MultiProcessQ1Consistent) {
+  const auto r1 = runner().run(perf::Platform::VClass, tpch::QueryId::Q1, 1, 1);
+  const auto r4 = runner().run(perf::Platform::VClass, tpch::QueryId::Q1, 4, 1);
+  expect_rows_match(r4.query_result, r1.query_result);
+}
+
+TEST(HashTableInt, InsertProbeContains) {
+  testing::DbRig rig(1);
+  db::WorkMem wm(rig.p(), 8192);
+  db::HashTableInt ht(rig.p(), wm, 16);
+  EXPECT_FALSE(ht.contains(rig.p(), 5));
+  ht.insert(rig.p(), 5, 50);
+  ht.insert(rig.p(), 7, 70);
+  EXPECT_EQ(ht.probe(rig.p(), 5), 50);
+  EXPECT_EQ(ht.probe(rig.p(), 7), 70);
+  EXPECT_FALSE(ht.probe(rig.p(), 6).has_value());
+  EXPECT_EQ(ht.size(), 2u);
+  // Probes emit references into working memory.
+  EXPECT_GT(rig.p().counters().loads, 0u);
+}
+
+}  // namespace
+}  // namespace dss

@@ -1,0 +1,168 @@
+// TPC-H generator tests: determinism, cardinalities, spec consistency rules.
+#include <gtest/gtest.h>
+
+#include "tpch/gen.hpp"
+#include "tpch/schema.hpp"
+
+namespace dss::tpch {
+namespace {
+
+GenConfig tiny_cfg() {
+  GenConfig c;
+  c.scale_factor = 0.001;
+  c.seed = 7;
+  return c;
+}
+
+TEST(TpchGen, CardinalitiesFollowScaleFactor) {
+  const auto dbase = build_database(tiny_cfg());
+  EXPECT_EQ(dbase->table("region").num_rows(), 5u);
+  EXPECT_EQ(dbase->table("nation").num_rows(), 25u);
+  EXPECT_EQ(dbase->table("supplier").num_rows(), 10u);
+  EXPECT_EQ(dbase->table("customer").num_rows(), 150u);
+  EXPECT_EQ(dbase->table("part").num_rows(), 200u);
+  EXPECT_EQ(dbase->table("partsupp").num_rows(), 800u);
+  EXPECT_EQ(dbase->table("orders").num_rows(), 1'500u);
+  const u64 li = dbase->table("lineitem").num_rows();
+  EXPECT_GT(li, 1'500u * 2);  // 1..7 lines per order, mean ~4
+  EXPECT_LT(li, 1'500u * 7);
+}
+
+TEST(TpchGen, DeterministicForSameSeed) {
+  const auto a = build_database(tiny_cfg());
+  const auto b = build_database(tiny_cfg());
+  const auto& la = a->table("lineitem");
+  const auto& lb = b->table("lineitem");
+  ASSERT_EQ(la.num_rows(), lb.num_rows());
+  for (db::RowId r = 0; r < la.num_rows(); r += 97) {
+    EXPECT_EQ(la.get_int(r, li::orderkey), lb.get_int(r, li::orderkey));
+    EXPECT_EQ(la.get_date(r, li::shipdate), lb.get_date(r, li::shipdate));
+    EXPECT_EQ(la.get_str(r, li::shipmode), lb.get_str(r, li::shipmode));
+    EXPECT_DOUBLE_EQ(la.get_double(r, li::extendedprice),
+                     lb.get_double(r, li::extendedprice));
+  }
+}
+
+TEST(TpchGen, DifferentSeedsDiffer) {
+  GenConfig c2 = tiny_cfg();
+  c2.seed = 8;
+  const auto a = build_database(tiny_cfg());
+  const auto b = build_database(c2);
+  const auto& la = a->table("lineitem");
+  const auto& lb = b->table("lineitem");
+  int diffs = 0;
+  const db::RowId n = std::min(la.num_rows(), lb.num_rows());
+  for (db::RowId r = 0; r < n; r += 11) {
+    diffs += la.get_date(r, li::shipdate) != lb.get_date(r, li::shipdate);
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(TpchGen, OrderStatusConsistentWithLineStatuses) {
+  const auto dbase = build_database(tiny_cfg());
+  const auto& o = dbase->table("orders");
+  const auto& l = dbase->table("lineitem");
+  std::unordered_map<i64, std::pair<int, int>> fo;  // orderkey -> (F, O)
+  for (db::RowId r = 0; r < l.num_rows(); ++r) {
+    auto& e = fo[l.get_int(r, li::orderkey)];
+    if (l.get_str(r, li::linestatus) == "F") {
+      ++e.first;
+    } else {
+      ++e.second;
+    }
+  }
+  for (db::RowId r = 0; r < o.num_rows(); ++r) {
+    const auto& e = fo.at(o.get_int(r, ord::orderkey));
+    const std::string& st = o.get_str(r, ord::orderstatus);
+    if (e.second == 0) {
+      EXPECT_EQ(st, "F");
+    } else if (e.first == 0) {
+      EXPECT_EQ(st, "O");
+    } else {
+      EXPECT_EQ(st, "P");
+    }
+  }
+}
+
+TEST(TpchGen, DateRulesHold) {
+  const auto dbase = build_database(tiny_cfg());
+  const auto& l = dbase->table("lineitem");
+  const db::Date lo = db::make_date(1992, 1, 1);
+  const db::Date hi = db::make_date(1998, 12, 31);
+  for (db::RowId r = 0; r < l.num_rows(); ++r) {
+    const db::Date ship = l.get_date(r, li::shipdate);
+    const db::Date receipt = l.get_date(r, li::receiptdate);
+    EXPECT_GE(ship, lo);
+    EXPECT_LE(receipt, hi + 60);
+    EXPECT_GT(receipt, ship);           // receipt 1..30 days after ship
+    EXPECT_LE(receipt, ship + 30);
+    EXPECT_GT(l.get_double(r, li::extendedprice), 0.0);
+    const double d = l.get_double(r, li::discount);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 0.10 + 1e-9);
+  }
+}
+
+TEST(TpchGen, ForeignKeysResolve) {
+  const auto dbase = build_database(tiny_cfg());
+  const auto& l = dbase->table("lineitem");
+  const i64 n_supp = static_cast<i64>(dbase->table("supplier").num_rows());
+  const i64 n_part = static_cast<i64>(dbase->table("part").num_rows());
+  const i64 n_orders = static_cast<i64>(dbase->table("orders").num_rows());
+  for (db::RowId r = 0; r < l.num_rows(); ++r) {
+    const i64 sk = l.get_int(r, li::suppkey);
+    EXPECT_GE(sk, 1);
+    EXPECT_LE(sk, n_supp);
+    const i64 pk = l.get_int(r, li::partkey);
+    EXPECT_GE(pk, 1);
+    EXPECT_LE(pk, n_part);
+    const i64 ok = l.get_int(r, li::orderkey);
+    EXPECT_GE(ok, 1);
+    EXPECT_LE(ok, n_orders);
+  }
+  const auto& s = dbase->table("supplier");
+  for (db::RowId r = 0; r < s.num_rows(); ++r) {
+    const i64 nk = s.get_int(r, sup::nationkey);
+    EXPECT_GE(nk, 0);
+    EXPECT_LE(nk, 24);
+  }
+}
+
+TEST(TpchGen, NationTableMatchesSpec) {
+  const auto dbase = build_database(tiny_cfg());
+  const auto& n = dbase->table("nation");
+  ASSERT_EQ(n.num_rows(), 25u);
+  bool has_saudi = false;
+  for (db::RowId r = 0; r < n.num_rows(); ++r) {
+    EXPECT_EQ(n.get_str(r, nat::name), nation_name(static_cast<u32>(r)));
+    EXPECT_EQ(n.get_int(r, nat::regionkey),
+              static_cast<i64>(nation_region(static_cast<u32>(r))));
+    if (n.get_str(r, nat::name) == "SAUDI ARABIA") has_saudi = true;
+  }
+  EXPECT_TRUE(has_saudi) << "Q21's default parameter must exist";
+}
+
+TEST(TpchGen, IndexesCoverAllRows) {
+  const auto dbase = build_database(tiny_cfg());
+  EXPECT_EQ(dbase->index("lineitem_orderkey_idx").num_entries(),
+            dbase->table("lineitem").num_rows());
+  EXPECT_EQ(dbase->index("orders_pkey").num_entries(),
+            dbase->table("orders").num_rows());
+  EXPECT_EQ(dbase->index("supplier_pkey").num_entries(),
+            dbase->table("supplier").num_rows());
+  EXPECT_EQ(dbase->index("nation_pkey").num_entries(), 25u);
+}
+
+TEST(TpchGen, RawBytesTrackScaleFactor) {
+  GenConfig big = tiny_cfg();
+  big.scale_factor = 0.002;
+  const auto a = build_database(tiny_cfg());
+  const auto b = build_database(big);
+  const double ratio = static_cast<double>(b->total_heap_bytes()) /
+                       static_cast<double>(a->total_heap_bytes());
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.6);
+}
+
+}  // namespace
+}  // namespace dss::tpch

@@ -1,0 +1,42 @@
+// Mixed-workload runner tests.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "tpch/oracle.hpp"
+
+namespace dss {
+namespace {
+
+TEST(RunMix, EachProcessGetsItsOwnCorrectAnswer) {
+  core::ExperimentRunner runner(core::ScaleConfig{64}, 42);
+  const std::vector<tpch::QueryId> mix = {
+      tpch::QueryId::Q6, tpch::QueryId::Q12, tpch::QueryId::Q21};
+  const auto res = runner.run_mix(perf::Platform::Origin2000, mix, 1);
+  ASSERT_EQ(res.size(), 3u);
+
+  tpch::QueryParams params;
+  EXPECT_NEAR(res[0].query_result[0].vals[0],
+              tpch::oracle::q6(runner.database(), params), 1e-6);
+  const auto q12 = tpch::oracle::q12(runner.database(), params);
+  ASSERT_EQ(res[1].query_result.size(), q12.size());
+  const auto q21 = tpch::oracle::q21(runner.database(), params);
+  ASSERT_EQ(res[2].query_result.size(), q21.size());
+}
+
+TEST(RunMix, InterferenceDoesNotCorruptCounters) {
+  core::ExperimentRunner runner(core::ScaleConfig{64}, 42);
+  const auto res = runner.run_mix(
+      perf::Platform::VClass,
+      {tpch::QueryId::Q6, tpch::QueryId::Q6, tpch::QueryId::Q6}, 1);
+  // Identical queries in a mix behave like the same-query experiment: all
+  // three processes do about the same work.
+  for (const auto& r : res) {
+    EXPECT_NEAR(r.cpi, res[0].cpi, 0.05);
+    EXPECT_NEAR(static_cast<double>(r.mean.instructions) /
+                    static_cast<double>(res[0].mean.instructions),
+                1.0, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace dss
