@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_backoff.dir/abl_backoff.cpp.o"
+  "CMakeFiles/abl_backoff.dir/abl_backoff.cpp.o.d"
+  "abl_backoff"
+  "abl_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cachesize.dir/abl_cachesize.cpp.o"
+  "CMakeFiles/abl_cachesize.dir/abl_cachesize.cpp.o.d"
+  "abl_cachesize"
+  "abl_cachesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cachesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

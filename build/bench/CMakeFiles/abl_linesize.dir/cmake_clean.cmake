@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_linesize.dir/abl_linesize.cpp.o"
+  "CMakeFiles/abl_linesize.dir/abl_linesize.cpp.o.d"
+  "abl_linesize"
+  "abl_linesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_linesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_migratory.dir/abl_migratory.cpp.o"
+  "CMakeFiles/abl_migratory.dir/abl_migratory.cpp.o.d"
+  "abl_migratory"
+  "abl_migratory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_migratory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

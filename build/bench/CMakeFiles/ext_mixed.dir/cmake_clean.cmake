@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mixed.dir/ext_mixed.cpp.o"
+  "CMakeFiles/ext_mixed.dir/ext_mixed.cpp.o.d"
+  "ext_mixed"
+  "ext_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

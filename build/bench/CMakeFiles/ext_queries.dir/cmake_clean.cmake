@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_queries.dir/ext_queries.cpp.o"
+  "CMakeFiles/ext_queries.dir/ext_queries.cpp.o.d"
+  "ext_queries"
+  "ext_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

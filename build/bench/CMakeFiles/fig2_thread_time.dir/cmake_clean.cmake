@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_thread_time.dir/fig2_thread_time.cpp.o"
+  "CMakeFiles/fig2_thread_time.dir/fig2_thread_time.cpp.o.d"
+  "fig2_thread_time"
+  "fig2_thread_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_thread_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cpi.dir/fig3_cpi.cpp.o"
+  "CMakeFiles/fig3_cpi.dir/fig3_cpi.cpp.o.d"
+  "fig3_cpi"
+  "fig3_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

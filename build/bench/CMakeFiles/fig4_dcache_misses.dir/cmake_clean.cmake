@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dcache_misses.dir/fig4_dcache_misses.cpp.o"
+  "CMakeFiles/fig4_dcache_misses.dir/fig4_dcache_misses.cpp.o.d"
+  "fig4_dcache_misses"
+  "fig4_dcache_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dcache_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

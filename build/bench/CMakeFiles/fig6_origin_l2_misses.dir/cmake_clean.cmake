@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_origin_l2_misses.dir/fig6_origin_l2_misses.cpp.o"
+  "CMakeFiles/fig6_origin_l2_misses.dir/fig6_origin_l2_misses.cpp.o.d"
+  "fig6_origin_l2_misses"
+  "fig6_origin_l2_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_origin_l2_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_vclass_dcache_misses.dir/fig8_vclass_dcache_misses.cpp.o"
+  "CMakeFiles/fig8_vclass_dcache_misses.dir/fig8_vclass_dcache_misses.cpp.o.d"
+  "fig8_vclass_dcache_misses"
+  "fig8_vclass_dcache_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_vclass_dcache_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_vclass_dcache_misses.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_vclass_memory_latency.dir/fig9_vclass_memory_latency.cpp.o"
+  "CMakeFiles/fig9_vclass_memory_latency.dir/fig9_vclass_memory_latency.cpp.o.d"
+  "fig9_vclass_memory_latency"
+  "fig9_vclass_memory_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_vclass_memory_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_machine_latency.dir/micro_machine_latency.cpp.o"
+  "CMakeFiles/micro_machine_latency.dir/micro_machine_latency.cpp.o.d"
+  "micro_machine_latency"
+  "micro_machine_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_machine_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tpch.dir/micro_tpch.cpp.o"
+  "CMakeFiles/micro_tpch.dir/micro_tpch.cpp.o.d"
+  "micro_tpch"
+  "micro_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_functions.dir/rf_functions.cpp.o"
+  "CMakeFiles/rf_functions.dir/rf_functions.cpp.o.d"
+  "rf_functions"
+  "rf_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

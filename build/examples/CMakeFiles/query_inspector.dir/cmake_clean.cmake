@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_inspector.dir/query_inspector.cpp.o"
+  "CMakeFiles/query_inspector.dir/query_inspector.cpp.o.d"
+  "query_inspector"
+  "query_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_core.dir/experiment.cpp.o"
+  "CMakeFiles/dss_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/dss_core.dir/metrics.cpp.o"
+  "CMakeFiles/dss_core.dir/metrics.cpp.o.d"
+  "libdss_core.a"
+  "libdss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/btree.cpp" "src/db/CMakeFiles/dss_db.dir/btree.cpp.o" "gcc" "src/db/CMakeFiles/dss_db.dir/btree.cpp.o.d"
+  "/root/repo/src/db/bufferpool.cpp" "src/db/CMakeFiles/dss_db.dir/bufferpool.cpp.o" "gcc" "src/db/CMakeFiles/dss_db.dir/bufferpool.cpp.o.d"
+  "/root/repo/src/db/database.cpp" "src/db/CMakeFiles/dss_db.dir/database.cpp.o" "gcc" "src/db/CMakeFiles/dss_db.dir/database.cpp.o.d"
+  "/root/repo/src/db/exec.cpp" "src/db/CMakeFiles/dss_db.dir/exec.cpp.o" "gcc" "src/db/CMakeFiles/dss_db.dir/exec.cpp.o.d"
+  "/root/repo/src/db/lockmgr.cpp" "src/db/CMakeFiles/dss_db.dir/lockmgr.cpp.o" "gcc" "src/db/CMakeFiles/dss_db.dir/lockmgr.cpp.o.d"
+  "/root/repo/src/db/relation.cpp" "src/db/CMakeFiles/dss_db.dir/relation.cpp.o" "gcc" "src/db/CMakeFiles/dss_db.dir/relation.cpp.o.d"
+  "/root/repo/src/db/shm.cpp" "src/db/CMakeFiles/dss_db.dir/shm.cpp.o" "gcc" "src/db/CMakeFiles/dss_db.dir/shm.cpp.o.d"
+  "/root/repo/src/db/spinlock.cpp" "src/db/CMakeFiles/dss_db.dir/spinlock.cpp.o" "gcc" "src/db/CMakeFiles/dss_db.dir/spinlock.cpp.o.d"
+  "/root/repo/src/db/value.cpp" "src/db/CMakeFiles/dss_db.dir/value.cpp.o" "gcc" "src/db/CMakeFiles/dss_db.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/dss_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dss_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_db.dir/btree.cpp.o"
+  "CMakeFiles/dss_db.dir/btree.cpp.o.d"
+  "CMakeFiles/dss_db.dir/bufferpool.cpp.o"
+  "CMakeFiles/dss_db.dir/bufferpool.cpp.o.d"
+  "CMakeFiles/dss_db.dir/database.cpp.o"
+  "CMakeFiles/dss_db.dir/database.cpp.o.d"
+  "CMakeFiles/dss_db.dir/exec.cpp.o"
+  "CMakeFiles/dss_db.dir/exec.cpp.o.d"
+  "CMakeFiles/dss_db.dir/lockmgr.cpp.o"
+  "CMakeFiles/dss_db.dir/lockmgr.cpp.o.d"
+  "CMakeFiles/dss_db.dir/relation.cpp.o"
+  "CMakeFiles/dss_db.dir/relation.cpp.o.d"
+  "CMakeFiles/dss_db.dir/shm.cpp.o"
+  "CMakeFiles/dss_db.dir/shm.cpp.o.d"
+  "CMakeFiles/dss_db.dir/spinlock.cpp.o"
+  "CMakeFiles/dss_db.dir/spinlock.cpp.o.d"
+  "CMakeFiles/dss_db.dir/value.cpp.o"
+  "CMakeFiles/dss_db.dir/value.cpp.o.d"
+  "libdss_db.a"
+  "libdss_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

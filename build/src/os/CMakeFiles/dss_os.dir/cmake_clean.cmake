@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_os.dir/process.cpp.o"
+  "CMakeFiles/dss_os.dir/process.cpp.o.d"
+  "CMakeFiles/dss_os.dir/scheduler.cpp.o"
+  "CMakeFiles/dss_os.dir/scheduler.cpp.o.d"
+  "libdss_os.a"
+  "libdss_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdss_os.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_perf.dir/counters.cpp.o"
+  "CMakeFiles/dss_perf.dir/counters.cpp.o.d"
+  "CMakeFiles/dss_perf.dir/platform_events.cpp.o"
+  "CMakeFiles/dss_perf.dir/platform_events.cpp.o.d"
+  "libdss_perf.a"
+  "libdss_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

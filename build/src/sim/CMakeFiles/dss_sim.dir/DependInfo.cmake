@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/dss_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/dss_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/directory.cpp" "src/sim/CMakeFiles/dss_sim.dir/directory.cpp.o" "gcc" "src/sim/CMakeFiles/dss_sim.dir/directory.cpp.o.d"
+  "/root/repo/src/sim/interconnect.cpp" "src/sim/CMakeFiles/dss_sim.dir/interconnect.cpp.o" "gcc" "src/sim/CMakeFiles/dss_sim.dir/interconnect.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/dss_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/dss_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/machine_configs.cpp" "src/sim/CMakeFiles/dss_sim.dir/machine_configs.cpp.o" "gcc" "src/sim/CMakeFiles/dss_sim.dir/machine_configs.cpp.o.d"
+  "/root/repo/src/sim/memctrl.cpp" "src/sim/CMakeFiles/dss_sim.dir/memctrl.cpp.o" "gcc" "src/sim/CMakeFiles/dss_sim.dir/memctrl.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/dss_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/dss_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dss_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_sim.dir/cache.cpp.o"
+  "CMakeFiles/dss_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/dss_sim.dir/directory.cpp.o"
+  "CMakeFiles/dss_sim.dir/directory.cpp.o.d"
+  "CMakeFiles/dss_sim.dir/interconnect.cpp.o"
+  "CMakeFiles/dss_sim.dir/interconnect.cpp.o.d"
+  "CMakeFiles/dss_sim.dir/machine.cpp.o"
+  "CMakeFiles/dss_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/dss_sim.dir/machine_configs.cpp.o"
+  "CMakeFiles/dss_sim.dir/machine_configs.cpp.o.d"
+  "CMakeFiles/dss_sim.dir/memctrl.cpp.o"
+  "CMakeFiles/dss_sim.dir/memctrl.cpp.o.d"
+  "CMakeFiles/dss_sim.dir/trace.cpp.o"
+  "CMakeFiles/dss_sim.dir/trace.cpp.o.d"
+  "libdss_sim.a"
+  "libdss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpch/gen.cpp" "src/tpch/CMakeFiles/dss_tpch.dir/gen.cpp.o" "gcc" "src/tpch/CMakeFiles/dss_tpch.dir/gen.cpp.o.d"
+  "/root/repo/src/tpch/oracle.cpp" "src/tpch/CMakeFiles/dss_tpch.dir/oracle.cpp.o" "gcc" "src/tpch/CMakeFiles/dss_tpch.dir/oracle.cpp.o.d"
+  "/root/repo/src/tpch/q1.cpp" "src/tpch/CMakeFiles/dss_tpch.dir/q1.cpp.o" "gcc" "src/tpch/CMakeFiles/dss_tpch.dir/q1.cpp.o.d"
+  "/root/repo/src/tpch/q12.cpp" "src/tpch/CMakeFiles/dss_tpch.dir/q12.cpp.o" "gcc" "src/tpch/CMakeFiles/dss_tpch.dir/q12.cpp.o.d"
+  "/root/repo/src/tpch/q14.cpp" "src/tpch/CMakeFiles/dss_tpch.dir/q14.cpp.o" "gcc" "src/tpch/CMakeFiles/dss_tpch.dir/q14.cpp.o.d"
+  "/root/repo/src/tpch/q21.cpp" "src/tpch/CMakeFiles/dss_tpch.dir/q21.cpp.o" "gcc" "src/tpch/CMakeFiles/dss_tpch.dir/q21.cpp.o.d"
+  "/root/repo/src/tpch/q3.cpp" "src/tpch/CMakeFiles/dss_tpch.dir/q3.cpp.o" "gcc" "src/tpch/CMakeFiles/dss_tpch.dir/q3.cpp.o.d"
+  "/root/repo/src/tpch/q6.cpp" "src/tpch/CMakeFiles/dss_tpch.dir/q6.cpp.o" "gcc" "src/tpch/CMakeFiles/dss_tpch.dir/q6.cpp.o.d"
+  "/root/repo/src/tpch/queries.cpp" "src/tpch/CMakeFiles/dss_tpch.dir/queries.cpp.o" "gcc" "src/tpch/CMakeFiles/dss_tpch.dir/queries.cpp.o.d"
+  "/root/repo/src/tpch/refresh.cpp" "src/tpch/CMakeFiles/dss_tpch.dir/refresh.cpp.o" "gcc" "src/tpch/CMakeFiles/dss_tpch.dir/refresh.cpp.o.d"
+  "/root/repo/src/tpch/schema.cpp" "src/tpch/CMakeFiles/dss_tpch.dir/schema.cpp.o" "gcc" "src/tpch/CMakeFiles/dss_tpch.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/dss_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dss_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dss_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_tpch.dir/gen.cpp.o"
+  "CMakeFiles/dss_tpch.dir/gen.cpp.o.d"
+  "CMakeFiles/dss_tpch.dir/oracle.cpp.o"
+  "CMakeFiles/dss_tpch.dir/oracle.cpp.o.d"
+  "CMakeFiles/dss_tpch.dir/q1.cpp.o"
+  "CMakeFiles/dss_tpch.dir/q1.cpp.o.d"
+  "CMakeFiles/dss_tpch.dir/q12.cpp.o"
+  "CMakeFiles/dss_tpch.dir/q12.cpp.o.d"
+  "CMakeFiles/dss_tpch.dir/q14.cpp.o"
+  "CMakeFiles/dss_tpch.dir/q14.cpp.o.d"
+  "CMakeFiles/dss_tpch.dir/q21.cpp.o"
+  "CMakeFiles/dss_tpch.dir/q21.cpp.o.d"
+  "CMakeFiles/dss_tpch.dir/q3.cpp.o"
+  "CMakeFiles/dss_tpch.dir/q3.cpp.o.d"
+  "CMakeFiles/dss_tpch.dir/q6.cpp.o"
+  "CMakeFiles/dss_tpch.dir/q6.cpp.o.d"
+  "CMakeFiles/dss_tpch.dir/queries.cpp.o"
+  "CMakeFiles/dss_tpch.dir/queries.cpp.o.d"
+  "CMakeFiles/dss_tpch.dir/refresh.cpp.o"
+  "CMakeFiles/dss_tpch.dir/refresh.cpp.o.d"
+  "CMakeFiles/dss_tpch.dir/schema.cpp.o"
+  "CMakeFiles/dss_tpch.dir/schema.cpp.o.d"
+  "libdss_tpch.a"
+  "libdss_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

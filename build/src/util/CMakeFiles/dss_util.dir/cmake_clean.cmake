@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_util.dir/log.cpp.o"
+  "CMakeFiles/dss_util.dir/log.cpp.o.d"
+  "CMakeFiles/dss_util.dir/rng.cpp.o"
+  "CMakeFiles/dss_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dss_util.dir/stats.cpp.o"
+  "CMakeFiles/dss_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dss_util.dir/table.cpp.o"
+  "CMakeFiles/dss_util.dir/table.cpp.o.d"
+  "libdss_util.a"
+  "libdss_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

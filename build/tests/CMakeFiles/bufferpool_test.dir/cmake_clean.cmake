@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufferpool_test.dir/bufferpool_test.cpp.o"
+  "CMakeFiles/bufferpool_test.dir/bufferpool_test.cpp.o.d"
+  "bufferpool_test"
+  "bufferpool_test.pdb"
+  "bufferpool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufferpool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

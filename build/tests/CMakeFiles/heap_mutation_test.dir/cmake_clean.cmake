@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_mutation_test.dir/heap_mutation_test.cpp.o"
+  "CMakeFiles/heap_mutation_test.dir/heap_mutation_test.cpp.o.d"
+  "heap_mutation_test"
+  "heap_mutation_test.pdb"
+  "heap_mutation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_mutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockmgr_shm_test.dir/lockmgr_shm_test.cpp.o"
+  "CMakeFiles/lockmgr_shm_test.dir/lockmgr_shm_test.cpp.o.d"
+  "lockmgr_shm_test"
+  "lockmgr_shm_test.pdb"
+  "lockmgr_shm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockmgr_shm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_params_test.dir/query_params_test.cpp.o"
+  "CMakeFiles/query_params_test.dir/query_params_test.cpp.o.d"
+  "query_params_test"
+  "query_params_test.pdb"
+  "query_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_ext_test.dir/tpch_ext_test.cpp.o"
+  "CMakeFiles/tpch_ext_test.dir/tpch_ext_test.cpp.o.d"
+  "tpch_ext_test"
+  "tpch_ext_test.pdb"
+  "tpch_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

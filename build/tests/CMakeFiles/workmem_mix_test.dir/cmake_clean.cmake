@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workmem_mix_test.dir/workmem_mix_test.cpp.o"
+  "CMakeFiles/workmem_mix_test.dir/workmem_mix_test.cpp.o.d"
+  "workmem_mix_test"
+  "workmem_mix_test.pdb"
+  "workmem_mix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workmem_mix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

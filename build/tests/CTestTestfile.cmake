@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/interconnect_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/spinlock_test[1]_include.cmake")
+include("/root/repo/build/tests/bufferpool_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/lockmgr_shm_test[1]_include.cmake")
+include("/root/repo/build/tests/os_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_test[1]_include.cmake")
+include("/root/repo/build/tests/tpch_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/tlb_test[1]_include.cmake")
+include("/root/repo/build/tests/tpch_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/refresh_test[1]_include.cmake")
+include("/root/repo/build/tests/query_params_test[1]_include.cmake")
+include("/root/repo/build/tests/directory_test[1]_include.cmake")
+include("/root/repo/build/tests/workmem_mix_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/heap_mutation_test[1]_include.cmake")
