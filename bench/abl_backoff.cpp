@@ -13,10 +13,8 @@ int main(int argc, char** argv) {
   const auto opts = core::parse_bench_options(argc, argv);
   auto runner = bench::make_runner(opts);
 
-  Table t({"nproc", "select(): wall s", "spin: wall s", "select(): vol/1Mi",
-           "spin: vol/1Mi", "select(): spin-cycle %", "spin: spin-cycle %"});
-  bool select_sleeps_more = true, spin_burns_more = true;
-  bool spin_wall_not_worse = true;
+  // Both spin policies at every process count run as one concurrent batch.
+  std::vector<core::ExperimentConfig> cfgs;
   for (u32 np : {2u, 4u, 8u}) {
     core::ExperimentConfig cfg;
     cfg.platform = perf::Platform::VClass;
@@ -24,9 +22,20 @@ int main(int argc, char** argv) {
     cfg.nproc = np;
     cfg.trials = opts.trials;
     cfg.scale = runner.scale();
-    const auto sel = runner.run(cfg);
+    cfgs.push_back(cfg);
     cfg.spin_override = db::SpinPolicy{12, /*select_backoff=*/false};
-    const auto spin = runner.run(cfg);
+    cfgs.push_back(cfg);
+  }
+  const auto results = runner.run_cells(cfgs);
+
+  Table t({"nproc", "select(): wall s", "spin: wall s", "select(): vol/1Mi",
+           "spin: vol/1Mi", "select(): spin-cycle %", "spin: spin-cycle %"});
+  bool select_sleeps_more = true, spin_burns_more = true;
+  bool spin_wall_not_worse = true;
+  std::size_t i = 0;
+  for (u32 np : {2u, 4u, 8u}) {
+    const auto& sel = results[i++];
+    const auto& spin = results[i++];
     const double sel_spin_pct = 100.0 *
                                 static_cast<double>(sel.mean.spin_cycles) /
                                 static_cast<double>(sel.mean.cycles);

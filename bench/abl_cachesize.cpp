@@ -12,12 +12,10 @@ int main(int argc, char** argv) {
   const auto opts = core::parse_bench_options(argc, argv);
   auto runner = bench::make_runner(opts);
 
-  Table t({"L2 size (unscaled)", "Q6 misses", "Q21 misses", "Q12 misses"});
-  std::map<std::pair<int, u64>, double> misses;
+  // The whole (size x query) grid runs as one concurrent batch.
   const std::vector<u64> sizes = {1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB};
+  std::vector<core::ExperimentConfig> cfgs;
   for (u64 sz : sizes) {
-    std::vector<std::string> row{human_bytes(sz)};
-    int qi = 0;
     for (auto q : core::kQueries) {
       core::ExperimentConfig cfg;
       cfg.platform = perf::Platform::Origin2000;
@@ -28,7 +26,19 @@ int main(int argc, char** argv) {
       sim::MachineConfig mc = sim::origin2000();
       mc.dcache[1].size_bytes = sz;
       cfg.machine_override = mc;
-      const auto r = runner.run(cfg);
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = runner.run_cells(cfgs);
+
+  Table t({"L2 size (unscaled)", "Q6 misses", "Q21 misses", "Q12 misses"});
+  std::map<std::pair<int, u64>, double> misses;
+  std::size_t i = 0;
+  for (u64 sz : sizes) {
+    std::vector<std::string> row{human_bytes(sz)};
+    int qi = 0;
+    for ([[maybe_unused]] auto q : core::kQueries) {
+      const auto& r = results[i++];
       misses[{qi, sz}] = r.l2d_misses;
       row.push_back(Table::num(r.l2d_misses, 0));
       ++qi;

@@ -12,9 +12,8 @@ int main(int argc, char** argv) {
   const auto opts = core::parse_bench_options(argc, argv);
   auto runner = bench::make_runner(opts);
 
-  Table t({"query", "L2 line 32B: misses", "L2 line 128B: misses",
-           "reduction x"});
-  std::map<std::string, double> reduction;
+  // Both line-size legs of every query run as one concurrent batch.
+  std::vector<core::ExperimentConfig> cfgs;
   for (auto q : core::kQueries) {
     core::ExperimentConfig cfg;
     cfg.platform = perf::Platform::Origin2000;
@@ -22,11 +21,21 @@ int main(int argc, char** argv) {
     cfg.nproc = 1;
     cfg.trials = opts.trials;
     cfg.scale = runner.scale();
-    const auto wide = runner.run(cfg);  // stock 128 B
+    cfgs.push_back(cfg);  // stock 128 B
     sim::MachineConfig mc = sim::origin2000();
     mc.dcache[1].line_bytes = 32;
     cfg.machine_override = mc;
-    const auto narrow = runner.run(cfg);
+    cfgs.push_back(cfg);
+  }
+  const auto results = runner.run_cells(cfgs);
+
+  Table t({"query", "L2 line 32B: misses", "L2 line 128B: misses",
+           "reduction x"});
+  std::map<std::string, double> reduction;
+  std::size_t i = 0;
+  for (auto q : core::kQueries) {
+    const auto& wide = results[i++];
+    const auto& narrow = results[i++];
     const double red = narrow.l2d_misses / wide.l2d_misses;
     reduction[tpch::query_name(q)] = red;
     t.add_row({tpch::query_name(q), Table::num(narrow.l2d_misses, 0),

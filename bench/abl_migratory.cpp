@@ -12,10 +12,9 @@ int main(int argc, char** argv) {
   const auto opts = core::parse_bench_options(argc, argv);
   auto runner = bench::make_runner(opts);
 
-  Table t({"query", "nproc", "migratory: cycles", "off: cycles",
-           "migratory: memlat", "off: memlat", "migratory: upgrades",
-           "off: upgrades"});
-  double on_upgrades = 0, off_upgrades = 0;
+  // Build every (query, nproc) x {migratory on, off} cell, then run the
+  // whole ablation as one concurrent batch.
+  std::vector<core::ExperimentConfig> cfgs;
   for (auto q : core::kQueries) {
     for (u32 np : {2u, 8u}) {
       core::ExperimentConfig cfg;
@@ -24,11 +23,24 @@ int main(int argc, char** argv) {
       cfg.nproc = np;
       cfg.trials = opts.trials;
       cfg.scale = runner.scale();
-      const auto on = runner.run(cfg);
+      cfgs.push_back(cfg);
       sim::MachineConfig mc = sim::vclass();
       mc.migratory_opt = false;
       cfg.machine_override = mc;
-      const auto off = runner.run(cfg);
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = runner.run_cells(cfgs);
+
+  Table t({"query", "nproc", "migratory: cycles", "off: cycles",
+           "migratory: memlat", "off: memlat", "migratory: upgrades",
+           "off: upgrades"});
+  double on_upgrades = 0, off_upgrades = 0;
+  std::size_t i = 0;
+  for (auto q : core::kQueries) {
+    for (u32 np : {2u, 8u}) {
+      const auto& on = results[i++];
+      const auto& off = results[i++];
       on_upgrades += static_cast<double>(on.mean.upgrades);
       off_upgrades += static_cast<double>(off.mean.upgrades);
       t.add_row({tpch::query_name(q), std::to_string(np),

@@ -23,8 +23,8 @@ int main(int argc, char** argv) {
       {"4 active nodes", {0, 1, 2, 3}},
       {"all 16 nodes", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}}};
 
-  Table t({"placement", "nproc", "cycles/1Mi", "memlat", "remote %"});
-  std::map<std::pair<std::string, u32>, double> cpm;
+  // The whole (placement x nproc) grid runs as one concurrent batch.
+  std::vector<core::ExperimentConfig> cfgs;
   for (const auto& pl : placements) {
     for (u32 np : {2u, 8u}) {
       core::ExperimentConfig cfg;
@@ -36,7 +36,17 @@ int main(int argc, char** argv) {
       sim::MachineConfig mc = sim::origin2000();
       mc.shared_home_nodes = pl.homes;
       cfg.machine_override = mc;
-      const auto r = runner.run(cfg);
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = runner.run_cells(cfgs);
+
+  Table t({"placement", "nproc", "cycles/1Mi", "memlat", "remote %"});
+  std::map<std::pair<std::string, u32>, double> cpm;
+  std::size_t i = 0;
+  for (const auto& pl : placements) {
+    for (u32 np : {2u, 8u}) {
+      const auto& r = results[i++];
       cpm[{pl.name, np}] = r.cycles_per_minstr;
       t.add_row({pl.name, std::to_string(np),
                  Table::num(r.cycles_per_minstr, 0),

@@ -13,9 +13,8 @@ int main(int argc, char** argv) {
   const auto opts = core::parse_bench_options(argc, argv);
   auto runner = bench::make_runner(opts);
 
-  Table t({"query", "nproc", "spec: memlat", "no-spec: memlat",
-           "spec: cycles", "no-spec: cycles"});
-  bool spec_faster = true;
+  // Both legs of every (query, nproc) cell run as one concurrent batch.
+  std::vector<core::ExperimentConfig> cfgs;
   for (auto q : core::kQueries) {
     for (u32 np : {2u, 8u}) {
       core::ExperimentConfig cfg;
@@ -24,11 +23,23 @@ int main(int argc, char** argv) {
       cfg.nproc = np;
       cfg.trials = opts.trials;
       cfg.scale = runner.scale();
-      const auto on = runner.run(cfg);
+      cfgs.push_back(cfg);
       sim::MachineConfig mc = sim::origin2000();
       mc.speculative_reply = false;
       cfg.machine_override = mc;
-      const auto off = runner.run(cfg);
+      cfgs.push_back(cfg);
+    }
+  }
+  const auto results = runner.run_cells(cfgs);
+
+  Table t({"query", "nproc", "spec: memlat", "no-spec: memlat",
+           "spec: cycles", "no-spec: cycles"});
+  bool spec_faster = true;
+  std::size_t i = 0;
+  for (auto q : core::kQueries) {
+    for (u32 np : {2u, 8u}) {
+      const auto& on = results[i++];
+      const auto& off = results[i++];
       spec_faster = spec_faster && on.avg_mem_latency <= off.avg_mem_latency;
       t.add_row({tpch::query_name(q), std::to_string(np),
                  Table::num(on.avg_mem_latency, 1),

@@ -7,11 +7,14 @@
 // EXPERIMENTS.md).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -41,22 +44,120 @@ inline int report_claims(const std::vector<Claim>& claims) {
 inline core::ExperimentRunner make_runner(const core::BenchOptions& o) {
   std::cout << "(building TPC-H database at 1/" << o.scale_denom
             << " of the paper's 200 MB configuration, seed " << o.seed
-            << ", trials " << o.trials << ")\n";
-  return core::ExperimentRunner(core::ScaleConfig{o.scale_denom}, o.seed);
+            << ", trials " << o.trials << ", jobs "
+            << (o.jobs == 0 ? dss::ThreadPool::default_jobs() : o.jobs)
+            << ")\n";
+  return core::ExperimentRunner(core::ScaleConfig{o.scale_denom}, o.seed,
+                                o.jobs);
 }
 
-/// Sweep one platform over the paper's process-count series for all three
-/// queries; keyed by (query index in core::kQueries, nproc).
-using SweepResults = std::map<std::pair<int, u32>, core::RunResult>;
+/// Sweep of one platform over the paper's process-count series for all three
+/// queries. Cells live in a pre-sized vector indexed by (query index in
+/// core::kQueries, position of nproc in core::kProcSeries), so a parallel
+/// fill writes each cell into its own slot — no insertion-ordered shared map.
+class SweepResults {
+ public:
+  SweepResults()
+      : cells_(core::kQueries.size() * core::kProcSeries.size()) {}
 
+  [[nodiscard]] const core::RunResult& at(std::pair<int, u32> key) const {
+    return cells_.at(index(key.first, key.second));
+  }
+  [[nodiscard]] core::RunResult& slot(int qi, u32 np) {
+    return cells_.at(index(qi, np));
+  }
+
+ private:
+  [[nodiscard]] static std::size_t index(int qi, u32 np) {
+    const auto& series = core::kProcSeries;
+    const auto it = std::find(series.begin(), series.end(), np);
+    if (it == series.end()) {
+      throw std::out_of_range("nproc not in kProcSeries");
+    }
+    return static_cast<std::size_t>(qi) * series.size() +
+           static_cast<std::size_t>(it - series.begin());
+  }
+
+  std::vector<core::RunResult> cells_;
+};
+
+/// A batch of (platform, query, nproc) cells executed by one `run_cells`
+/// call, addressable by coordinates. The map is filled serially after the
+/// parallel run completes, so iteration order never depends on threading.
+class CellBatch {
+ public:
+  [[nodiscard]] const core::RunResult& at(perf::Platform pl,
+                                          tpch::QueryId q, u32 np) const {
+    return cells_.at({static_cast<int>(pl), static_cast<int>(q), np});
+  }
+
+  void put(perf::Platform pl, tpch::QueryId q, u32 np, core::RunResult r) {
+    cells_[{static_cast<int>(pl), static_cast<int>(q), np}] = std::move(r);
+  }
+
+ private:
+  std::map<std::tuple<int, int, u32>, core::RunResult> cells_;
+};
+
+/// Run every (platform x query x nproc) combination concurrently.
+inline CellBatch cell_batch(
+    core::ExperimentRunner& runner, const core::BenchOptions& opts,
+    const std::vector<u32>& nprocs,
+    const std::vector<perf::Platform>& platforms,
+    const std::vector<tpch::QueryId>& queries = core::kQueries) {
+  std::vector<core::ExperimentConfig> cfgs;
+  for (auto pl : platforms) {
+    for (auto q : queries) {
+      for (u32 np : nprocs) {
+        core::ExperimentConfig cfg;
+        cfg.platform = pl;
+        cfg.query = q;
+        cfg.nproc = np;
+        cfg.trials = opts.trials;
+        cfg.scale = runner.scale();
+        cfg.seed = opts.seed;
+        cfgs.push_back(cfg);
+      }
+    }
+  }
+  auto results = runner.run_cells(cfgs);
+  CellBatch out;
+  std::size_t i = 0;
+  for (auto pl : platforms) {
+    for (auto q : queries) {
+      for (u32 np : nprocs) out.put(pl, q, np, std::move(results[i++]));
+    }
+  }
+  return out;
+}
+
+/// Run the full (query x nproc) sweep as one batch of cells on the runner's
+/// thread pool. Results are bit-identical to the serial per-cell loop.
 inline SweepResults run_sweep(core::ExperimentRunner& runner,
                               perf::Platform platform,
                               const core::BenchOptions& opts) {
-  SweepResults out;
-  int qi = 0;
+  std::vector<core::ExperimentConfig> cfgs;
+  cfgs.reserve(core::kQueries.size() * core::kProcSeries.size());
   for (auto q : core::kQueries) {
     for (u32 np : core::kProcSeries) {
-      out[{qi, np}] = runner.run(platform, q, np, opts.trials);
+      core::ExperimentConfig cfg;
+      cfg.platform = platform;
+      cfg.query = q;
+      cfg.nproc = np;
+      cfg.trials = opts.trials;
+      cfg.scale = runner.scale();
+      cfg.seed = opts.seed;
+      cfgs.push_back(cfg);
+    }
+  }
+  auto results = runner.run_cells(cfgs);
+
+  SweepResults out;
+  std::size_t i = 0;
+  int qi = 0;
+  for ([[maybe_unused]] auto q : core::kQueries) {
+    for (u32 np : core::kProcSeries) {
+      out.slot(qi, np) = std::move(results[i++]);
     }
     ++qi;
   }

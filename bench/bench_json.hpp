@@ -1,0 +1,103 @@
+// JSON export for the google-benchmark microbench binaries.
+//
+// `run_microbench_main(argc, argv)` behaves exactly like BENCHMARK_MAIN()
+// unless `--json <path>` is passed, in which case it additionally writes one
+// BENCH_*.json-style record per benchmark so future changes can track the
+// perf trajectory:
+//
+//   { "benchmarks": [ { "name": "...", "iterations": N,
+//                       "real_time_sec_per_iter": ...,
+//                       "cpu_time_sec_per_iter": ...,
+//                       "items_per_second": ... }, ... ] }
+//
+// items_per_second is 0 for benchmarks that never call SetItemsProcessed.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <string>
+#include <vector>
+
+namespace dss::bench {
+
+/// Console reporter that also captures each run for JSON export.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Record {
+    std::string name;
+    long long iterations = 0;
+    double real_sec_per_iter = 0;
+    double cpu_sec_per_iter = 0;
+    double items_per_second = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      Record r;
+      r.name = run.benchmark_name();
+      r.iterations = static_cast<long long>(run.iterations);
+      const double iters =
+          run.iterations == 0 ? 1.0 : static_cast<double>(run.iterations);
+      r.real_sec_per_iter = run.real_accumulated_time / iters;
+      r.cpu_sec_per_iter = run.cpu_accumulated_time / iters;
+      if (auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        r.items_per_second = it->second.value;
+      }
+      records_.push_back(std::move(r));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::vector<Record> records_;
+};
+
+inline void write_bench_json(const std::string& path,
+                             const std::vector<JsonCaptureReporter::Record>&
+                                 records) {
+  std::ofstream out(path);
+  out << std::setprecision(17);
+  out << "{\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "    {\"name\": \"" << r.name << "\", "
+        << "\"iterations\": " << r.iterations << ", "
+        << "\"real_time_sec_per_iter\": " << r.real_sec_per_iter << ", "
+        << "\"cpu_time_sec_per_iter\": " << r.cpu_sec_per_iter << ", "
+        << "\"items_per_second\": " << r.items_per_second << "}"
+        << (i + 1 < records.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+}
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body with --json support.
+inline int run_microbench_main(int argc, char** argv) {
+  // Strip --json <path> before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) write_bench_json(json_path, reporter.records());
+  return 0;
+}
+
+}  // namespace dss::bench

@@ -15,13 +15,18 @@ int main(int argc, char** argv) {
       tpch::QueryId::Q1, tpch::QueryId::Q3,  tpch::QueryId::Q6,
       tpch::QueryId::Q12, tpch::QueryId::Q14, tpch::QueryId::Q21};
 
+  // One batch: all twelve (query, machine) cells run concurrently.
+  const auto batch = bench::cell_batch(
+      runner, opts, {1u},
+      {perf::Platform::VClass, perf::Platform::Origin2000}, all);
+
   Table t({"query", "machine", "cycles", "CPI", "L1d/1Mi", "L2d/1Mi",
            "descents", "memlat"});
   std::map<std::pair<std::string, int>, double> cpm;
   for (auto q : all) {
     int mi = 0;
     for (auto pl : {perf::Platform::VClass, perf::Platform::Origin2000}) {
-      const auto r = runner.run(pl, q, 1, opts.trials);
+      const auto& r = batch.at(pl, q, 1);
       cpm[{tpch::query_name(q), mi}] = r.thread_time_cycles;
       t.add_row({tpch::query_name(q),
                  pl == perf::Platform::VClass ? "V-Class" : "Origin",

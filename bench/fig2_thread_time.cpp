@@ -14,6 +14,11 @@ int main(int argc, char** argv) {
   const auto opts = core::parse_bench_options(argc, argv);
   auto runner = bench::make_runner(opts);
 
+  // One batch: every (nproc, query, platform) cell runs concurrently.
+  const auto batch = bench::cell_batch(
+      runner, opts, {1u, 8u},
+      {perf::Platform::VClass, perf::Platform::Origin2000});
+
   struct Cell {
     double hpv, sgi;
   };
@@ -24,9 +29,8 @@ int main(int argc, char** argv) {
              "HPV (s)", "SGI (s)"});
     int qi = 0;
     for (auto q : core::kQueries) {
-      const auto hpv = runner.run(perf::Platform::VClass, q, np, opts.trials);
-      const auto sgi =
-          runner.run(perf::Platform::Origin2000, q, np, opts.trials);
+      const auto& hpv = batch.at(perf::Platform::VClass, q, np);
+      const auto& sgi = batch.at(perf::Platform::Origin2000, q, np);
       cells[{qi, np}] = Cell{hpv.thread_time_cycles, sgi.thread_time_cycles};
       t.add_row({tpch::query_name(q),
                  Table::num(hpv.thread_time_cycles, 0),

@@ -12,14 +12,18 @@ int main(int argc, char** argv) {
   const auto opts = core::parse_bench_options(argc, argv);
   auto runner = bench::make_runner(opts);
 
+  // One batch: every (nproc, query, platform) cell runs concurrently.
+  const auto batch = bench::cell_batch(
+      runner, opts, {1u, 8u},
+      {perf::Platform::VClass, perf::Platform::Origin2000});
+
   std::map<std::pair<int, u32>, std::pair<double, double>> cpi;
   for (u32 np : {1u, 8u}) {
     Table t({"query", "HP V-Class", "SGI Origin 2000"});
     int qi = 0;
     for (auto q : core::kQueries) {
-      const auto hpv = runner.run(perf::Platform::VClass, q, np, opts.trials);
-      const auto sgi =
-          runner.run(perf::Platform::Origin2000, q, np, opts.trials);
+      const auto& hpv = batch.at(perf::Platform::VClass, q, np);
+      const auto& sgi = batch.at(perf::Platform::Origin2000, q, np);
       cpi[{qi, np}] = {hpv.cpi, sgi.cpi};
       t.add_row({tpch::query_name(q), Table::num(hpv.cpi, 3),
                  Table::num(sgi.cpi, 3)});

@@ -24,14 +24,18 @@ int main(int argc, char** argv) {
   };
   std::map<std::pair<int, u32>, Row> rows;
 
+  // One batch: every (nproc, query, platform) cell runs concurrently.
+  const auto batch = bench::cell_batch(
+      runner, opts, {1u, 8u},
+      {perf::Platform::VClass, perf::Platform::Origin2000});
+
   for (u32 np : {1u, 8u}) {
     Table t({"query", "HPV cache", "SGI L1", "SGI L2", "HPV /1Mi",
              "SGI L1 /1Mi", "SGI L2 /1Mi"});
     int qi = 0;
     for (auto q : core::kQueries) {
-      const auto hpv = runner.run(perf::Platform::VClass, q, np, opts.trials);
-      const auto sgi =
-          runner.run(perf::Platform::Origin2000, q, np, opts.trials);
+      const auto& hpv = batch.at(perf::Platform::VClass, q, np);
+      const auto& sgi = batch.at(perf::Platform::Origin2000, q, np);
       const Row r{hpv.l1d_misses,     sgi.l1d_misses,    sgi.l2d_misses,
                   hpv.l1d_per_minstr, sgi.l1d_per_minstr, sgi.l2d_per_minstr};
       rows[{qi, np}] = r;

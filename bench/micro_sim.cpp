@@ -2,6 +2,7 @@
 // paths (hit / miss / coherence), and the directory.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "perf/counters.hpp"
 #include "sim/cache.hpp"
 #include "sim/machine.hpp"
@@ -98,4 +99,6 @@ BENCHMARK(BM_MachineRandomMix);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dss::bench::run_microbench_main(argc, argv);
+}

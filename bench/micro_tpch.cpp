@@ -2,6 +2,7 @@
 // end-to-end query simulation rate.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "core/experiment.hpp"
 #include "tpch/gen.hpp"
 
@@ -47,4 +48,6 @@ BENCHMARK(BM_EndToEndQ21FourProcs)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dss::bench::run_microbench_main(argc, argv);
+}

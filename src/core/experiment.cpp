@@ -9,12 +9,31 @@
 
 namespace dss::core {
 
-ExperimentRunner::ExperimentRunner(ScaleConfig scale, u64 seed)
-    : scale_(scale), seed_(seed) {
+ExperimentRunner::ExperimentRunner(ScaleConfig scale, u64 seed, u32 jobs)
+    : scale_(scale), seed_(seed), jobs_(jobs) {
   tpch::GenConfig gen;
   gen.scale_factor = scale_.scale_factor();
   gen.seed = seed_;
   dbase_ = tpch::build_database(gen);
+  // build_database() froze the catalog; trials rely on const-shared reads.
+  assert(dbase_->frozen());
+}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+void ExperimentRunner::set_jobs(u32 jobs) {
+  if (jobs == jobs_) return;
+  jobs_ = jobs;
+  pool_.reset();  // re-created at the new width on next use
+}
+
+ThreadPool* ExperimentRunner::pool_for(u64 task_count) {
+  const u32 want = jobs_ == 0 ? ThreadPool::default_jobs() : jobs_;
+  if (want <= 1 || task_count <= 1) return nullptr;
+  if (pool_ == nullptr || pool_->size() != want) {
+    pool_ = std::make_unique<ThreadPool>(want);
+  }
+  return pool_.get();
 }
 
 RunResult ExperimentRunner::run(perf::Platform platform, tpch::QueryId query,
@@ -29,18 +48,141 @@ RunResult ExperimentRunner::run(perf::Platform platform, tpch::QueryId query,
   return run(cfg);
 }
 
+RunResult ExperimentRunner::run(const ExperimentConfig& cfg) {
+  return std::move(run_cells({&cfg, 1}).front());
+}
+
+ExperimentRunner::TrialResult ExperimentRunner::run_trial(
+    const ExperimentConfig& cfg, u32 trial, bool want_result) const {
+  sim::MachineConfig mc =
+      (cfg.machine_override ? *cfg.machine_override
+                            : sim::config_for(cfg.platform))
+          .scaled(cfg.scale.denom);
+  assert(cfg.nproc <= mc.num_processors);
+  sim::MachineSim machine(mc);
+
+  db::RuntimeConfig rc;
+  rc.pool_frames = cfg.scale.pool_frames();
+  rc.workmem_arena_bytes = cfg.scale.arena_bytes();
+  if (cfg.spin_override) rc.spin = *cfg.spin_override;
+  db::DbRuntime rt(*dbase_, rc);
+  rt.prewarm_all();
+
+  tpch::QueryParams params;
+  params.workmem_arena_bytes = cfg.scale.arena_bytes();
+
+  os::Scheduler sched;
+  std::vector<std::unique_ptr<tpch::QueryRun>> queries;
+  // Per-trial seed derivation: depends only on (config seed, trial index),
+  // never on execution order, so any thread can run any trial.
+  Rng jitter(cfg.seed * 7919 + trial);
+  for (u32 i = 0; i < cfg.nproc; ++i) {
+    auto proc = std::make_unique<os::Process>(machine, i);
+    // Heavier daemon load as more backends run: slightly shorter quanta.
+    proc->set_timeslice(static_cast<u64>(
+        static_cast<double>(mc.timeslice_cycles) /
+        (1.0 + 0.05 * (cfg.nproc - 1))));
+    // Per-trial OS start jitter so trials sample different interleavings
+    // (the stand-in for real-machine noise the paper averages away).
+    proc->instr(static_cast<u64>(jitter.uniform(0, 40'000)));
+    auto q = tpch::make_query(cfg.query, rt, *proc, params);
+    tpch::QueryRun* qp = q.get();
+    queries.push_back(std::move(q));
+    sched.add(std::move(proc),
+              [qp](os::Process& p) { return qp->step(p); });
+  }
+  sched.run_all();
+
+  TrialResult tr;
+  tr.proc_mem_lat.reserve(sched.job_count());
+  for (std::size_t i = 0; i < sched.job_count(); ++i) {
+    tr.total += sched.process(i).counters();
+    tr.proc_mem_lat.push_back(sched.process(i).counters().avg_mem_latency());
+    tr.wall = std::max(tr.wall, static_cast<double>(sched.process(i).now()) /
+                                    (mc.clock_mhz * 1e6));
+  }
+  if (want_result) tr.query_result = queries[0]->result();
+  return tr;
+}
+
+std::vector<RunResult> ExperimentRunner::run_cells(
+    std::span<const ExperimentConfig> cfgs) {
+  struct Task {
+    u32 cell;
+    u32 trial;
+  };
+  std::vector<Task> tasks;
+  std::vector<std::vector<TrialResult>> trials(cfgs.size());
+  for (u32 c = 0; c < cfgs.size(); ++c) {
+    assert(cfgs[c].nproc >= 1 && cfgs[c].trials >= 1);
+    trials[c].resize(cfgs[c].trials);
+    for (u32 t = 0; t < cfgs[c].trials; ++t) tasks.push_back({c, t});
+  }
+
+  parallel_for_index(pool_for(tasks.size()), tasks.size(), [&](u64 i) {
+    const Task tk = tasks[i];
+    trials[tk.cell][tk.trial] =
+        run_trial(cfgs[tk.cell], tk.trial, /*want_result=*/tk.trial == 0);
+  });
+
+  // Reduce each cell in serial trial order (and, inside a trial, process
+  // order) so the floating-point folds match a `--jobs 1` run exactly.
+  std::vector<RunResult> out;
+  out.reserve(cfgs.size());
+  for (u32 c = 0; c < cfgs.size(); ++c) {
+    RunResult r;
+    perf::Counters grand;
+    u64 samples = 0;
+    double mem_lat_sum = 0;
+    double wall_sum = 0;
+    for (auto& tr : trials[c]) {
+      grand += tr.total;
+      for (double v : tr.proc_mem_lat) {
+        mem_lat_sum += v;
+        ++samples;
+      }
+      wall_sum += tr.wall;
+    }
+    r.query_result = std::move(trials[c][0].query_result);
+
+    // Per-process means.
+    auto avg = [&](u64 v) {
+      return static_cast<double>(v) / static_cast<double>(samples);
+    };
+    r.mean = grand;  // totals; derived ratios below use the totals directly
+    r.thread_time_cycles = avg(grand.cycles);
+    r.cpi = grand.cpi();
+    r.cycles_per_minstr = grand.cycles_per_minstr();
+    r.l1d_misses = avg(grand.l1d_misses);
+    r.l2d_misses = avg(grand.l2d_misses);
+    r.l1d_per_minstr = grand.l1d_per_minstr();
+    r.l2d_per_minstr = grand.l2d_per_minstr();
+    r.avg_mem_latency = mem_lat_sum / static_cast<double>(samples);
+    r.vol_ctx_per_minstr = grand.vol_ctx_per_minstr();
+    r.invol_ctx_per_minstr = grand.invol_ctx_per_minstr();
+    r.wall_seconds = wall_sum / cfgs[c].trials;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 std::vector<RunResult> ExperimentRunner::run_mix(
     perf::Platform platform, const std::vector<tpch::QueryId>& mix,
     u32 trials) {
   assert(!mix.empty() && trials >= 1);
-  std::vector<perf::Counters> grand(mix.size());
-  std::vector<std::vector<tpch::ResultRow>> results(mix.size());
-  std::vector<double> latency(mix.size(), 0.0);
-  std::vector<double> wall(mix.size(), 0.0);
+  const std::size_t n = mix.size();
 
-  for (u32 trial = 0; trial < trials; ++trial) {
+  struct MixTrial {
+    std::vector<perf::Counters> proc;
+    std::vector<double> lat;
+    std::vector<double> wall;
+    std::vector<std::vector<tpch::ResultRow>> results;  ///< trial 0 only
+  };
+  std::vector<MixTrial> per_trial(trials);
+
+  parallel_for_index(pool_for(trials), trials, [&](u64 trial) {
     sim::MachineConfig mc = sim::config_for(platform).scaled(scale_.denom);
-    assert(mix.size() <= mc.num_processors);
+    assert(n <= mc.num_processors);
     sim::MachineSim machine(mc);
     db::RuntimeConfig rc;
     rc.pool_frames = scale_.pool_frames();
@@ -53,11 +195,11 @@ std::vector<RunResult> ExperimentRunner::run_mix(
     os::Scheduler sched;
     std::vector<std::unique_ptr<tpch::QueryRun>> queries;
     Rng jitter(seed_ * 7919 + trial);
-    for (u32 i = 0; i < mix.size(); ++i) {
+    for (u32 i = 0; i < n; ++i) {
       auto proc = std::make_unique<os::Process>(machine, i);
       proc->set_timeslice(static_cast<u64>(
           static_cast<double>(mc.timeslice_cycles) /
-          (1.0 + 0.05 * (static_cast<double>(mix.size()) - 1))));
+          (1.0 + 0.05 * (static_cast<double>(n) - 1))));
       proc->instr(static_cast<u64>(jitter.uniform(0, 40'000)));
       auto q = tpch::make_query(mix[i], rt, *proc, params);
       tpch::QueryRun* qp = q.get();
@@ -65,17 +207,38 @@ std::vector<RunResult> ExperimentRunner::run_mix(
       sched.add(std::move(proc), [qp](os::Process& p) { return qp->step(p); });
     }
     sched.run_all();
-    for (u32 i = 0; i < mix.size(); ++i) {
-      grand[i] += sched.process(i).counters();
-      latency[i] += sched.process(i).counters().avg_mem_latency();
-      wall[i] += static_cast<double>(sched.process(i).now()) /
-                 (mc.clock_mhz * 1e6);
-      if (trial == 0) results[i] = queries[i]->result();
+
+    MixTrial& mt = per_trial[trial];
+    mt.proc.resize(n);
+    mt.lat.resize(n);
+    mt.wall.resize(n);
+    for (u32 i = 0; i < n; ++i) {
+      mt.proc[i] = sched.process(i).counters();
+      mt.lat[i] = sched.process(i).counters().avg_mem_latency();
+      mt.wall[i] = static_cast<double>(sched.process(i).now()) /
+                   (mc.clock_mhz * 1e6);
+    }
+    if (trial == 0) {
+      mt.results.resize(n);
+      for (u32 i = 0; i < n; ++i) mt.results[i] = queries[i]->result();
+    }
+  });
+
+  // Serial-order reduction, matching the old trial-major accumulation.
+  std::vector<perf::Counters> grand(n);
+  std::vector<double> latency(n, 0.0);
+  std::vector<double> wall(n, 0.0);
+  for (u32 trial = 0; trial < trials; ++trial) {
+    const MixTrial& mt = per_trial[trial];
+    for (u32 i = 0; i < n; ++i) {
+      grand[i] += mt.proc[i];
+      latency[i] += mt.lat[i];
+      wall[i] += mt.wall[i];
     }
   }
 
-  std::vector<RunResult> out(mix.size());
-  for (u32 i = 0; i < mix.size(); ++i) {
+  std::vector<RunResult> out(n);
+  for (u32 i = 0; i < n; ++i) {
     RunResult& r = out[i];
     r.mean = grand[i];
     r.thread_time_cycles =
@@ -90,86 +253,8 @@ std::vector<RunResult> ExperimentRunner::run_mix(
     r.vol_ctx_per_minstr = grand[i].vol_ctx_per_minstr();
     r.invol_ctx_per_minstr = grand[i].invol_ctx_per_minstr();
     r.wall_seconds = wall[i] / trials;
-    r.query_result = results[i];
+    r.query_result = std::move(per_trial[0].results[i]);
   }
-  return out;
-}
-
-RunResult ExperimentRunner::run(const ExperimentConfig& cfg) {
-  assert(cfg.nproc >= 1 && cfg.trials >= 1);
-  RunResult out;
-  perf::Counters grand;
-  u64 samples = 0;
-  double mem_lat_sum = 0;
-  double wall_sum = 0;
-
-  for (u32 trial = 0; trial < cfg.trials; ++trial) {
-    sim::MachineConfig mc =
-        (cfg.machine_override ? *cfg.machine_override
-                              : sim::config_for(cfg.platform))
-            .scaled(cfg.scale.denom);
-    assert(cfg.nproc <= mc.num_processors);
-    sim::MachineSim machine(mc);
-
-    db::RuntimeConfig rc;
-    rc.pool_frames = cfg.scale.pool_frames();
-    rc.workmem_arena_bytes = cfg.scale.arena_bytes();
-    if (cfg.spin_override) rc.spin = *cfg.spin_override;
-    db::DbRuntime rt(*dbase_, rc);
-    rt.prewarm_all();
-
-    tpch::QueryParams params;
-    params.workmem_arena_bytes = cfg.scale.arena_bytes();
-
-    os::Scheduler sched;
-    std::vector<std::unique_ptr<tpch::QueryRun>> queries;
-    Rng jitter(cfg.seed * 7919 + trial);
-    for (u32 i = 0; i < cfg.nproc; ++i) {
-      auto proc = std::make_unique<os::Process>(machine, i);
-      // Heavier daemon load as more backends run: slightly shorter quanta.
-      proc->set_timeslice(static_cast<u64>(
-          static_cast<double>(mc.timeslice_cycles) /
-          (1.0 + 0.05 * (cfg.nproc - 1))));
-      // Per-trial OS start jitter so trials sample different interleavings
-      // (the stand-in for real-machine noise the paper averages away).
-      proc->instr(static_cast<u64>(jitter.uniform(0, 40'000)));
-      auto q = tpch::make_query(cfg.query, rt, *proc, params);
-      tpch::QueryRun* qp = q.get();
-      queries.push_back(std::move(q));
-      sched.add(std::move(proc),
-                [qp](os::Process& p) { return qp->step(p); });
-    }
-    sched.run_all();
-
-    double trial_wall = 0;
-    for (std::size_t i = 0; i < sched.job_count(); ++i) {
-      grand += sched.process(i).counters();
-      mem_lat_sum += sched.process(i).counters().avg_mem_latency();
-      trial_wall = std::max(
-          trial_wall, static_cast<double>(sched.process(i).now()) /
-                          (mc.clock_mhz * 1e6));
-      ++samples;
-    }
-    wall_sum += trial_wall;
-    if (trial == 0) out.query_result = queries[0]->result();
-  }
-
-  // Per-process means.
-  auto avg = [&](u64 v) {
-    return static_cast<double>(v) / static_cast<double>(samples);
-  };
-  out.mean = grand;  // totals; derived ratios below use the totals directly
-  out.thread_time_cycles = avg(grand.cycles);
-  out.cpi = grand.cpi();
-  out.cycles_per_minstr = grand.cycles_per_minstr();
-  out.l1d_misses = avg(grand.l1d_misses);
-  out.l2d_misses = avg(grand.l2d_misses);
-  out.l1d_per_minstr = grand.l1d_per_minstr();
-  out.l2d_per_minstr = grand.l2d_per_minstr();
-  out.avg_mem_latency = mem_lat_sum / static_cast<double>(samples);
-  out.vol_ctx_per_minstr = grand.vol_ctx_per_minstr();
-  out.invol_ctx_per_minstr = grand.invol_ctx_per_minstr();
-  out.wall_seconds = wall_sum / cfg.trials;
   return out;
 }
 

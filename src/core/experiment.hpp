@@ -5,11 +5,21 @@
 // same query), and platform (V-Class or Origin 2000). Each configuration is
 // run `trials` times (the paper uses four) with per-trial OS start jitter,
 // and metrics are averaged.
+//
+// Host parallelism: every trial of every configuration cell is an
+// independent simulation — it builds its own MachineSim, scheduler, buffer
+// pool and counters against the shared *immutable* TPC-H database — so the
+// runner executes (cell, trial) tasks on a thread pool. Each trial's seed is
+// derived deterministically from (config seed, trial index) exactly as the
+// serial code derived it, and per-trial results are reduced in serial trial
+// order, so results are bit-identical regardless of `jobs` or thread
+// interleaving.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sim/config.hpp"
@@ -17,6 +27,7 @@
 #include "perf/platform_events.hpp"
 #include "tpch/gen.hpp"
 #include "tpch/queries.hpp"
+#include "util/threadpool.hpp"
 #include "util/types.hpp"
 
 namespace dss::core {
@@ -69,11 +80,33 @@ struct RunResult {
 
 /// Builds the TPC-H database once per scale and runs experiment
 /// configurations against it.
+///
+/// Thread-safety contract: after construction the owned `db::Database` is
+/// frozen (see `Database::freeze()`) and every trial reads it via const
+/// reference only; all mutable simulation state (machine, scheduler, DB
+/// runtime, counters) is private to one trial. The runner itself is NOT
+/// re-entrant — call `run`/`run_cells`/`run_mix` from one thread at a time;
+/// internally they fan trials out over the pool.
 class ExperimentRunner {
  public:
-  explicit ExperimentRunner(ScaleConfig scale = {}, u64 seed = 42);
+  /// `jobs`: number of worker threads for trial/cell execution; 0 means one
+  /// per hardware thread, 1 means serial.
+  explicit ExperimentRunner(ScaleConfig scale = {}, u64 seed = 42,
+                            u32 jobs = 1);
+  ~ExperimentRunner();
+
+  /// Change the worker-thread count (0 = hardware concurrency). Results are
+  /// independent of this setting by construction.
+  void set_jobs(u32 jobs);
+  [[nodiscard]] u32 jobs() const { return jobs_; }
 
   [[nodiscard]] RunResult run(const ExperimentConfig& cfg);
+
+  /// Run a batch of configuration cells, scheduling every (cell, trial)
+  /// task concurrently on the pool. Returns one RunResult per input cell, in
+  /// input order, each bit-identical to a serial `run(cfg)`.
+  [[nodiscard]] std::vector<RunResult> run_cells(
+      std::span<const ExperimentConfig> cfgs);
 
   /// Convenience: run one (platform, query, nproc) cell at this runner's
   /// scale and seed.
@@ -91,9 +124,26 @@ class ExperimentRunner {
   [[nodiscard]] const ScaleConfig& scale() const { return scale_; }
 
  private:
+  /// Everything one trial produces; reduced into a RunResult in trial order
+  /// so floating-point accumulation matches the serial fold exactly.
+  struct TrialResult {
+    perf::Counters total;              ///< summed over the trial's processes
+    std::vector<double> proc_mem_lat;  ///< avg_mem_latency() per process
+    double wall = 0;                   ///< max process span, seconds
+    std::vector<tpch::ResultRow> query_result;  ///< trial 0 only
+  };
+
+  /// One independent simulation. Const: shares only the frozen database.
+  [[nodiscard]] TrialResult run_trial(const ExperimentConfig& cfg, u32 trial,
+                                      bool want_result) const;
+
+  [[nodiscard]] ThreadPool* pool_for(u64 task_count);
+
   ScaleConfig scale_;
   u64 seed_;
+  u32 jobs_;
   std::unique_ptr<db::Database> dbase_;
+  std::unique_ptr<ThreadPool> pool_;  ///< lazily created, sized to jobs_
 };
 
 }  // namespace dss::core

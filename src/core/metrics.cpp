@@ -30,6 +30,8 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       o.trials = static_cast<u32>(std::stoul(need_value("--trials")));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       o.seed = std::stoull(need_value("--seed"));
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      o.jobs = static_cast<u32>(std::stoul(need_value("--jobs")));
     } else {
       throw std::invalid_argument(std::string("unknown option: ") + argv[i]);
     }

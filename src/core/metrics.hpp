@@ -23,11 +23,13 @@ void print_figure(std::ostream& os, const std::string& title,
                   const Table& table);
 
 /// Parse common bench options: --scale N (μ denominator), --trials N,
-/// --seed N. Unrecognized options raise.
+/// --seed N, --jobs N (worker threads for trial/cell execution; 0 = one per
+/// hardware thread, the default). Unrecognized options raise.
 struct BenchOptions {
   u32 scale_denom = 16;
   u32 trials = 4;
   u64 seed = 42;
+  u32 jobs = 0;  ///< 0 = hardware concurrency
 };
 [[nodiscard]] BenchOptions parse_bench_options(int argc, char** argv);
 

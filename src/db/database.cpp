@@ -8,6 +8,7 @@
 namespace dss::db {
 
 Relation& Database::create_table(const std::string& name, Schema schema) {
+  assert(!frozen_ && "create_table on a frozen (const-shared) catalog");
   if (by_name_.contains(name)) throw std::invalid_argument("duplicate: " + name);
   tables_.push_back(std::make_unique<Relation>(name, std::move(schema)));
   const u32 rel_id = static_cast<u32>(objects_.size());
@@ -19,6 +20,7 @@ Relation& Database::create_table(const std::string& name, Schema schema) {
 BTreeIndex& Database::create_index(const std::string& name,
                                    const std::string& table,
                                    const std::string& key_col) {
+  assert(!frozen_ && "create_index on a frozen (const-shared) catalog");
   if (by_name_.contains(name)) throw std::invalid_argument("duplicate: " + name);
   const Relation& rel = this->table(table);
   indexes_.push_back(std::make_unique<BTreeIndex>(
@@ -38,10 +40,12 @@ const Relation& Database::table(const std::string& name) const {
 }
 
 Relation& Database::table_mut(const std::string& name) {
+  assert(!frozen_ && "table_mut on a frozen (const-shared) catalog");
   return const_cast<Relation&>(table(name));
 }
 
 BTreeIndex& Database::index_mut(const std::string& name) {
+  assert(!frozen_ && "index_mut on a frozen (const-shared) catalog");
   return const_cast<BTreeIndex&>(index(name));
 }
 

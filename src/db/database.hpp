@@ -4,6 +4,15 @@
 // Build once:   Database db; db.create_table(...); load; db.create_index(...)
 // Per sim run:  DbRuntime rt(db, cfg); rt.prewarm_all();
 //               ... processes execute queries through the executor layer.
+//
+// Thread-safety contract (the parallel experiment engine relies on this):
+// after `freeze()` the Database is shared across trial threads as a const
+// object, and every const accessor must be safe for concurrent readers —
+// there is no hidden mutable state (no lazy caches, no stats counters) in
+// Database, Relation, or BTreeIndex. The mutating accessors assert against
+// a frozen catalog; the TPC-H refresh functions (the only legitimate
+// post-load mutators) `unfreeze()` around their edits and must never run
+// concurrently with experiments on the same Database.
 #pragma once
 
 #include <memory>
@@ -40,6 +49,14 @@ class Database {
 
   [[nodiscard]] u64 total_heap_bytes() const;
 
+  /// Flip the catalog read-only: from now on it may be shared across
+  /// threads as const (see the contract in the header comment). The
+  /// mutating accessors assert `!frozen()`.
+  void freeze() { frozen_ = true; }
+  /// Re-open for single-threaded mutation (refresh functions only).
+  void unfreeze() { frozen_ = false; }
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
  private:
   struct Object {
     std::string name;
@@ -51,6 +68,7 @@ class Database {
   std::vector<std::unique_ptr<BTreeIndex>> indexes_;
   std::vector<Object> objects_;  ///< rel_id -> object
   std::unordered_map<std::string, u32> by_name_;
+  bool frozen_ = false;
 };
 
 struct RuntimeConfig {

@@ -10,6 +10,9 @@ u32 log2_exact(u64 v) {
   assert(v != 0 && (v & (v - 1)) == 0 && "cache geometry must be a power of two");
   return static_cast<u32>(std::countr_zero(v));
 }
+
+/// Identity recency word: nibble p holds way p (way 0 = MRU ... 15 = LRU).
+constexpr u64 kIdentityOrder = 0xFEDCBA9876543210ULL;
 }  // namespace
 
 SetAssocCache::SetAssocCache(const CacheConfig& cfg)
@@ -20,6 +23,16 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg)
       ways_(static_cast<std::size_t>(num_sets_) * cfg.assoc) {
   assert(num_sets_ >= 1);
   assert(cfg.assoc >= 1);
+  if (cfg_.assoc == 2) {
+    repl_ = Repl::kTwoWay;
+    order_.assign(num_sets_, 1);  // way 1 is MRU <=> way 0 is the victim
+  } else if (cfg_.assoc > 2 && cfg_.assoc <= kMaxPackedAssoc) {
+    repl_ = Repl::kPacked;
+    order_.assign(num_sets_, kIdentityOrder);
+  } else if (cfg_.assoc > kMaxPackedAssoc) {
+    repl_ = Repl::kStamp;
+    stamps_.assign(ways_.size(), 0);
+  }
 }
 
 SetAssocCache::Way* SetAssocCache::find(u64 line_addr) {
@@ -36,11 +49,40 @@ const SetAssocCache::Way* SetAssocCache::find(u64 line_addr) const {
   return const_cast<SetAssocCache*>(this)->find(line_addr);
 }
 
+void SetAssocCache::touch_packed(u32 set, u32 w) {
+  u64 ord = order_[set];
+  if ((ord & 0xF) == w) return;  // already MRU — the steady-state case
+  // Splice nibble holding `w` out of its position p and reinsert at the
+  // MRU end; positions [0, p) shift up by one nibble, the rest stay put.
+  u32 p = 1;
+  while (((ord >> (4 * p)) & 0xF) != w) ++p;
+  const u64 low = ord & ((u64{1} << (4 * p)) - 1);
+  const u64 high = p >= 15 ? 0 : ord & ~((u64{1} << (4 * (p + 1))) - 1);
+  order_[set] = high | (low << 4) | w;
+}
+
+u32 SetAssocCache::lru_way_stamp(u32 set) const {
+  const u64* base = &stamps_[static_cast<std::size_t>(set) * cfg_.assoc];
+  u32 victim = 0;
+  for (u32 w = 1; w < cfg_.assoc; ++w) {
+    if (base[w] < base[victim]) victim = w;
+  }
+  return victim;
+}
+
 std::optional<LineState> SetAssocCache::lookup(u64 line_addr) {
-  Way* w = find(line_addr);
-  if (w == nullptr) return std::nullopt;
-  w->stamp = ++clock_;
-  return w->state;
+  // Inline the tag scan so set/tag are computed once and the hit way's
+  // index falls out of the loop without pointer arithmetic.
+  const u32 set = set_of(line_addr);
+  const u64 tag = tag_of(line_addr);
+  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+  for (u32 w = 0; w < cfg_.assoc; ++w) {
+    if (base[w].state != LineState::I && base[w].tag == tag) {
+      touch(set, w);
+      return base[w].state;
+    }
+  }
+  return std::nullopt;
 }
 
 std::optional<LineState> SetAssocCache::probe(u64 line_addr) const {
@@ -61,24 +103,25 @@ std::optional<Eviction> SetAssocCache::insert(u64 line_addr, LineState s) {
   assert(find(line_addr) == nullptr && "insert of already-resident line");
   const u32 set = set_of(line_addr);
   Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
-  Way* victim = nullptr;
+  u32 slot = cfg_.assoc;
   for (u32 w = 0; w < cfg_.assoc; ++w) {
     if (base[w].state == LineState::I) {
-      victim = &base[w];
+      slot = w;
       break;
     }
-    if (victim == nullptr || base[w].stamp < victim->stamp) victim = &base[w];
   }
+  if (slot == cfg_.assoc) slot = lru_way(set);  // set full: evict true LRU
+  Way& victim = base[slot];
   std::optional<Eviction> evicted;
-  if (victim->state != LineState::I) {
+  if (victim.state != LineState::I) {
     // Reconstruct the victim's line address from its tag and this set index.
-    const u64 victim_line = (victim->tag << set_bits_) | set;
-    evicted = Eviction{victim_line, victim->state};
+    const u64 victim_line = (victim.tag << set_bits_) | set;
+    evicted = Eviction{victim_line, victim.state};
     --resident_;
   }
-  victim->tag = tag_of(line_addr);
-  victim->state = s;
-  victim->stamp = ++clock_;
+  victim.tag = tag_of(line_addr);
+  victim.state = s;
+  touch(set, slot);
   ++resident_;
   return evicted;
 }

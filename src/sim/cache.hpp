@@ -3,6 +3,20 @@
 // The model is functional at tag granularity only: it tracks which line
 // addresses are resident and in which coherence state, not the data (the
 // DBMS keeps functional data in host memory).
+//
+// Replacement bookkeeping is geometry-specialized (all four schemes
+// implement *exactly* true LRU, so results are identical across them):
+//   * assoc == 1 (the V-Class's direct-mapped 2 MB cache): no LRU state at
+//     all — lookups touch nothing and the victim is the single way.
+//   * assoc == 2 (the Origin's 2-way L1/L2): `order_[set]` holds the MRU
+//     way index; a touch is one store and the LRU victim is `mru ^ 1`.
+//   * 3 <= assoc <= 16: an order-encoded per-set recency word — nibble p of
+//     `order_[set]` holds the way index of the p-th most recently used slot.
+//     A hit splices one nibble to the MRU position with O(1) bit
+//     arithmetic; an eviction reads the LRU way straight out of the top
+//     nibble instead of scanning timestamps.
+//   * assoc > 16 (the fully-associative TLBs): classic timestamp LRU, kept
+//     in a side array so the hot tag/state array stays compact.
 #pragma once
 
 #include <functional>
@@ -59,10 +73,15 @@ class SetAssocCache {
   [[nodiscard]] const CacheConfig& config() const { return cfg_; }
 
  private:
+  /// Packed-order mode handles up to one nibble per way in a u64.
+  static constexpr u32 kMaxPackedAssoc = 16;
+
+  /// Replacement scheme, chosen once from the geometry (see file comment).
+  enum class Repl : u8 { kNone, kTwoWay, kPacked, kStamp };
+
   struct Way {
     u64 tag = 0;
     LineState state = LineState::I;
-    u64 stamp = 0;  ///< LRU timestamp
   };
 
   [[nodiscard]] u32 set_of(u64 line_addr) const {
@@ -72,13 +91,54 @@ class SetAssocCache {
   [[nodiscard]] Way* find(u64 line_addr);
   [[nodiscard]] const Way* find(u64 line_addr) const;
 
+  /// Promote way `w` of `set` to most-recently-used. Defined inline: it sits
+  /// on the lookup hit path, and for the common geometries (assoc 1 and 2)
+  /// it must fold into the caller as a no-op or a single store.
+  void touch(u32 set, u32 w) {
+    switch (repl_) {
+      case Repl::kNone:
+        return;
+      case Repl::kTwoWay:
+        order_[set] = w;
+        return;
+      case Repl::kPacked:
+        touch_packed(set, w);
+        return;
+      case Repl::kStamp:
+        stamps_[static_cast<std::size_t>(set) * cfg_.assoc + w] = ++clock_;
+        return;
+    }
+  }
+  void touch_packed(u32 set, u32 w);
+
+  /// Way index of the least-recently-used way of a full set.
+  [[nodiscard]] u32 lru_way(u32 set) const {
+    switch (repl_) {
+      case Repl::kNone:
+        return 0;
+      case Repl::kTwoWay:
+        return static_cast<u32>(order_[set]) ^ 1;
+      case Repl::kPacked:
+        return static_cast<u32>((order_[set] >> (4 * (cfg_.assoc - 1))) & 0xF);
+      case Repl::kStamp:
+        return lru_way_stamp(set);
+    }
+    return 0;  // unreachable
+  }
+  [[nodiscard]] u32 lru_way_stamp(u32 set) const;
+
   CacheConfig cfg_;
   u32 line_shift_;
   u32 num_sets_;
   u32 set_bits_;
-  u64 clock_ = 0;  ///< monotonically increasing LRU stamp source
   u64 resident_ = 0;
   std::vector<Way> ways_;  ///< num_sets_ * assoc, set-major
+
+  // --- replacement state (see header comment) ---
+  Repl repl_ = Repl::kNone;
+  std::vector<u64> order_;   ///< two-way: MRU way; packed: recency word
+  std::vector<u64> stamps_;  ///< stamp mode: per-way timestamp
+  u64 clock_ = 0;            ///< stamp mode: monotonically increasing source
 };
 
 }  // namespace dss::sim

@@ -6,6 +6,10 @@ namespace dss::sim {
 
 u32 DirEntry::sharer_count() const { return static_cast<u32>(std::popcount(sharers)); }
 
+void Directory::reserve(std::size_t expected_units) {
+  entries_.reserve(expected_units);
+}
+
 DirEntry& Directory::entry(u64 unit_addr) { return entries_[unit_addr]; }
 
 const DirEntry* Directory::probe(u64 unit_addr) const {

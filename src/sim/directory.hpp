@@ -39,6 +39,12 @@ struct DirEntry {
 
 class Directory {
  public:
+  /// Pre-size the hash map for an expected number of simultaneously cached
+  /// units (the sum of last-level capacities is an upper bound). Access
+  /// storms otherwise trigger repeated rehashes of a multi-thousand-entry
+  /// map in the simulator's innermost loop.
+  void reserve(std::size_t expected_units);
+
   /// Entry for a unit, default-constructed (Uncached) if absent.
   [[nodiscard]] DirEntry& entry(u64 unit_addr);
 

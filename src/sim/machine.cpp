@@ -26,6 +26,13 @@ MachineSim::MachineSim(const MachineConfig& cfg)
   assert(ll_shift >= l1_shift && "last-level line must be >= L1 line");
   unit_vs_l1_shift_ = ll_shift - l1_shift;
 
+  // The directory can hold at most one entry per simultaneously cached
+  // coherence unit; pre-sizing to the aggregate last-level capacity (capped)
+  // eliminates rehash storms in the access hot loop.
+  const CacheConfig& ll = cfg_.dcache.back();
+  const u64 units = (ll.size_bytes / ll.line_bytes) * cfg_.num_processors;
+  dir_.reserve(static_cast<std::size_t>(std::min(units, u64{1} << 20)));
+
   if (cfg_.tlb_entries != 0) {
     // A fully-associative LRU TLB is a one-set cache of page-sized lines.
     const CacheConfig tlb_geom{
@@ -85,9 +92,38 @@ u64 MachineSim::access(u32 proc, AccessKind kind, SimAddr addr, u32 len,
   assert(len > 0);
   if (trace_hook_) trace_hook_(proc, kind, addr, len);
   perf::Counters& c = ctr(proc);
-  const u32 l1_shift = caches_[proc][0].line_shift();
+  SetAssocCache& l1 = caches_[proc][0];
+  const u32 l1_shift = l1.line_shift();
   const u64 first = addr >> l1_shift;
   const u64 last = (addr + len - 1) >> l1_shift;
+
+  // Fast path: a single-line reference whose TLB and L1 tag probes both hit
+  // and which needs no state transition (a read hit in any state, or a
+  // write/atomic hit on an already-M line). This is the overwhelmingly
+  // common case in the measured steady state, and it skips the per-line
+  // dispatch and the whole coherence/global_op machinery. The probes are
+  // hit-only, so falling through to the general path repeats them with
+  // identical results (re-promoting an MRU entry is a no-op) — behaviour is
+  // bit-identical to the slow path.
+  if (first == last) {
+    // Probe L1 first: it is the cheaper probe and rejects the miss/upgrade
+    // cases before the associative TLB scan. Touching the LRU here and
+    // again on the slow path is idempotent.
+    if (const auto st = l1.lookup(first);
+        st.has_value() && (kind == AccessKind::Read || *st == LineState::M)) {
+      const bool tlb_ok =
+          tlbs_.empty() ||
+          tlbs_[proc].lookup(addr / kPlacementPageBytes).has_value();
+      if (tlb_ok) {
+        switch (kind) {
+          case AccessKind::Read: ++c.loads; return 0;
+          case AccessKind::Write: ++c.stores; return 0;
+          case AccessKind::Atomic: ++c.atomics; return cfg_.atomic_penalty;
+        }
+      }
+    }
+  }
+
   u64 exposed = translate(proc, addr, len);
   for (u64 line = first; line <= last; ++line) {
     switch (kind) {
@@ -118,7 +154,19 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
       if (two_level) ll.set_state(unit, LineState::M);
       return extra_atomic;
     }
-    // Write hit on an S line: upgrade at the coherence level.
+    // Write hit on an S line. If this processor already owns the coherence
+    // unit exclusively (a sibling subline was upgraded earlier), the write
+    // is a purely local promotion — issuing a global upgrade here would make
+    // the directory intervene on *ourselves* and invalidate our own copy.
+    if (two_level) {
+      if (const auto st2 = ll.probe(unit); st2.has_value() &&
+                                           is_exclusive(*st2)) {
+        l1.set_state(l1_line, LineState::M);
+        ll.set_state(unit, LineState::M);
+        return extra_atomic;
+      }
+    }
+    // Otherwise upgrade at the coherence level.
     ++c.upgrades;
     const GlobalResult g =
         global_op(proc, /*want_excl=*/true, /*had_shared_copy=*/true, unit, now);

@@ -220,6 +220,9 @@ std::unique_ptr<db::Database> build_database(const GenConfig& cfg) {
   create_tables(*dbase);
   generate(*dbase, cfg);
   create_indexes(*dbase);
+  // From here on the database is read-only and may be shared across the
+  // parallel experiment engine's trial threads as const.
+  dbase->freeze();
   return dbase;
 }
 

@@ -27,6 +27,9 @@ constexpr const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
 RefreshResult rf1(db::Database& dbase, db::DbRuntime& rt, os::Process& p,
                   const RefreshConfig& cfg) {
   using db::Value;
+  // Refresh is the one legitimate post-load mutator; it must not run
+  // concurrently with experiments on this database (see database.hpp).
+  dbase.unfreeze();
   auto& orders = dbase.table_mut("orders");
   auto& lineitem = dbase.table_mut("lineitem");
   auto& orders_idx = dbase.index_mut("orders_pkey");
@@ -89,11 +92,13 @@ RefreshResult rf1(db::Database& dbase, db::DbRuntime& rt, os::Process& p,
 
   rt.locks().unlock_relation(p, li_id, db::LockMode::RowExclusive);
   rt.locks().unlock_relation(p, orders_id, db::LockMode::RowExclusive);
+  dbase.freeze();
   return res;
 }
 
 RefreshResult rf2(db::Database& dbase, db::DbRuntime& rt, os::Process& p,
                   const RefreshConfig& cfg) {
+  dbase.unfreeze();
   auto& orders = dbase.table_mut("orders");
   auto& lineitem = dbase.table_mut("lineitem");
   auto& orders_idx = dbase.index_mut("orders_pkey");
@@ -140,6 +145,7 @@ RefreshResult rf2(db::Database& dbase, db::DbRuntime& rt, os::Process& p,
 
   rt.locks().unlock_relation(p, li_id, db::LockMode::RowExclusive);
   rt.locks().unlock_relation(p, orders_id, db::LockMode::RowExclusive);
+  dbase.freeze();
   return res;
 }
 

@@ -1,0 +1,83 @@
+#include "util/threadpool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dss {
+
+ThreadPool::ThreadPool(u32 threads) {
+  const u32 n = threads == 0 ? default_jobs() : threads;
+  workers_.reserve(n);
+  for (u32 i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+u32 ThreadPool::default_jobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> fut = task.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    assert(!stop_ && "submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the packaged_task's future
+  }
+}
+
+void ThreadPool::for_each_index(u64 count, const std::function<void(u64)>& fn) {
+  std::vector<std::future<void>> futs;
+  futs.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    futs.push_back(submit([&fn, i] { fn(i); }));
+  }
+  // Drain everything before rethrowing so no task still runs with captured
+  // references when the caller unwinds.
+  std::exception_ptr first;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void parallel_for_index(ThreadPool* pool, u64 count,
+                        const std::function<void(u64)>& fn) {
+  if (pool == nullptr || pool->size() <= 1 || count <= 1) {
+    for (u64 i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool->for_each_index(count, fn);
+}
+
+}  // namespace dss

@@ -1,0 +1,65 @@
+// Fixed-size thread pool for host-parallel experiment execution.
+//
+// The experiment engine runs many *independent* simulations (one per trial or
+// per sweep cell); there is no inter-task communication, so a plain FIFO pool
+// with no work stealing is sufficient and keeps the scheduling deterministic
+// to reason about: the *assignment* of tasks to threads may vary run to run,
+// but every task is a pure function of its inputs, so results never depend on
+// the interleaving (see DESIGN.md "Parallel experiment engine").
+//
+// Exceptions thrown inside a task are captured and rethrown to the caller of
+// `wait()` / the future's `get()`, first-submitted-task first.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dss {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means one per hardware thread (at least 1).
+  explicit ThreadPool(u32 threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the future reports completion or rethrows the task's
+  /// exception.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Run fn(0..count-1) across the pool and block until all complete.
+  /// Rethrows the exception of the lowest-index failing task after every
+  /// task has finished (so captured references never dangle).
+  void for_each_index(u64 count, const std::function<void(u64)>& fn);
+
+  [[nodiscard]] u32 size() const { return static_cast<u32>(workers_.size()); }
+
+  /// Hardware concurrency, clamped to at least 1.
+  [[nodiscard]] static u32 default_jobs();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run fn(0..count-1), on `pool` when it is non-null and has more than one
+/// thread, serially (in index order) otherwise. Exceptions propagate in both
+/// modes.
+void parallel_for_index(ThreadPool* pool, u64 count,
+                        const std::function<void(u64)>& fn);
+
+}  // namespace dss

@@ -229,6 +229,23 @@ TEST(Machine, InclusionBackInvalidatesL1) {
   EXPECT_TRUE(r.m.check_invariants());
 }
 
+TEST(Machine, WriteToSharedSublineOfOwnedUnitStaysLocal) {
+  // Regression: hold subline A in S, upgrade sibling subline A+32 (becoming
+  // directory owner of the unit), then write A. The S copy sits above an
+  // M L2 line; promoting it must be a local state change, not a global
+  // upgrade that would make the directory intervene on ourselves.
+  Rig r(tiny_numa());
+  (void)r.read(0, A);
+  (void)r.read(1, A);        // unit now Shared between 0 and 1
+  (void)r.read(0, A + 32);   // sibling subline, fills S from L2
+  (void)r.write(0, A + 32);  // upgrade: proc 0 becomes owner, L2 -> M
+  (void)r.write(0, A);       // S subline above an M unit: local promotion
+  EXPECT_EQ(*r.m.cache(0, 0).probe(A >> 5), LineState::M);
+  EXPECT_EQ(*r.m.cache(0, 1).probe(A >> 6), LineState::M);
+  EXPECT_EQ(r.ctr[0].upgrades, 1u) << "second write must not go global";
+  EXPECT_TRUE(r.m.check_invariants());
+}
+
 TEST(Machine, TwoLevelCountsL2MissesOnlyOnUnitMiss) {
   Rig r(tiny_numa());
   // A 64-byte unit = two 32-byte L1 lines: second L1 line hits in L2.

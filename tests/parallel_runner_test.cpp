@@ -1,0 +1,97 @@
+// The parallel runner's contract: results are bit-identical to the serial
+// runner no matter how many worker threads execute the trials.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+
+namespace dss {
+namespace {
+
+using core::ExperimentConfig;
+using core::ExperimentRunner;
+using core::RunResult;
+using core::ScaleConfig;
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  // perf::Counters is an all-u64 aggregate; bitwise equality is exact.
+  EXPECT_EQ(std::memcmp(&a.mean, &b.mean, sizeof(perf::Counters)), 0);
+  EXPECT_EQ(a.thread_time_cycles, b.thread_time_cycles);
+  EXPECT_EQ(a.cpi, b.cpi);
+  EXPECT_EQ(a.cycles_per_minstr, b.cycles_per_minstr);
+  EXPECT_EQ(a.l1d_misses, b.l1d_misses);
+  EXPECT_EQ(a.l2d_misses, b.l2d_misses);
+  EXPECT_EQ(a.l1d_per_minstr, b.l1d_per_minstr);
+  EXPECT_EQ(a.l2d_per_minstr, b.l2d_per_minstr);
+  EXPECT_EQ(a.avg_mem_latency, b.avg_mem_latency);
+  EXPECT_EQ(a.vol_ctx_per_minstr, b.vol_ctx_per_minstr);
+  EXPECT_EQ(a.invol_ctx_per_minstr, b.invol_ctx_per_minstr);
+  EXPECT_EQ(a.wall_seconds, b.wall_seconds);
+  ASSERT_EQ(a.query_result.size(), b.query_result.size());
+  for (std::size_t i = 0; i < a.query_result.size(); ++i) {
+    EXPECT_EQ(a.query_result[i].key, b.query_result[i].key);
+    EXPECT_EQ(a.query_result[i].vals, b.query_result[i].vals);
+  }
+}
+
+TEST(ParallelRunner, RunIsBitIdenticalAcrossJobCounts) {
+  ExperimentRunner serial(ScaleConfig{64}, 5, /*jobs=*/1);
+  ExperimentRunner parallel(ScaleConfig{64}, 5, /*jobs=*/4);
+  const auto a =
+      serial.run(perf::Platform::Origin2000, tpch::QueryId::Q21, 4, 3);
+  const auto b =
+      parallel.run(perf::Platform::Origin2000, tpch::QueryId::Q21, 4, 3);
+  expect_identical(a, b);
+}
+
+TEST(ParallelRunner, RunCellsMatchesPerCellSerialRuns) {
+  std::vector<ExperimentConfig> cfgs;
+  for (auto q : {tpch::QueryId::Q6, tpch::QueryId::Q12}) {
+    for (u32 np : {1u, 2u}) {
+      ExperimentConfig cfg;
+      cfg.platform = perf::Platform::VClass;
+      cfg.query = q;
+      cfg.nproc = np;
+      cfg.trials = 2;
+      cfg.scale = ScaleConfig{64};
+      cfg.seed = 5;
+      cfgs.push_back(cfg);
+    }
+  }
+
+  ExperimentRunner serial(ScaleConfig{64}, 5, /*jobs=*/1);
+  ExperimentRunner parallel(ScaleConfig{64}, 5, /*jobs=*/4);
+  const auto batch = parallel.run_cells(cfgs);
+  ASSERT_EQ(batch.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    expect_identical(serial.run(cfgs[i]), batch[i]);
+  }
+}
+
+TEST(ParallelRunner, SetJobsDoesNotChangeResults) {
+  ExperimentRunner r(ScaleConfig{64}, 5, /*jobs=*/1);
+  const auto a = r.run(perf::Platform::VClass, tpch::QueryId::Q6, 2, 3);
+  r.set_jobs(3);
+  const auto b = r.run(perf::Platform::VClass, tpch::QueryId::Q6, 2, 3);
+  r.set_jobs(0);  // hardware concurrency
+  const auto c = r.run(perf::Platform::VClass, tpch::QueryId::Q6, 2, 3);
+  expect_identical(a, b);
+  expect_identical(a, c);
+}
+
+TEST(ParallelRunner, RunMixIsBitIdenticalAcrossJobCounts) {
+  const std::vector<tpch::QueryId> mix = {tpch::QueryId::Q6,
+                                          tpch::QueryId::Q21};
+  ExperimentRunner serial(ScaleConfig{64}, 5, /*jobs=*/1);
+  ExperimentRunner parallel(ScaleConfig{64}, 5, /*jobs=*/4);
+  const auto a = serial.run_mix(perf::Platform::Origin2000, mix, 2);
+  const auto b = parallel.run_mix(perf::Platform::Origin2000, mix, 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expect_identical(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace dss

@@ -1,0 +1,85 @@
+#include "util/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace dss {
+namespace {
+
+TEST(ThreadPool, DefaultJobsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([&] { ++ran; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  auto again = pool.submit([] {});
+  EXPECT_NO_THROW(again.get());
+}
+
+TEST(ThreadPool, ForEachIndexCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.for_each_index(hits.size(), [&](u64 i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ForEachIndexDrainsThenRethrows) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.for_each_index(50,
+                                   [&](u64 i) {
+                                     ++ran;
+                                     if (i == 7) {
+                                       throw std::runtime_error("halt");
+                                     }
+                                   }),
+               std::runtime_error);
+  // Every task still executed (the throw does not cancel the rest).
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    pool.for_each_index(20, [&](u64) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForIndexNullPoolRunsSerially) {
+  std::vector<u64> order;
+  parallel_for_index(nullptr, 10, [&](u64 i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (u64 i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ParallelForIndexUsesPool) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  parallel_for_index(&pool, 64, [&](u64) { ++ran; });
+  EXPECT_EQ(ran.load(), 64);
+}
+
+}  // namespace
+}  // namespace dss
