@@ -46,7 +46,7 @@ inline core::ExperimentRunner make_runner(const core::BenchOptions& o) {
             << " of the paper's 200 MB configuration, seed " << o.seed
             << ", trials " << o.trials << ", jobs "
             << (o.jobs == 0 ? dss::ThreadPool::default_jobs() : o.jobs)
-            << ")\n";
+            << (o.check ? ", invariant checker ON" : "") << ")\n";
   return core::ExperimentRunner(core::ScaleConfig{o.scale_denom}, o.seed,
                                 o.jobs);
 }
@@ -116,6 +116,7 @@ inline CellBatch cell_batch(
         cfg.trials = opts.trials;
         cfg.scale = runner.scale();
         cfg.seed = opts.seed;
+        cfg.check = opts.check;
         cfgs.push_back(cfg);
       }
     }
@@ -147,6 +148,7 @@ inline SweepResults run_sweep(core::ExperimentRunner& runner,
       cfg.trials = opts.trials;
       cfg.scale = runner.scale();
       cfg.seed = opts.seed;
+      cfg.check = opts.check;
       cfgs.push_back(cfg);
     }
   }

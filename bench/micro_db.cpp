@@ -21,7 +21,7 @@ struct Fixture {
     }
     dbase.create_index("t_k", "t", "k");
     rt = std::make_unique<db::DbRuntime>(dbase,
-                                         db::RuntimeConfig{2048, 4096});
+                                         db::RuntimeConfig{2048, 4096, {}});
     rt->prewarm_all();
   }
   db::Database dbase;

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
+#include <optional>
+
 #include "os/scheduler.hpp"
+#include "sim/check/invariants.hpp"
 #include "sim/machine_configs.hpp"
 #include "util/rng.hpp"
 
@@ -60,6 +63,11 @@ ExperimentRunner::TrialResult ExperimentRunner::run_trial(
           .scaled(cfg.scale.denom);
   assert(cfg.nproc <= mc.num_processors);
   sim::MachineSim machine(mc);
+  // The checker attaches before any process touches the machine, so its
+  // counter-conservation identities see the machine's whole history. It is
+  // observation-only; `access()` results do not change.
+  std::optional<sim::check::InvariantChecker> checker;
+  if (cfg.check) checker.emplace(machine);
 
   db::RuntimeConfig rc;
   rc.pool_frames = cfg.scale.pool_frames();
@@ -92,6 +100,9 @@ ExperimentRunner::TrialResult ExperimentRunner::run_trial(
               [qp](os::Process& p) { return qp->step(p); });
   }
   sched.run_all();
+  // Closing sweep: the periodic in-run sweeps are sampled, this one is
+  // guaranteed. Throws sim::ProtocolViolation on the first violation.
+  if (checker) checker->full_sweep();
 
   TrialResult tr;
   tr.proc_mem_lat.reserve(sched.job_count());

@@ -58,6 +58,10 @@ struct ExperimentConfig {
   std::optional<sim::MachineConfig> machine_override;
   /// Ablations: override the DBMS spinlock backoff policy.
   std::optional<db::SpinPolicy> spin_override;
+  /// Attach the runtime coherence-invariant checker (sim/check) to every
+  /// trial's machine. Observation-only: metrics are bit-identical to an
+  /// unchecked run; an invariant violation throws sim::ProtocolViolation.
+  bool check = false;
 };
 
 /// Averages (over processes, then over trials) of the measured counters,

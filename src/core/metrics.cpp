@@ -32,6 +32,8 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       o.seed = std::stoull(need_value("--seed"));
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
       o.jobs = static_cast<u32>(std::stoul(need_value("--jobs")));
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      o.check = true;
     } else {
       throw std::invalid_argument(std::string("unknown option: ") + argv[i]);
     }

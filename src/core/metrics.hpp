@@ -24,12 +24,15 @@ void print_figure(std::ostream& os, const std::string& title,
 
 /// Parse common bench options: --scale N (μ denominator), --trials N,
 /// --seed N, --jobs N (worker threads for trial/cell execution; 0 = one per
-/// hardware thread, the default). Unrecognized options raise.
+/// hardware thread, the default), --check (attach the runtime coherence
+/// invariant checker to every trial; observation-only, metrics unchanged).
+/// Unrecognized options raise.
 struct BenchOptions {
   u32 scale_denom = 16;
   u32 trials = 4;
   u64 seed = 42;
-  u32 jobs = 0;  ///< 0 = hardware concurrency
+  u32 jobs = 0;        ///< 0 = hardware concurrency
+  bool check = false;  ///< run trials under the invariant checker
 };
 [[nodiscard]] BenchOptions parse_bench_options(int argc, char** argv);
 

@@ -1,5 +1,6 @@
 #include "sim/cache.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -133,6 +134,46 @@ std::optional<LineState> SetAssocCache::invalidate(u64 line_addr) {
   w->state = LineState::I;
   --resident_;
   return prior;
+}
+
+void SetAssocCache::append_canonical(std::vector<u64>& out) const {
+  std::vector<u32> order(cfg_.assoc);
+  for (u32 set = 0; set < num_sets_; ++set) {
+    const Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+    // Way indices in MRU -> LRU order for this set, per replacement scheme.
+    switch (repl_) {
+      case Repl::kNone:
+        order[0] = 0;
+        break;
+      case Repl::kTwoWay:
+        order[0] = static_cast<u32>(order_[set]);
+        order[1] = order[0] ^ 1;
+        break;
+      case Repl::kPacked:
+        for (u32 p = 0; p < cfg_.assoc; ++p) {
+          order[p] = static_cast<u32>((order_[set] >> (4 * p)) & 0xF);
+        }
+        break;
+      case Repl::kStamp: {
+        const u64* st = &stamps_[static_cast<std::size_t>(set) * cfg_.assoc];
+        for (u32 w = 0; w < cfg_.assoc; ++w) order[w] = w;
+        std::sort(order.begin(), order.end(),
+                  [st](u32 a, u32 b) { return st[a] > st[b]; });
+        break;
+      }
+    }
+    u64 count = 0;
+    for (u32 w = 0; w < cfg_.assoc; ++w) {
+      if (base[order[w]].state != LineState::I) ++count;
+    }
+    out.push_back(count);
+    for (u32 w = 0; w < cfg_.assoc; ++w) {
+      const Way& way = base[order[w]];
+      if (way.state == LineState::I) continue;
+      const u64 line = (way.tag << set_bits_) | set;
+      out.push_back((line << 2) | (static_cast<u64>(way.state) - 1));
+    }
+  }
 }
 
 void SetAssocCache::for_each_line(

@@ -69,6 +69,15 @@ class SetAssocCache {
   /// Visit every resident line.
   void for_each_line(const std::function<void(u64, LineState)>& fn) const;
 
+  /// Append a canonical encoding of this cache's protocol-relevant state to
+  /// `out`: per set, the resident count followed by (line_addr << 2 | state)
+  /// for each resident way in MRU -> LRU order. Physical way indices are
+  /// deliberately *not* encoded — insertion fills any free way and eviction
+  /// picks the recency-order LRU, so two caches with the same resident lines
+  /// in the same recency order are behaviourally identical. The model
+  /// checker hashes this to canonicalize explored states.
+  void append_canonical(std::vector<u64>& out) const;
+
   [[nodiscard]] u64 resident_lines() const { return resident_; }
   [[nodiscard]] const CacheConfig& config() const { return cfg_; }
 

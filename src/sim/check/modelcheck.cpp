@@ -1,0 +1,225 @@
+#include "sim/check/modelcheck.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace dss::sim::check {
+
+MachineConfig mc_vclass() {
+  MachineConfig c;
+  c.name = "mc-vclass";
+  c.clock_mhz = 200.0;
+  c.num_processors = 2;
+  c.procs_per_node = 2;
+  c.uma = true;
+  // One 2-way set of 32 B lines: two units co-resident, a third conflicts.
+  c.dcache = {CacheConfig{64, 32, 2, 1}};
+  c.mem_banks = 2;
+  c.tlb_entries = 0;  // translation is not protocol state
+  c.migratory_opt = true;
+  c.speculative_reply = false;
+  c.shared_home_nodes.clear();
+  return c;
+}
+
+MachineConfig mc_origin() {
+  MachineConfig c;
+  c.name = "mc-origin";
+  c.clock_mhz = 250.0;
+  c.num_processors = 2;
+  c.procs_per_node = 2;
+  c.uma = false;
+  c.per_hop = 10;
+  c.off_node_extra = 5;
+  // L1: one 2-way set of 32 B sublines. L2: one 2-way set of 128 B units —
+  // the real Origin's 4:1 subline-to-unit geometry at minimum size.
+  c.dcache = {CacheConfig{64, 32, 2, 1}, CacheConfig{256, 128, 2, 10}};
+  c.tlb_entries = 0;
+  c.migratory_opt = false;
+  c.speculative_reply = true;
+  c.shared_home_nodes = {0};
+  return c;
+}
+
+namespace {
+
+/// A simulator instance plus the counter blocks the checker validates.
+/// Counters attach at construction so the I7 identities hold by design.
+struct Sim {
+  Sim(const MachineConfig& cfg, CheckFault fault)
+      : m(cfg), ctr(cfg.num_processors) {
+    m.set_fault(fault);
+    for (u32 p = 0; p < cfg.num_processors; ++p) m.attach_counters(p, &ctr[p]);
+  }
+  MachineSim m;
+  std::vector<perf::Counters> ctr;
+};
+
+void apply(Sim& sim, const McEvent& e, u64 step) {
+  // `now` advances with the step index only; protocol transitions never
+  // read it (it feeds the latency model), so canonical-state merging of
+  // paths with different lengths stays sound.
+  (void)sim.m.access(e.proc, e.kind, e.addr, 4, step * 1000);
+}
+
+/// Canonical encoding of the machine's protocol state (see header).
+std::vector<u64> encode(const MachineSim& m) {
+  std::vector<u64> enc;
+  const MachineConfig& cfg = m.config();
+  for (u32 p = 0; p < cfg.num_processors; ++p) {
+    for (u32 lvl = 0; lvl < cfg.levels(); ++lvl) {
+      m.cache(p, lvl).append_canonical(enc);
+    }
+  }
+  // Directory entries, sorted by unit, don't-care fields normalized.
+  struct Ent {
+    u64 unit, state, who, mig;
+  };
+  std::vector<Ent> dents;
+  m.directory().for_each([&](u64 unit, const DirEntry& e) {
+    if (e.state == DirState::Uncached) return;  // equivalent to absent
+    const u64 who = e.state == DirState::Owned ? e.owner : e.sharers;
+    const u64 mig = (e.migratory ? 1u : 0u) | (e.has_dirty_reader ? 2u : 0u) |
+                    (e.has_dirty_reader
+                         ? (static_cast<u64>(e.last_dirty_reader) << 2)
+                         : 0u);
+    dents.push_back({unit, static_cast<u64>(e.state), who, mig});
+  });
+  std::sort(dents.begin(), dents.end(),
+            [](const Ent& a, const Ent& b) { return a.unit < b.unit; });
+  enc.push_back(dents.size());
+  for (const Ent& d : dents) {
+    enc.push_back(d.unit);
+    enc.push_back(d.state);
+    enc.push_back(d.who);
+    enc.push_back(d.mig);
+  }
+  return enc;
+}
+
+}  // namespace
+
+std::string to_string(const McEvent& e, const McOptions& opts) {
+  const u32 l1_line = opts.machine.dcache.front().line_bytes;
+  const u32 unit_bytes = opts.machine.last_level().line_bytes;
+  const u32 ll_sets = opts.machine.last_level().num_sets();
+  const u64 stride = static_cast<u64>(unit_bytes) * ll_sets;
+  const u64 off = e.addr - kSharedBase;
+  const u64 unit = off / stride;
+  const u64 sub = (off % stride) / l1_line;
+  std::ostringstream oss;
+  oss << 'p' << e.proc << ' '
+      << (e.kind == AccessKind::Read
+              ? 'R'
+              : (e.kind == AccessKind::Write ? 'W' : 'A'))
+      << " unit" << unit;
+  if (unit_bytes > l1_line) oss << ".s" << sub;
+  return oss.str();
+}
+
+McResult model_check(const McOptions& opts) {
+  MachineConfig cfg = opts.machine;
+  // Round the processor count up to a whole node so NUMA homing stays in
+  // range; only the first `opts.procs` processors issue events.
+  cfg.num_processors =
+      ((opts.procs + cfg.procs_per_node - 1) / cfg.procs_per_node) *
+      cfg.procs_per_node;
+
+  // Event alphabet. All unit addresses land in last-level set 0 (stride =
+  // unit_bytes * num_sets) so the optional evictor genuinely conflicts.
+  const u32 l1_line = cfg.dcache.front().line_bytes;
+  const u32 unit_bytes = cfg.last_level().line_bytes;
+  const u64 stride =
+      static_cast<u64>(unit_bytes) * cfg.last_level().num_sets();
+  const u32 sublines =
+      std::min(opts.sublines, std::max(1u, unit_bytes / l1_line));
+  std::vector<McEvent> events;
+  for (u32 p = 0; p < opts.procs; ++p) {
+    for (u32 u = 0; u < opts.units; ++u) {
+      for (u32 s = 0; s < sublines; ++s) {
+        const SimAddr a = kSharedBase + u * stride +
+                          static_cast<SimAddr>(s) * l1_line;
+        events.push_back({p, AccessKind::Read, a});
+        events.push_back({p, AccessKind::Write, a});
+      }
+    }
+    if (opts.evictions) {
+      // The evictor unit is only ever read: its job is to force last-level
+      // evictions of the units under test, exercising writeback paths and
+      // the directory's eviction bookkeeping.
+      events.push_back({p, AccessKind::Read, kSharedBase + opts.units * stride});
+    }
+  }
+
+  McResult res;
+  res.events = events.size();
+
+  std::map<std::vector<u64>, u32> ids;
+  std::vector<std::vector<u16>> paths;
+  std::deque<u32> frontier;
+
+  {
+    Sim init(cfg, opts.fault);
+    ids.emplace(encode(init.m), 0);
+    paths.emplace_back();
+    frontier.push_back(0);
+    ++res.states;
+  }
+
+  while (!frontier.empty()) {
+    const u32 id = frontier.front();
+    frontier.pop_front();
+    const std::vector<u16> path = paths[id];  // copy: paths may reallocate
+
+    for (u16 ei = 0; ei < events.size(); ++ei) {
+      Sim sim(cfg, opts.fault);
+      u64 step = 0;
+      // Replay the path to reconstruct this state (MachineSim is not
+      // copyable). Prefix events were all accepted earlier, so with the
+      // same fault setting the replay is violation-free and deterministic.
+      for (const u16 pe : path) apply(sim, events[pe], step++);
+
+      InvariantChecker chk(sim.m,
+                           {/*full_sweep_interval=*/0, /*fail_fast=*/true});
+      try {
+        apply(sim, events[ei], step++);
+        chk.full_sweep();
+      } catch (const ProtocolViolation& v) {
+        // First violation wins: record it with its counterexample trace and
+        // stop the search (everything beyond a broken state is noise).
+        if (chk.violations().empty()) {
+          res.violations.push_back({v.what(), v.unit(), v.proc()});
+        } else {
+          res.violations.insert(res.violations.end(),
+                                chk.violations().begin(),
+                                chk.violations().end());
+        }
+        for (const u16 pe : path) res.counterexample.push_back(events[pe]);
+        res.counterexample.push_back(events[ei]);
+        return res;
+      }
+      ++res.transitions;
+
+      if (ids.size() >= opts.max_states) {
+        res.truncated = true;
+        continue;  // count the edge, but stop admitting new states
+      }
+      auto [it, fresh] =
+          ids.emplace(encode(sim.m), static_cast<u32>(paths.size()));
+      if (fresh) {
+        std::vector<u16> next = path;
+        next.push_back(ei);
+        paths.push_back(std::move(next));
+        frontier.push_back(it->second);
+        ++res.states;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace dss::sim::check

@@ -1,0 +1,85 @@
+// Explicit-state protocol model checker (a mini-Murphi over the *real*
+// simulator).
+//
+// Instead of model-checking a re-implementation of the coherence protocol —
+// which would validate the model, not the code — the checker drives the real
+// MachineSim/Directory/SetAssocCache stack over every interleaving of a
+// small event alphabet (read/write/evict per processor per coherence unit,
+// with the Origin's 32 B sublines inside its 128 B L2 units) and enumerates
+// all reachable protocol states by breadth-first search.
+//
+// State canonicalization: a state is the concatenation of every cache's
+// canonical encoding (resident lines + MESI states in recency order, see
+// SetAssocCache::append_canonical) and the directory's normalized entries
+// (don't-care fields zeroed: `owner` outside Owned, `last_dirty_reader`
+// without `has_dirty_reader`, entries that returned to Uncached dropped).
+// Timing state (memory-controller queues, interconnect, counters) is
+// excluded — it never feeds back into protocol transitions.
+//
+// Because MachineSim is not copyable, the search reconstructs each frontier
+// state by replaying its event path into a fresh simulator (standard
+// practice when wrapping real code); the tiny geometries keep this cheap.
+//
+// Properties checked on every transition:
+//   * the full InvariantChecker suite (I1-I7, DESIGN.md §9) on the
+//     post-state, including the proto_check guards inside MachineSim
+//   * progress: every event enabled in every reachable state completes
+//     (access() returns rather than throwing/wedging), so no reachable
+//     state can strand a pending access
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/check/invariants.hpp"
+#include "sim/machine.hpp"
+
+namespace dss::sim::check {
+
+/// One event of the model-checking alphabet.
+struct McEvent {
+  u32 proc = 0;
+  AccessKind kind = AccessKind::Read;
+  SimAddr addr = 0;
+};
+
+struct McOptions {
+  /// Protocol-preserving tiny machine model (mc_vclass() / mc_origin());
+  /// `num_processors` is overridden from `procs`.
+  MachineConfig machine;
+  u32 procs = 2;     ///< event-issuing processors (2 or 3)
+  u32 units = 2;     ///< distinct coherence units in the alphabet
+  u32 sublines = 1;  ///< L1 sublines referenced per unit (clamped to ratio)
+  /// Add one extra conflicting unit, referenced read-only, so last-level
+  /// evictions (and their directory bookkeeping) are part of the space.
+  bool evictions = true;
+  CheckFault fault = CheckFault::kNone;
+  u64 max_states = 500'000;  ///< explosion guard; exceeding marks truncated
+};
+
+struct McResult {
+  u64 states = 0;        ///< distinct canonical states reached
+  u64 transitions = 0;   ///< edges taken (states x enabled events)
+  u64 events = 0;        ///< alphabet size
+  bool truncated = false;
+  std::vector<Violation> violations;
+  std::vector<McEvent> counterexample;  ///< event path to the first violation
+  [[nodiscard]] bool ok() const { return violations.empty() && !truncated; }
+};
+
+/// Tiny single-level UMA model with the V-Class protocol options
+/// (migratory optimization on): 32 B coherence units, one 2-way set.
+[[nodiscard]] MachineConfig mc_vclass();
+
+/// Tiny two-level NUMA model with the Origin protocol options (speculative
+/// reply on): 32 B L1 sublines inside 128 B L2 units, one 2-way set each.
+[[nodiscard]] MachineConfig mc_origin();
+
+/// Exhaustively explore all interleavings of the event alphabet and check
+/// every reachable state. Deterministic: same options, same result.
+[[nodiscard]] McResult model_check(const McOptions& opts);
+
+/// "p1 W unit0.s1" -style rendering for counterexample traces.
+[[nodiscard]] std::string to_string(const McEvent& e, const McOptions& opts);
+
+}  // namespace dss::sim::check

@@ -104,8 +104,10 @@ u64 MachineSim::access(u32 proc, AccessKind kind, SimAddr addr, u32 len,
   // dispatch and the whole coherence/global_op machinery. The probes are
   // hit-only, so falling through to the general path repeats them with
   // identical results (re-promoting an MRU entry is a no-op) — behaviour is
-  // bit-identical to the slow path.
-  if (first == last) {
+  // bit-identical to the slow path. With an observer attached, every
+  // reference takes the slow path so the observer sees it; because the fast
+  // path is a pure short circuit, counters and timing do not change.
+  if (first == last && obs_ == nullptr) {
     // Probe L1 first: it is the cheaper probe and rejects the miss/upgrade
     // cases before the associative TLB scan. Touching the LRU here and
     // again on the slow path is idempotent.
@@ -133,6 +135,7 @@ u64 MachineSim::access(u32 proc, AccessKind kind, SimAddr addr, u32 len,
     }
     exposed += access_line(proc, kind, line, now + exposed);
   }
+  if (obs_ != nullptr) obs_->on_access(proc, kind, addr, len);
   return exposed;
 }
 
@@ -158,7 +161,9 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
     // unit exclusively (a sibling subline was upgraded earlier), the write
     // is a purely local promotion — issuing a global upgrade here would make
     // the directory intervene on *ourselves* and invalidate our own copy.
-    if (two_level) {
+    // CheckFault::kSelfUpgrade suppresses the promotion, re-introducing
+    // exactly that bug (PR 1) for checker-detection tests.
+    if (two_level && fault_ != CheckFault::kSelfUpgrade) {
       if (const auto st2 = ll.probe(unit); st2.has_value() &&
                                            is_exclusive(*st2)) {
         l1.set_state(l1_line, LineState::M);
@@ -280,6 +285,7 @@ MachineSim::GlobalResult MachineSim::global_op(u32 proc, bool want_excl,
         u32 invalidated = 0;
         for (u32 q = 0; q < cfg_.num_processors; ++q) {
           if (q == proc || !e.is_sharer(q)) continue;
+          if (obs_ != nullptr) obs_->on_invalidation(proc, q, unit_line);
           invalidate_unit_at(q, unit_line);
           ++invalidated;
         }
@@ -303,15 +309,19 @@ MachineSim::GlobalResult MachineSim::global_op(u32 proc, bool want_excl,
       break;
     }
     case DirState::Owned: {
-      assert(e.owner != proc &&
-             "requester missed in its own cache but directory says it owns "
-             "the unit: cache/directory out of sync");
+      proto_check(e.owner != proc,
+                  "self-intervention: requester missed in its own cache but "
+                  "the directory says it owns the unit (cache/directory out "
+                  "of sync)",
+                  unit_line, proc);
       const u32 q = e.owner;
       const u32 qnode = node_of_proc(q);
+      if (obs_ != nullptr) obs_->on_intervention(proc, q, unit_line);
       ++ctr(q).cache_interventions;
       const auto q_state = caches_[q].back().probe(unit_line);
-      assert(q_state.has_value() && "owner lost the line without notifying "
-                                    "the directory");
+      proto_check(q_state.has_value(),
+                  "owner lost the line without notifying the directory",
+                  unit_line, q);
       const bool dirty = q_state == LineState::M;
       if (dirty) ++c.dirty_misses;
 
@@ -324,6 +334,10 @@ MachineSim::GlobalResult MachineSim::global_op(u32 proc, bool want_excl,
                             net_.oneway(home, qnode) + cfg_.cache_penalty +
                             net_.oneway_data(qnode, pnode);
       if (want_excl || migratory_handoff) {
+        if (obs_ != nullptr) {
+          if (migratory_handoff) obs_->on_migratory_handoff(proc, q, unit_line);
+          obs_->on_invalidation(proc, q, unit_line);
+        }
         invalidate_unit_at(q, unit_line);
         e.owner = proc;
         e.sharers = 0;
@@ -337,6 +351,7 @@ MachineSim::GlobalResult MachineSim::global_op(u32 proc, bool want_excl,
         }
       } else {
         // Read to an owned unit: owner downgrades to S, both end up sharers.
+        if (obs_ != nullptr) obs_->on_downgrade(proc, q, unit_line);
         if (downgrade_unit_at(q, unit_line)) {
           // Dirty data returns to the home in the same transaction.
           mc_.post(home, now + req_leg);
@@ -425,11 +440,16 @@ void MachineSim::last_level_eviction(u32 proc, const Eviction& ev, u64 now) {
   DirEntry& e = dir_.entry(ev.line_addr);
   const bool dirty = ev.state == LineState::M || l1_dirty;
   if (ev.state == LineState::S) {
-    assert(e.state == DirState::Shared && e.is_sharer(proc));
+    proto_check(e.state == DirState::Shared && e.is_sharer(proc),
+                "evicted a Shared copy the directory does not record",
+                ev.line_addr, proc);
     e.remove_sharer(proc);
     if (e.sharer_count() == 0) e.state = DirState::Uncached;
   } else {
-    assert(e.state == DirState::Owned && e.owner == proc);
+    proto_check(e.state == DirState::Owned && e.owner == proc,
+                "evicted an exclusive copy the directory does not attribute "
+                "to this processor",
+                ev.line_addr, proc);
     e.state = DirState::Uncached;
     e.sharers = 0;
     if (dirty) {
@@ -442,6 +462,12 @@ void MachineSim::last_level_eviction(u32 proc, const Eviction& ev, u64 now) {
   e.migratory = false;
   e.has_dirty_reader = false;
   dir_.erase_if_uncached(ev.line_addr);
+}
+
+void MachineSim::proto_fail(const char* what, u64 unit, u32 proc) const {
+  if (obs_ != nullptr) obs_->on_violation(what, unit, proc);
+  log_error("protocol violation at unit ", unit, " (proc ", proc, "): ", what);
+  throw ProtocolViolation(what, unit, proc);
 }
 
 bool MachineSim::check_invariants() const {

@@ -24,6 +24,8 @@
 #pragma once
 
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "perf/counters.hpp"
@@ -35,6 +37,70 @@
 #include "sim/memctrl.hpp"
 
 namespace dss::sim {
+
+/// Thrown when a protocol-state guard fails (directory and caches disagree,
+/// a transaction targets the requester itself, ...). These guards used to be
+/// bare assert()s that vanished in release builds — the PR 1 self-upgrade
+/// bug surfaced only as a release segfault — so they now always diagnose.
+class ProtocolViolation : public std::runtime_error {
+ public:
+  ProtocolViolation(const std::string& what, u64 unit, u32 proc)
+      : std::runtime_error(what), unit_(unit), proc_(proc) {}
+  [[nodiscard]] u64 unit() const { return unit_; }
+  [[nodiscard]] u32 proc() const { return proc_; }
+
+ private:
+  u64 unit_;
+  u32 proc_;
+};
+
+/// Test-only protocol faults, injectable behind a flag so the checking
+/// machinery can prove it detects known-bad protocols.
+enum class CheckFault : u8 {
+  kNone,
+  /// Re-introduce the PR 1 bug: a write hit on a Shared L1 subline of a
+  /// unit this processor already owns exclusively issues a global upgrade
+  /// instead of a local promotion, making the directory intervene on the
+  /// requester itself.
+  kSelfUpgrade,
+};
+
+/// Observation interface into the coherence protocol. All hooks default to
+/// no-ops; an attached observer sees every transaction's protocol events.
+/// Attaching an observer also disables the L1-hit fast path so that *every*
+/// reference is observable — metrics are bit-identical either way (the fast
+/// path is a short circuit of the same transitions, see machine.cpp).
+class ProtocolObserver {
+ public:
+  virtual ~ProtocolObserver() = default;
+
+  /// An `access()` call completed (after all of its L1 lines were serviced).
+  virtual void on_access(u32 proc, AccessKind kind, SimAddr addr, u32 len) {
+    (void)proc, (void)kind, (void)addr, (void)len;
+  }
+  /// The directory forwards `requester`'s miss to exclusive `owner` (3-hop).
+  virtual void on_intervention(u32 requester, u32 owner, u64 unit) {
+    (void)requester, (void)owner, (void)unit;
+  }
+  /// `requester`'s write invalidates `target`'s copy of `unit`.
+  virtual void on_invalidation(u32 requester, u32 target, u64 unit) {
+    (void)requester, (void)target, (void)unit;
+  }
+  /// `requester`'s read downgrades `owner`'s exclusive copy to Shared.
+  virtual void on_downgrade(u32 requester, u32 owner, u64 unit) {
+    (void)requester, (void)owner, (void)unit;
+  }
+  /// A read was served by the migratory optimization: `owner` hands the
+  /// unit over in M instead of degrading to Shared.
+  virtual void on_migratory_handoff(u32 requester, u32 owner, u64 unit) {
+    (void)requester, (void)owner, (void)unit;
+  }
+  /// A protocol-state guard failed; a ProtocolViolation is thrown right
+  /// after this hook returns (the hook lets checkers record the event).
+  virtual void on_violation(const char* what, u64 unit, u32 proc) {
+    (void)what, (void)unit, (void)proc;
+  }
+};
 
 class MachineSim {
  public:
@@ -61,6 +127,16 @@ class MachineSim {
   using TraceHook = std::function<void(u32, AccessKind, SimAddr, u32)>;
   void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
 
+  /// Attach a protocol observer (nullptr detaches). At most one at a time;
+  /// the invariant checker in sim/check builds on this seam.
+  void set_observer(ProtocolObserver* obs) { obs_ = obs; }
+  [[nodiscard]] ProtocolObserver* observer() const { return obs_; }
+
+  /// Inject a test-only protocol fault (CheckFault::kNone restores correct
+  /// behaviour). Used to prove the checkers detect known-bad protocols.
+  void set_fault(CheckFault f) { fault_ = f; }
+  [[nodiscard]] CheckFault fault() const { return fault_; }
+
   [[nodiscard]] const MachineConfig& config() const { return cfg_; }
   [[nodiscard]] u32 node_of_proc(u32 proc) const {
     return proc / cfg_.procs_per_node;
@@ -75,6 +151,11 @@ class MachineSim {
   [[nodiscard]] const Directory& directory() const { return dir_; }
   [[nodiscard]] const MemCtrl& memctrl() const { return mc_; }
   [[nodiscard]] const Interconnect& interconnect() const { return net_; }
+  /// Counter block attached to `proc` (nullptr when unattached). Lets the
+  /// invariant checker validate per-counter conservation identities.
+  [[nodiscard]] const perf::Counters* attached_counters(u32 proc) const {
+    return counters_[proc];
+  }
 
   /// Verify directory/cache consistency and multilevel inclusion; aborts via
   /// assert-like check and returns false on the first violation (the message
@@ -114,6 +195,15 @@ class MachineSim {
     return l1_line >> unit_vs_l1_shift_;
   }
 
+  /// Protocol-state guard: when `cond` is false, notify the observer and
+  /// throw ProtocolViolation. Replaces the bare assert()s on the directory
+  /// intervention/eviction paths, which release builds compiled out.
+  void proto_check(bool cond, const char* what, u64 unit, u32 proc) const {
+    if (cond) return;
+    proto_fail(what, unit, proc);
+  }
+  [[noreturn]] void proto_fail(const char* what, u64 unit, u32 proc) const;
+
   /// Translate an access's pages through proc's data TLB; returns exposed
   /// refill cycles (0 when the TLB model is disabled).
   u64 translate(u32 proc, SimAddr addr, u32 len);
@@ -128,6 +218,8 @@ class MachineSim {
   perf::Counters scratch_;  ///< sink for unattached processors
   u32 unit_vs_l1_shift_;    ///< log2(last-level line / L1 line)
   TraceHook trace_hook_;
+  ProtocolObserver* obs_ = nullptr;
+  CheckFault fault_ = CheckFault::kNone;
 };
 
 }  // namespace dss::sim

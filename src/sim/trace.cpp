@@ -6,7 +6,26 @@ namespace dss::sim {
 
 namespace {
 constexpr char kMagic[8] = {'D', 'S', 'S', 'T', 'R', 'C', '0', '1'};
+
+// Packed on-disk record layout (see trace.hpp).
+constexpr std::size_t kWireSize = 25;
+
+void encode(const TraceRecord& r, unsigned char* out) {
+  std::memcpy(out + 0, &r.proc, sizeof r.proc);
+  std::memcpy(out + 4, &r.kind, sizeof r.kind);
+  std::memcpy(out + 5, &r.len, sizeof r.len);
+  std::memcpy(out + 9, &r.addr, sizeof r.addr);
+  std::memcpy(out + 17, &r.instr_gap, sizeof r.instr_gap);
 }
+
+void decode(const unsigned char* in, TraceRecord& r) {
+  std::memcpy(&r.proc, in + 0, sizeof r.proc);
+  std::memcpy(&r.kind, in + 4, sizeof r.kind);
+  std::memcpy(&r.len, in + 5, sizeof r.len);
+  std::memcpy(&r.addr, in + 9, sizeof r.addr);
+  std::memcpy(&r.instr_gap, in + 17, sizeof r.instr_gap);
+}
+}  // namespace
 
 void TraceWriter::record(u32 proc, AccessKind kind, SimAddr addr, u32 len,
                          u64 instr_gap) {
@@ -20,8 +39,13 @@ bool TraceWriter::save(const std::string& path) const {
   bool ok = std::fwrite(kMagic, sizeof kMagic, 1, f) == 1;
   const u64 n = records_.size();
   ok = ok && std::fwrite(&n, sizeof n, 1, f) == 1;
-  ok = ok && (n == 0 || std::fwrite(records_.data(), sizeof(TraceRecord), n,
-                                    f) == n);
+  if (ok && n != 0) {
+    std::vector<unsigned char> wire(n * kWireSize);
+    for (u64 i = 0; i < n; ++i) {
+      encode(records_[i], wire.data() + i * kWireSize);
+    }
+    ok = std::fwrite(wire.data(), kWireSize, n, f) == n;
+  }
   ok = (std::fclose(f) == 0) && ok;
   return ok;
 }
@@ -36,8 +60,13 @@ bool TraceReader::load(const std::string& path) {
   ok = ok && std::fread(&n, sizeof n, 1, f) == 1;
   if (ok) {
     records_.resize(n);
-    ok = n == 0 ||
-         std::fread(records_.data(), sizeof(TraceRecord), n, f) == n;
+    if (n != 0) {
+      std::vector<unsigned char> wire(n * kWireSize);
+      ok = std::fread(wire.data(), kWireSize, n, f) == n;
+      for (u64 i = 0; ok && i < n; ++i) {
+        decode(wire.data() + i * kWireSize, records_[i]);
+      }
+    }
   }
   std::fclose(f);
   if (!ok) records_.clear();

@@ -18,7 +18,12 @@
 
 namespace dss::sim {
 
-#pragma pack(push, 1)
+// In memory the record is naturally aligned; on disk it is a packed 25-byte
+// little-endian layout (proc@0, kind@4, len@5, addr@9, instr_gap@17),
+// encoded/decoded field-by-field in save()/load(). A #pragma pack struct
+// written wholesale would give the same bytes but make every addr/instr_gap
+// access through records() bind misaligned references — undefined behaviour
+// that UBSan rejects.
 struct TraceRecord {
   u32 proc;
   u8 kind;        ///< AccessKind
@@ -26,7 +31,6 @@ struct TraceRecord {
   SimAddr addr;
   u64 instr_gap;  ///< instructions retired since the previous reference
 };
-#pragma pack(pop)
 
 /// Accumulates records in memory and writes them as a binary file.
 class TraceWriter {

@@ -128,7 +128,9 @@ TEST_P(CacheLruProperty, MatchesReferenceModelUnderRandomAccesses) {
     }
     const auto ev = c.insert(line, LineState::S);
     ASSERT_EQ(ev.has_value(), ref_ev.has_value()) << "eviction disagreement";
-    if (ev) EXPECT_EQ(ev->line_addr, *ref_ev);
+    if (ev) {
+      EXPECT_EQ(ev->line_addr, *ref_ev);
+    }
   }
 }
 

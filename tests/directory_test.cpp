@@ -34,7 +34,7 @@ TEST(Directory, SharerBitmask) {
 TEST(Directory, EraseIfUncachedKeepsLiveEntries) {
   Directory d;
   d.entry(1).state = DirState::Shared;
-  d.entry(2);  // stays Uncached
+  (void)d.entry(2);  // stays Uncached
   d.erase_if_uncached(1);
   d.erase_if_uncached(2);
   EXPECT_NE(d.probe(1), nullptr);

@@ -28,8 +28,14 @@ std::unique_ptr<Database> make_db(u64 rows = 500) {
 }
 
 struct RtRig {
+  static RuntimeConfig make_rc(u32 frames) {
+    RuntimeConfig rc;
+    rc.pool_frames = frames;
+    rc.workmem_arena_bytes = 4096;
+    return rc;
+  }
   explicit RtRig(const Database& dbase, u32 frames = 256)
-      : rt(dbase, RuntimeConfig{frames, 4096}) {
+      : rt(dbase, make_rc(frames)) {
     rt.prewarm_all();
   }
   DbRuntime rt;

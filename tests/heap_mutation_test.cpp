@@ -18,7 +18,7 @@ struct Rig {
       t.add_row({Value::of_int(i % 50), Value::of_double(i * 1.0)});
     }
     dbase.create_index("t_k", "t", "k");
-    rt = std::make_unique<DbRuntime>(dbase, RuntimeConfig{512, 4096});
+    rt = std::make_unique<DbRuntime>(dbase, RuntimeConfig{512, 4096, {}});
     rt->prewarm_all();
   }
   Database dbase;

@@ -340,7 +340,9 @@ TEST_P(CoherenceStorm, InvariantsHoldUnderRandomTraffic) {
       case 1: (void)r.write(p, a, len); break;
       default: (void)r.atomic(p, a); break;
     }
-    if (i % 5'000 == 4'999) ASSERT_TRUE(r.m.check_invariants()) << "step " << i;
+    if (i % 5'000 == 4'999) {
+      ASSERT_TRUE(r.m.check_invariants()) << "step " << i;
+    }
   }
   ASSERT_TRUE(r.m.check_invariants());
 }

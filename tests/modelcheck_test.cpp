@@ -1,0 +1,81 @@
+// Model checker API: exhaustive tiny configurations are clean and
+// deterministic, the injected kSelfUpgrade fault is caught with a
+// counterexample, and the explosion guard reports truncation honestly.
+#include <gtest/gtest.h>
+
+#include "sim/check/modelcheck.hpp"
+
+namespace dss::sim::check {
+namespace {
+
+TEST(ModelCheck, VClass2pIsExhaustiveAndClean) {
+  McOptions o;
+  o.machine = mc_vclass();
+  o.procs = 2;
+  o.units = 2;
+  const McResult r = model_check(o);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.truncated);
+  EXPECT_GT(r.states, 100u);
+  EXPECT_GT(r.transitions, r.states);  // every state has several events
+  EXPECT_EQ(r.events, 2u * 2u * 2u + 2u);  // procs x units x {R,W} + evict R
+}
+
+TEST(ModelCheck, Origin2pSublinesIsClean) {
+  McOptions o;
+  o.machine = mc_origin();
+  o.procs = 2;
+  o.units = 1;
+  o.sublines = 2;
+  const McResult r = model_check(o);
+  EXPECT_TRUE(r.ok());
+  EXPECT_GT(r.states, 50u);
+}
+
+TEST(ModelCheck, SameOptionsSameStateCount) {
+  McOptions o;
+  o.machine = mc_vclass();
+  o.procs = 2;
+  o.units = 2;
+  const McResult a = model_check(o);
+  const McResult b = model_check(o);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.transitions, b.transitions);
+}
+
+TEST(ModelCheck, DetectsInjectedSelfUpgrade) {
+  McOptions o;
+  o.machine = mc_origin();
+  o.procs = 2;
+  o.units = 1;
+  o.sublines = 2;
+  o.fault = CheckFault::kSelfUpgrade;
+  const McResult r = model_check(o);
+  ASSERT_FALSE(r.ok());
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_NE(r.violations.front().what.find("self-intervention"),
+            std::string::npos);
+  // BFS finds a minimal-length path: share, upgrade, then the faulty write
+  // to the still-Shared sibling subline.
+  ASSERT_FALSE(r.counterexample.empty());
+  EXPECT_LE(r.counterexample.size(), 5u);
+  EXPECT_EQ(r.counterexample.back().kind, AccessKind::Write);
+  for (const auto& e : r.counterexample) {
+    EXPECT_FALSE(to_string(e, o).empty());
+  }
+}
+
+TEST(ModelCheck, TruncationIsReported) {
+  McOptions o;
+  o.machine = mc_vclass();
+  o.procs = 2;
+  o.units = 2;
+  o.max_states = 10;  // far below the ~1.2k reachable states
+  const McResult r = model_check(o);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_FALSE(r.ok());
+  EXPECT_LE(r.states, 10u + r.events);  // stops within one frontier pop
+}
+
+}  // namespace
+}  // namespace dss::sim::check

@@ -121,7 +121,7 @@ TEST(Scheduler, KeepsClocksWithinWindowSkew) {
     procs.push_back(p.get());
     const u64 work = (i + 1) * 400;
     const int limit = static_cast<int>(160'000 / work);
-    int* steps = new int(0);
+    auto steps = std::make_shared<int>(0);
     sched.add(std::move(p),
               [work, steps, limit, &procs, &max_skew](Process& pr) {
       pr.instr(work);

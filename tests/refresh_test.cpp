@@ -20,7 +20,7 @@ struct MutableRig {
     gen.seed = 5;
     dbase = tpch::build_database(gen);
     rt = std::make_unique<db::DbRuntime>(*dbase,
-                                         db::RuntimeConfig{2048, 4096});
+                                         db::RuntimeConfig{2048, 4096, {}});
     rt->prewarm_all();
     machine = std::make_unique<sim::MachineSim>(testing::small_machine());
     proc = std::make_unique<os::Process>(*machine, 0);
