@@ -47,8 +47,13 @@ inline core::ExperimentRunner make_runner(const core::BenchOptions& o) {
             << ", trials " << o.trials << ", jobs "
             << (o.jobs == 0 ? dss::ThreadPool::default_jobs() : o.jobs)
             << (o.check ? ", invariant checker ON" : "") << ")\n";
-  return core::ExperimentRunner(core::ScaleConfig{o.scale_denom}, o.seed,
+  core::ExperimentRunner runner(core::ScaleConfig{o.scale_denom}, o.seed,
                                 o.jobs);
+  if (!o.metrics_path.empty()) {
+    runner.set_metrics_export(o.bench_name, o.metrics_path);
+    std::cout << "(exporting run metrics to " << o.metrics_path << ")\n";
+  }
+  return runner;
 }
 
 /// Sweep of one platform over the paper's process-count series for all three
@@ -171,10 +176,14 @@ inline SweepResults run_sweep(core::ExperimentRunner& runner,
 inline Table sweep_table(const SweepResults& sweep,
                          double (*metric)(const core::RunResult&),
                          int precision) {
-  Table t({"processes", "Q6", "Q21", "Q12"});
+  // Headers and column count follow core::kQueries, so extending the query
+  // list extends every figure table with it.
+  std::vector<std::string> headers{"processes"};
+  for (auto q : core::kQueries) headers.emplace_back(tpch::query_name(q));
+  Table t(std::move(headers));
   for (u32 np : core::kProcSeries) {
     std::vector<std::string> row{std::to_string(np)};
-    for (int qi = 0; qi < 3; ++qi) {
+    for (int qi = 0; qi < static_cast<int>(core::kQueries.size()); ++qi) {
       row.push_back(Table::num(metric(sweep.at({qi, np})), precision));
     }
     t.add_row(std::move(row));

@@ -15,11 +15,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <string>
 #include <vector>
+
+#include "util/json.hpp"
 
 namespace dss::bench {
 
@@ -67,7 +70,7 @@ inline void write_bench_json(const std::string& path,
   out << "{\n  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
-    out << "    {\"name\": \"" << r.name << "\", "
+    out << "    {\"name\": \"" << util::json_escape(r.name) << "\", "
         << "\"iterations\": " << r.iterations << ", "
         << "\"real_time_sec_per_iter\": " << r.real_sec_per_iter << ", "
         << "\"cpu_time_sec_per_iter\": " << r.cpu_sec_per_iter << ", "
@@ -84,7 +87,13 @@ inline int run_microbench_main(int argc, char** argv) {
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+    if (i > 0 && std::strcmp(argv[i], "--json") == 0) {
+      // A trailing --json used to be forwarded to google-benchmark (which
+      // rejects it with a confusing message); fail clearly instead.
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json requires a value\n", argv[0]);
+        return 1;
+      }
       json_path = argv[++i];
       continue;
     }

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
       db::RuntimeConfig rc;
       rc.pool_frames = core::ScaleConfig{opts.scale_denom}.pool_frames();
       db::DbRuntime rt(*dbase, rc);
+      machine.set_addr_classes(&rt.addr_classes());
       rt.prewarm_all();
       os::Process proc(machine, 0);
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include <optional>
 
+#include "core/run_export.hpp"
 #include "os/scheduler.hpp"
 #include "sim/check/invariants.hpp"
 #include "sim/machine_configs.hpp"
@@ -22,7 +24,35 @@ ExperimentRunner::ExperimentRunner(ScaleConfig scale, u64 seed, u32 jobs)
   assert(dbase_->frozen());
 }
 
-ExperimentRunner::~ExperimentRunner() = default;
+ExperimentRunner::ExperimentRunner(ExperimentRunner&&) noexcept = default;
+ExperimentRunner& ExperimentRunner::operator=(ExperimentRunner&&) noexcept =
+    default;
+
+ExperimentRunner::~ExperimentRunner() {
+  if (export_ != nullptr && export_dirty_) {
+    try {
+      write_metrics();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: metrics export failed: %s\n", e.what());
+    }
+  }
+}
+
+void ExperimentRunner::set_metrics_export(std::string bench,
+                                          std::string path) {
+  export_ = std::make_unique<MetricsDoc>();
+  export_->bench = std::move(bench);
+  export_->scale_denom = scale_.denom;
+  export_->seed = seed_;
+  export_path_ = std::move(path);
+  export_dirty_ = false;
+}
+
+void ExperimentRunner::write_metrics() {
+  if (export_ == nullptr) return;
+  write_metrics_file(export_path_, *export_);
+  export_dirty_ = false;
+}
 
 void ExperimentRunner::set_jobs(u32 jobs) {
   if (jobs == jobs_) return;
@@ -74,6 +104,9 @@ ExperimentRunner::TrialResult ExperimentRunner::run_trial(
   rc.workmem_arena_bytes = cfg.scale.arena_bytes();
   if (cfg.spin_override) rc.spin = *cfg.spin_override;
   db::DbRuntime rt(*dbase_, rc);
+  // Attach the runtime's address-class map so misses attribute to DBMS
+  // object classes (observation-only; timing and counters are unchanged).
+  machine.set_addr_classes(&rt.addr_classes());
   rt.prewarm_all();
 
   tpch::QueryParams params;
@@ -174,6 +207,25 @@ std::vector<RunResult> ExperimentRunner::run_cells(
     r.wall_seconds = wall_sum / cfgs[c].trials;
     out.push_back(std::move(r));
   }
+  if (export_ != nullptr) {
+    for (u32 c = 0; c < cfgs.size(); ++c) {
+      ExportCell cell;
+      cell.platform = perf::platform_name(cfgs[c].platform);
+      cell.query = tpch::query_name(cfgs[c].query);
+      cell.nproc = cfgs[c].nproc;
+      cell.trials = cfgs[c].trials;
+      if (cfgs[c].machine_override) cell.variant += "machine_override";
+      if (cfgs[c].spin_override) {
+        if (!cell.variant.empty()) cell.variant += "+";
+        cell.variant += "spin_override";
+      }
+      cell.check = cfgs[c].check;
+      cell.result = out[c];
+      cell.result.query_result.clear();  // rows are not part of the schema
+      export_->cells.push_back(std::move(cell));
+    }
+    export_dirty_ = true;
+  }
   return out;
 }
 
@@ -199,6 +251,7 @@ std::vector<RunResult> ExperimentRunner::run_mix(
     rc.pool_frames = scale_.pool_frames();
     rc.workmem_arena_bytes = scale_.arena_bytes();
     db::DbRuntime rt(*dbase_, rc);
+    machine.set_addr_classes(&rt.addr_classes());
     rt.prewarm_all();
     tpch::QueryParams params;
     params.workmem_arena_bytes = scale_.arena_bytes();
@@ -265,6 +318,20 @@ std::vector<RunResult> ExperimentRunner::run_mix(
     r.invol_ctx_per_minstr = grand[i].invol_ctx_per_minstr();
     r.wall_seconds = wall[i] / trials;
     r.query_result = std::move(per_trial[0].results[i]);
+  }
+  if (export_ != nullptr) {
+    for (u32 i = 0; i < n; ++i) {
+      ExportCell cell;
+      cell.platform = perf::platform_name(platform);
+      cell.query = tpch::query_name(mix[i]);
+      cell.nproc = static_cast<u32>(n);
+      cell.trials = trials;
+      cell.variant = "mix[" + std::to_string(i) + "]";
+      cell.result = out[i];
+      cell.result.query_result.clear();
+      export_->cells.push_back(std::move(cell));
+    }
+    export_dirty_ = true;
   }
   return out;
 }

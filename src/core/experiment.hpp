@@ -32,6 +32,8 @@
 
 namespace dss::core {
 
+struct MetricsDoc;  // run_export.hpp; runner only holds a pointer
+
 /// The memory-scale rule of DESIGN.md §6: database, buffer pool, cache
 /// capacities and the private working set all shrink by `denom`; line sizes,
 /// latencies and clock rates do not.
@@ -98,6 +100,8 @@ class ExperimentRunner {
   explicit ExperimentRunner(ScaleConfig scale = {}, u64 seed = 42,
                             u32 jobs = 1);
   ~ExperimentRunner();
+  ExperimentRunner(ExperimentRunner&&) noexcept;
+  ExperimentRunner& operator=(ExperimentRunner&&) noexcept;
 
   /// Change the worker-thread count (0 = hardware concurrency). Results are
   /// independent of this setting by construction.
@@ -127,6 +131,17 @@ class ExperimentRunner {
   [[nodiscard]] const db::Database& database() const { return *dbase_; }
   [[nodiscard]] const ScaleConfig& scale() const { return scale_; }
 
+  /// Record every subsequent run_cells/run_mix cell into a MetricsDoc and
+  /// write it (schema in core/run_export.hpp) to `path` — explicitly via
+  /// write_metrics(), or from the destructor if still unwritten.
+  void set_metrics_export(std::string bench, std::string path);
+  /// Flush the recorded document to the configured path now. Throws
+  /// std::runtime_error when the file cannot be written; no-op when export
+  /// is not enabled.
+  void write_metrics();
+  /// The document recorded so far (nullptr when export is not enabled).
+  [[nodiscard]] const MetricsDoc* metrics_doc() const { return export_.get(); }
+
  private:
   /// Everything one trial produces; reduced into a RunResult in trial order
   /// so floating-point accumulation matches the serial fold exactly.
@@ -148,6 +163,9 @@ class ExperimentRunner {
   u32 jobs_;
   std::unique_ptr<db::Database> dbase_;
   std::unique_ptr<ThreadPool> pool_;  ///< lazily created, sized to jobs_
+  std::unique_ptr<MetricsDoc> export_;  ///< set by set_metrics_export
+  std::string export_path_;
+  bool export_dirty_ = false;
 };
 
 }  // namespace dss::core

@@ -17,6 +17,11 @@ void print_figure(std::ostream& os, const std::string& title,
 
 BenchOptions parse_bench_options(int argc, char** argv) {
   BenchOptions o;
+  if (argc > 0) {
+    const std::string path = argv[0];
+    const std::size_t slash = path.find_last_of('/');
+    o.bench_name = slash == std::string::npos ? path : path.substr(slash + 1);
+  }
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -34,6 +39,8 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       o.jobs = static_cast<u32>(std::stoul(need_value("--jobs")));
     } else if (std::strcmp(argv[i], "--check") == 0) {
       o.check = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      o.metrics_path = need_value("--metrics");
     } else {
       throw std::invalid_argument(std::string("unknown option: ") + argv[i]);
     }

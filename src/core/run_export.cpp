@@ -1,0 +1,380 @@
+#include "core/run_export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace dss::core {
+
+namespace {
+
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Streams one JSON object, inserting commas between members.
+class ObjWriter {
+ public:
+  ObjWriter(std::ostream& os, int indent) : os_(os), indent_(indent) {
+    os_ << "{";
+  }
+  void key(const std::string& k) {
+    if (!first_) os_ << ",";
+    first_ = false;
+    os_ << "\n";
+    for (int i = 0; i < indent_ + 2; ++i) os_ << ' ';
+    os_ << '"' << util::json_escape(k) << "\": ";
+  }
+  void num(const std::string& k, double v) { key(k); os_ << fmt_double(v); }
+  void num(const std::string& k, u64 v) { key(k); os_ << v; }
+  void num(const std::string& k, u32 v) { key(k); os_ << v; }
+  void str(const std::string& k, const std::string& v) {
+    key(k);
+    os_ << '"' << util::json_escape(v) << '"';
+  }
+  void boolean(const std::string& k, bool v) {
+    key(k);
+    os_ << (v ? "true" : "false");
+  }
+  void close() {
+    if (!first_) {
+      os_ << "\n";
+      for (int i = 0; i < indent_; ++i) os_ << ' ';
+    }
+    os_ << "}";
+  }
+
+ private:
+  std::ostream& os_;
+  int indent_;
+  bool first_ = true;
+};
+
+void write_breakdown(std::ostream& os, int indent,
+                     const perf::MissBreakdown& b) {
+  ObjWriter w(os, indent);
+  for (u32 i = 0; i < perf::kNumMissCauses; ++i) {
+    w.num(perf::miss_cause_name(static_cast<perf::MissCause>(i)),
+          b.by_cause[i]);
+  }
+  w.close();
+}
+
+void write_counters(std::ostream& os, int indent, const perf::Counters& c) {
+  ObjWriter w(os, indent);
+  w.num("cycles", c.cycles);
+  w.num("instructions", c.instructions);
+  w.num("spin_cycles", c.spin_cycles);
+  w.num("loads", c.loads);
+  w.num("stores", c.stores);
+  w.num("atomics", c.atomics);
+  w.num("l1d_misses", c.l1d_misses);
+  w.num("l2d_misses", c.l2d_misses);
+  w.num("dirty_misses", c.dirty_misses);
+  w.num("cache_interventions", c.cache_interventions);
+  w.num("invalidations_recv", c.invalidations_recv);
+  w.num("upgrades", c.upgrades);
+  w.num("writebacks", c.writebacks);
+  w.num("migratory_transfers", c.migratory_transfers);
+  w.num("tlb_misses", c.tlb_misses);
+  w.num("mem_requests", c.mem_requests);
+  w.num("mem_latency_cycles", c.mem_latency_cycles);
+  w.num("remote_accesses", c.remote_accesses);
+  w.num("vol_ctx_switches", c.vol_ctx_switches);
+  w.num("invol_ctx_switches", c.invol_ctx_switches);
+  w.num("select_sleeps", c.select_sleeps);
+  w.num("lock_acquires", c.lock_acquires);
+  w.num("lock_collisions", c.lock_collisions);
+  w.num("buffer_pins", c.buffer_pins);
+  w.num("tuples_scanned", c.tuples_scanned);
+  w.num("index_descents", c.index_descents);
+  w.close();
+}
+
+void write_stack(std::ostream& os, int indent, const perf::CpiStack& s) {
+  ObjWriter w(os, indent);
+  w.num("compute", s.compute);
+  w.num("spin", s.spin);
+  w.num("sched", s.sched);
+  w.num("tlb", s.tlb);
+  w.num("atomics", s.atomics);
+  w.num("l2_hit", s.l2_hit);
+  w.num("mem_local", s.mem_local);
+  w.num("mem_remote_near", s.mem_remote_near);
+  w.num("mem_remote_mid", s.mem_remote_mid);
+  w.num("mem_remote_far", s.mem_remote_far);
+  w.num("intervention", s.intervention);
+  w.close();
+}
+
+void write_cell(std::ostream& os, int indent, const ExportCell& cell) {
+  const perf::Counters& c = cell.result.mean;
+  ObjWriter w(os, indent);
+  w.str("platform", cell.platform);
+  w.str("query", cell.query);
+  w.num("nproc", cell.nproc);
+  w.num("trials", cell.trials);
+  w.str("variant", cell.variant);
+  w.boolean("check", cell.check);
+  w.key("metrics");
+  {
+    ObjWriter m(os, indent + 2);
+    m.num("thread_time_cycles", cell.result.thread_time_cycles);
+    m.num("cpi", cell.result.cpi);
+    m.num("cycles_per_minstr", cell.result.cycles_per_minstr);
+    m.num("l1d_misses", cell.result.l1d_misses);
+    m.num("l2d_misses", cell.result.l2d_misses);
+    m.num("l1d_per_minstr", cell.result.l1d_per_minstr);
+    m.num("l2d_per_minstr", cell.result.l2d_per_minstr);
+    m.num("avg_mem_latency", cell.result.avg_mem_latency);
+    m.num("vol_ctx_per_minstr", cell.result.vol_ctx_per_minstr);
+    m.num("invol_ctx_per_minstr", cell.result.invol_ctx_per_minstr);
+    m.num("wall_seconds", cell.result.wall_seconds);
+    m.close();
+  }
+  w.key("counters");
+  write_counters(os, indent + 2, c);
+  w.key("miss_causes");
+  {
+    ObjWriter m(os, indent + 2);
+    m.key("l1");
+    write_breakdown(os, indent + 4, c.l1_miss_causes);
+    m.key("l2");
+    write_breakdown(os, indent + 4, c.l2_miss_causes);
+    m.close();
+  }
+  w.key("obj_misses");
+  {
+    ObjWriter m(os, indent + 2);
+    for (u32 i = 0; i < perf::kNumObjClasses; ++i) {
+      m.key(perf::obj_class_name(static_cast<perf::ObjClass>(i)));
+      ObjWriter o(os, indent + 4);
+      o.num("total", c.obj_misses[i]);
+      o.num("comm", c.obj_comm_misses[i]);
+      o.close();
+    }
+    m.close();
+  }
+  w.key("cpi_stack");
+  write_stack(os, indent + 2, c.stack);
+  w.close();
+}
+
+std::string cell_label(const std::string& platform, const std::string& query,
+                       u64 nproc, const std::string& variant) {
+  std::ostringstream oss;
+  oss << platform << "/" << query << "/" << nproc;
+  if (!variant.empty()) oss << "/" << variant;
+  return oss.str();
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const MetricsDoc& doc) {
+  ObjWriter w(os, 0);
+  w.num("schema_version", kMetricsSchemaVersion);
+  w.str("bench", doc.bench);
+  w.num("scale_denom", doc.scale_denom);
+  w.num("seed", doc.seed);
+  w.key("cells");
+  os << "[";
+  for (std::size_t i = 0; i < doc.cells.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\n    ";
+    write_cell(os, 4, doc.cells[i]);
+  }
+  if (!doc.cells.empty()) os << "\n  ";
+  os << "]";
+  w.close();
+  os << "\n";
+}
+
+void write_metrics_file(const std::string& path, const MetricsDoc& doc) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open metrics output file: " + path);
+  }
+  write_metrics_json(out, doc);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("failed writing metrics output file: " + path);
+  }
+}
+
+namespace {
+
+const util::Json* get_typed(std::vector<std::string>& problems,
+                            const util::Json& obj, const std::string& key,
+                            util::Json::Type type, const std::string& ctx) {
+  const util::Json* v = obj.get(key);
+  if (v == nullptr) {
+    problems.push_back(ctx + ": missing \"" + key + "\"");
+    return nullptr;
+  }
+  if (v->type() != type) {
+    problems.push_back(ctx + ": \"" + key + "\" has the wrong type");
+    return nullptr;
+  }
+  return v;
+}
+
+void check_all_numbers(std::vector<std::string>& problems,
+                       const util::Json& obj, const std::string& ctx) {
+  for (const auto& [k, v] : obj.as_object()) {
+    if (!v.is_number()) {
+      problems.push_back(ctx + ": \"" + k + "\" is not a number");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> check_metrics_schema(const util::Json& doc) {
+  std::vector<std::string> problems;
+  if (!doc.is_object()) {
+    problems.push_back("top level is not an object");
+    return problems;
+  }
+  if (const util::Json* v = get_typed(problems, doc, "schema_version",
+                                      util::Json::Type::Number, "document")) {
+    if (static_cast<u32>(v->as_number()) != kMetricsSchemaVersion) {
+      problems.push_back("unsupported schema_version " +
+                         std::to_string(v->as_number()));
+    }
+  }
+  get_typed(problems, doc, "bench", util::Json::Type::String, "document");
+  get_typed(problems, doc, "scale_denom", util::Json::Type::Number,
+            "document");
+  get_typed(problems, doc, "seed", util::Json::Type::Number, "document");
+  const util::Json* cells =
+      get_typed(problems, doc, "cells", util::Json::Type::Array, "document");
+  if (cells == nullptr) return problems;
+
+  for (std::size_t i = 0; i < cells->as_array().size(); ++i) {
+    const util::Json& cell = cells->as_array()[i];
+    const std::string ctx = "cells[" + std::to_string(i) + "]";
+    if (!cell.is_object()) {
+      problems.push_back(ctx + " is not an object");
+      continue;
+    }
+    get_typed(problems, cell, "platform", util::Json::Type::String, ctx);
+    get_typed(problems, cell, "query", util::Json::Type::String, ctx);
+    get_typed(problems, cell, "nproc", util::Json::Type::Number, ctx);
+    get_typed(problems, cell, "trials", util::Json::Type::Number, ctx);
+    get_typed(problems, cell, "variant", util::Json::Type::String, ctx);
+    if (const util::Json* m = get_typed(problems, cell, "metrics",
+                                        util::Json::Type::Object, ctx)) {
+      check_all_numbers(problems, *m, ctx + ".metrics");
+    }
+    if (const util::Json* m = get_typed(problems, cell, "counters",
+                                        util::Json::Type::Object, ctx)) {
+      check_all_numbers(problems, *m, ctx + ".counters");
+    }
+    if (const util::Json* m = get_typed(problems, cell, "miss_causes",
+                                        util::Json::Type::Object, ctx)) {
+      for (const char* level : {"l1", "l2"}) {
+        if (const util::Json* b = get_typed(problems, *m, level,
+                                            util::Json::Type::Object,
+                                            ctx + ".miss_causes")) {
+          check_all_numbers(problems, *b,
+                            ctx + ".miss_causes." + std::string(level));
+        }
+      }
+    }
+    get_typed(problems, cell, "obj_misses", util::Json::Type::Object, ctx);
+    if (const util::Json* m = get_typed(problems, cell, "cpi_stack",
+                                        util::Json::Type::Object, ctx)) {
+      check_all_numbers(problems, *m, ctx + ".cpi_stack");
+    }
+  }
+  return problems;
+}
+
+bool DiffReport::has_regressions() const {
+  for (const MetricDelta& d : deltas) {
+    if (d.regression) return true;
+  }
+  return false;
+}
+
+std::vector<MetricDelta> DiffReport::regressions() const {
+  std::vector<MetricDelta> out;
+  for (const MetricDelta& d : deltas) {
+    if (d.regression) out.push_back(d);
+  }
+  return out;
+}
+
+DiffReport diff_metrics(const util::Json& before, const util::Json& after,
+                        const DiffOptions& opts) {
+  DiffReport rep;
+  for (const auto* doc : {&before, &after}) {
+    for (std::string& p : check_metrics_schema(*doc)) {
+      rep.errors.push_back((doc == &before ? "before: " : "after: ") + p);
+    }
+  }
+  if (!rep.errors.empty()) return rep;
+
+  // Index cells by identity label.
+  auto index = [](const util::Json& doc) {
+    std::map<std::string, const util::Json*> m;
+    for (const util::Json& cell : doc.get("cells")->as_array()) {
+      m.emplace(cell_label(cell.get("platform")->as_string(),
+                           cell.get("query")->as_string(),
+                           static_cast<u64>(cell.get("nproc")->as_number()),
+                           cell.get("variant")->as_string()),
+                &cell);
+    }
+    return m;
+  };
+  const auto a_cells = index(before);
+  const auto b_cells = index(after);
+
+  for (const auto& [label, a_cell] : a_cells) {
+    const auto it = b_cells.find(label);
+    if (it == b_cells.end()) {
+      rep.errors.push_back("cell " + label + " missing from the after run");
+      continue;
+    }
+    const util::Json& am = *a_cell->get("metrics");
+    const util::Json& bm = *it->second->get("metrics");
+    for (const auto& [metric, av] : am.as_object()) {
+      const util::Json* bv = bm.get(metric);
+      if (bv == nullptr) {
+        rep.errors.push_back("cell " + label + ": metric " + metric +
+                             " missing from the after run");
+        continue;
+      }
+      MetricDelta d;
+      d.cell = label;
+      d.metric = metric;
+      d.before = av.as_number();
+      d.after = bv->as_number();
+      if (d.before != 0.0) {
+        d.rel = (d.after - d.before) / d.before;
+      } else if (d.after != 0.0) {
+        d.rel = std::numeric_limits<double>::infinity();
+      }
+      // All exported metrics are higher-is-worse (times, misses, latency,
+      // switch rates), so only upward movement gates.
+      d.regression = d.rel > opts.rel_threshold;
+      rep.deltas.push_back(d);
+    }
+  }
+  for (const auto& [label, cell] : b_cells) {
+    (void)cell;
+    if (!a_cells.contains(label)) {
+      rep.errors.push_back("cell " + label + " missing from the before run");
+    }
+  }
+  return rep;
+}
+
+}  // namespace dss::core

@@ -1,0 +1,86 @@
+// Machine-readable run export and run-to-run diffing.
+//
+// Every fig/abl/ext binary can dump the cells it ran as one versioned JSON
+// document (`--metrics out.json`); `tools/dss_report` pretty-prints one such
+// document and diffs two with per-metric relative-delta gates. This is what
+// lets EXPERIMENTS.md's composition claims ("Q21's growth is
+// communication-dominated", "dirty-miss share stays below half") be checked
+// mechanically instead of narratively, and what CI diffs across versions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/json.hpp"
+
+namespace dss::core {
+
+/// Bump when the JSON layout changes shape (readers reject other versions).
+inline constexpr u32 kMetricsSchemaVersion = 1;
+
+/// One exported configuration cell: identifying labels + its RunResult.
+struct ExportCell {
+  std::string platform;  ///< perf::platform_name
+  std::string query;     ///< tpch::query_name
+  u32 nproc = 1;
+  u32 trials = 1;
+  /// Distinguishes ablation variants of the same (platform, query, nproc):
+  /// "" for stock runs, e.g. "machine_override", "spin_override", "mix[2]".
+  std::string variant;
+  bool check = false;
+  RunResult result;
+};
+
+/// Top-level document written by `--metrics`.
+struct MetricsDoc {
+  std::string bench;  ///< binary name (argv[0] basename)
+  u32 scale_denom = 16;
+  u64 seed = 42;
+  std::vector<ExportCell> cells;
+};
+
+/// Serialize `doc` as schema-version-1 JSON.
+void write_metrics_json(std::ostream& os, const MetricsDoc& doc);
+
+/// Write to `path`; throws std::runtime_error when the file cannot be
+/// written.
+void write_metrics_file(const std::string& path, const MetricsDoc& doc);
+
+/// Validate a parsed document against the schema. Returns the list of
+/// problems (empty = valid). Rejects other schema versions.
+[[nodiscard]] std::vector<std::string> check_metrics_schema(
+    const util::Json& doc);
+
+struct DiffOptions {
+  /// Relative delta above which a higher-is-worse metric counts as a
+  /// regression (and a lower one as an improvement).
+  double rel_threshold = 0.05;
+};
+
+/// One compared metric across the two runs.
+struct MetricDelta {
+  std::string cell;    ///< "platform/query/nproc[/variant]"
+  std::string metric;  ///< key inside the cell's "metrics" object
+  double before = 0.0;
+  double after = 0.0;
+  double rel = 0.0;  ///< (after - before) / before; 0 when before == 0
+  bool regression = false;
+};
+
+struct DiffReport {
+  std::vector<MetricDelta> deltas;       ///< every compared metric
+  std::vector<std::string> errors;       ///< schema / cell-matching problems
+  [[nodiscard]] bool has_regressions() const;
+  [[nodiscard]] std::vector<MetricDelta> regressions() const;
+};
+
+/// Compare two parsed metrics documents cell-by-cell (matched on
+/// platform/query/nproc/variant). Mismatched or missing cells land in
+/// `errors`.
+[[nodiscard]] DiffReport diff_metrics(const util::Json& before,
+                                      const util::Json& after,
+                                      const DiffOptions& opts = {});
+
+}  // namespace dss::core

@@ -22,15 +22,32 @@ u64 mix_hash(u64 k) {
 }  // namespace
 
 BufferPool::BufferPool(ShmAllocator& shm, u32 num_frames, SpinPolicy spin)
-    : lock_("BufMgrLock", shm.alloc(64, 64), spin),
+    : lock_("BufMgrLock",
+            shm.alloc(64, 64, perf::ObjClass::kBufHeader), spin),
       num_frames_(num_frames),
       num_buckets_(next_pow2(num_frames * 2)),
-      data_base_(shm.alloc(static_cast<u64>(num_frames) * kPageBytes, kPageBytes)),
-      header_base_(shm.alloc(static_cast<u64>(num_frames) * kHeaderBytes, 64)),
-      hash_base_(shm.alloc(static_cast<u64>(num_buckets_) * 16, 64)),
-      freelist_head_(shm.alloc(64, 64)),
-      frames_(num_frames) {
+      data_base_(shm.alloc(static_cast<u64>(num_frames) * kPageBytes,
+                           kPageBytes, perf::ObjClass::kHeapPage)),
+      header_base_(shm.alloc(static_cast<u64>(num_frames) * kHeaderBytes, 64,
+                             perf::ObjClass::kBufHeader)),
+      hash_base_(shm.alloc(static_cast<u64>(num_buckets_) * 16, 64,
+                           perf::ObjClass::kBufHeader)),
+      freelist_head_(shm.alloc(64, 64, perf::ObjClass::kBufHeader)),
+      frames_(num_frames),
+      registry_(shm.registry()) {
   assert(num_frames_ > 0);
+}
+
+void BufferPool::set_page_classifier(PageClassifier fn) {
+  classifier_ = std::move(fn);
+}
+
+void BufferPool::tag_frame(u32 f, u32 rel_id) {
+  if (registry_ == nullptr) return;
+  const perf::ObjClass cls =
+      classifier_ ? classifier_(rel_id) : perf::ObjClass::kHeapPage;
+  registry_->add(data_base_ + static_cast<u64>(f) * kPageBytes, kPageBytes,
+                 cls);
 }
 
 void BufferPool::touch_freelist(os::Process& p, u32 frame) {
@@ -53,6 +70,7 @@ void BufferPool::prewarm(PageKey key) {
   const u32 f = static_cast<u32>(map_.size());
   frames_[f] = Frame{packed, true, 0, 1};
   map_.emplace(packed, f);
+  tag_frame(f, key.rel_id);
 }
 
 void BufferPool::touch_hash(os::Process& p, u64 packed) {
@@ -102,6 +120,7 @@ sim::SimAddr BufferPool::pin(os::Process& p, PageKey key) {
     if (frames_[f].valid) map_.erase(frames_[f].key_packed);
     frames_[f] = Frame{packed, true, 0, 0};
     map_.emplace(packed, f);
+    tag_frame(f, key.rel_id);
     // Synchronous read() from disk: the backend blocks — a voluntary
     // context switch and ~4 ms of wall time at late-90s disk speed — then
     // copies the page into the frame.
@@ -134,6 +153,7 @@ sim::SimAddr BufferPool::allocate(os::Process& p, PageKey key) {
   if (frames_[f].valid) map_.erase(frames_[f].key_packed);
   frames_[f] = Frame{packed, true, 1, 1};
   map_.emplace(packed, f);
+  tag_frame(f, key.rel_id);
   touch_header(p, f);
   touch_freelist(p, f);
   ++p.counters().buffer_pins;

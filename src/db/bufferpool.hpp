@@ -9,6 +9,7 @@
 // the paper blames for the multi-process slowdowns.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -67,6 +68,12 @@ class BufferPool {
   }
   [[nodiscard]] u32 pin_count(PageKey key) const;
 
+  /// Relation-id -> object-class mapping used to tag frame data ranges in
+  /// the address-class registry as pages are mapped in (heap vs. index
+  /// pages live in the same pool). Without one, frames tag as kHeapPage.
+  using PageClassifier = std::function<perf::ObjClass(u32 rel_id)>;
+  void set_page_classifier(PageClassifier fn);
+
  private:
   struct Frame {
     u64 key_packed = 0;
@@ -78,6 +85,8 @@ class BufferPool {
   [[nodiscard]] u32 find_victim(os::Process& p);
   void touch_hash(os::Process& p, u64 packed);
   void touch_header(os::Process& p, u32 frame);
+  /// Re-tag frame `f`'s data range for the relation now mapped into it.
+  void tag_frame(u32 f, u32 rel_id);
 
   static constexpr u32 kHeaderBytes = 64;  ///< one BufferDesc
 
@@ -96,6 +105,8 @@ class BufferPool {
   sim::SimAddr freelist_head_;
   std::vector<Frame> frames_;
   std::unordered_map<u64, u32> map_;  ///< packed key -> frame
+  sim::AddrClassRegistry* registry_;  ///< from the ShmAllocator; may be null
+  PageClassifier classifier_;
   u32 clock_hand_ = 0;
   u64 hits_ = 0;
   u64 misses_ = 0;

@@ -93,10 +93,18 @@ std::vector<std::pair<u32, u64>> Database::page_inventory() const {
 DbRuntime::DbRuntime(const Database& db, const RuntimeConfig& cfg)
     : db_(&db), cfg_(cfg) {
   // Shared segment layout: catalog first, then lock tables, then the pool
-  // (pool last keeps small hot structures tightly packed).
-  catalog_base_ = shm_.alloc(static_cast<u64>(db.page_inventory().size()) * 128, 64);
+  // (pool last keeps small hot structures tightly packed). Every allocation
+  // registers its object class so the simulator can attribute misses.
+  shm_.set_registry(&classes_);
+  catalog_base_ = shm_.alloc(
+      static_cast<u64>(db.page_inventory().size()) * 128, 64,
+      perf::ObjClass::kCatalog);
   locks_ = std::make_unique<LockManager>(shm_, 512, cfg.spin);
   pool_ = std::make_unique<BufferPool>(shm_, cfg.pool_frames, cfg.spin);
+  pool_->set_page_classifier([this](u32 rel_id) {
+    return db_->is_index_rel(rel_id) ? perf::ObjClass::kIndexPage
+                                     : perf::ObjClass::kHeapPage;
+  });
 }
 
 void DbRuntime::prewarm_all() {

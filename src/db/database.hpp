@@ -40,6 +40,11 @@ class Database {
   [[nodiscard]] BTreeIndex& index_mut(const std::string& name);
   [[nodiscard]] u32 rel_id(const std::string& name) const;
   [[nodiscard]] u32 heap_rel_id(const Relation& rel) const;
+  /// Whether `rel_id` names an index (vs. a heap relation). Used to tag
+  /// buffer-pool frames as index vs. heap pages for miss attribution.
+  [[nodiscard]] bool is_index_rel(u32 rel_id) const {
+    return objects_[rel_id].is_index;
+  }
 
   /// Heap pages + index pages across every object (for pool sizing).
   [[nodiscard]] u64 total_pages() const;
@@ -94,10 +99,16 @@ class DbRuntime {
   [[nodiscard]] LockManager& locks() { return *locks_; }
   [[nodiscard]] const RuntimeConfig& config() const { return cfg_; }
   [[nodiscard]] u64 shared_bytes_used() const { return shm_.used(); }
+  /// Address-range -> object-class map for this runtime's shared state;
+  /// attach to the MachineSim to attribute misses to DBMS object classes.
+  [[nodiscard]] const sim::AddrClassRegistry& addr_classes() const {
+    return classes_;
+  }
 
  private:
   const Database* db_;
   RuntimeConfig cfg_;
+  sim::AddrClassRegistry classes_;  ///< declared before shm_ (fed by it)
   ShmAllocator shm_;
   sim::SimAddr catalog_base_;
   std::unique_ptr<BufferPool> pool_;

@@ -7,8 +7,10 @@
 namespace dss::db {
 
 LockManager::LockManager(ShmAllocator& shm, u32 buckets, SpinPolicy spin)
-    : lock_("LockMgrLock", shm.alloc(64, 64), spin),
-      table_base_(shm.alloc(static_cast<u64>(buckets) * 48, 64)),
+    : lock_("LockMgrLock",
+            shm.alloc(64, 64, perf::ObjClass::kLockTable), spin),
+      table_base_(shm.alloc(static_cast<u64>(buckets) * 48, 64,
+                            perf::ObjClass::kLockTable)),
       buckets_(buckets) {}
 
 void LockManager::touch_entry(os::Process& p, u32 rel_id, bool update) {

@@ -4,13 +4,15 @@
 
 namespace dss::db {
 
-sim::SimAddr ShmAllocator::alloc(u64 bytes, u64 align) {
+sim::SimAddr ShmAllocator::alloc(u64 bytes, u64 align, perf::ObjClass cls) {
   assert(align != 0 && (align & (align - 1)) == 0);
   next_ = (next_ + align - 1) & ~(align - 1);
   const u64 off = next_;
   next_ += bytes;
   assert(next_ <= sim::kSharedSpan && "shared segment exhausted");
-  return sim::kSharedBase + off;
+  const sim::SimAddr base = sim::kSharedBase + off;
+  if (registry_ != nullptr) registry_->add(base, bytes, cls);
+  return base;
 }
 
 WorkMem::WorkMem(os::Process& p, u64 arena_bytes)

@@ -10,6 +10,7 @@
 
 #include "os/process.hpp"
 #include "sim/addr.hpp"
+#include "sim/addr_classes.hpp"
 #include "util/types.hpp"
 
 namespace dss::db {
@@ -19,13 +20,23 @@ class ShmAllocator {
  public:
   ShmAllocator() = default;
 
-  /// Allocate `bytes` with the given alignment (power of two).
-  [[nodiscard]] sim::SimAddr alloc(u64 bytes, u64 align = 64);
+  /// Allocate `bytes` with the given alignment (power of two). When a
+  /// registry is attached the range is registered under `cls`, so the
+  /// simulator can attribute misses to the object class (heap page, lock
+  /// table, ...) living there.
+  [[nodiscard]] sim::SimAddr alloc(u64 bytes, u64 align = 64,
+                                   perf::ObjClass cls = perf::ObjClass::kOther);
+
+  /// Attach the address-class registry fed by subsequent allocs (nullptr
+  /// detaches). Not owned.
+  void set_registry(sim::AddrClassRegistry* r) { registry_ = r; }
+  [[nodiscard]] sim::AddrClassRegistry* registry() const { return registry_; }
 
   [[nodiscard]] u64 used() const { return next_; }
 
  private:
   u64 next_ = 0;
+  sim::AddrClassRegistry* registry_ = nullptr;
 };
 
 /// Per-backend private working memory. Provides

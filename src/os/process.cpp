@@ -17,7 +17,7 @@ void Process::set_timeslice(u64 cycles) {
   slice_end_ = ctr_.cycles + timeslice_;
 }
 
-void Process::advance(double cycles, bool spinning) {
+void Process::advance(double cycles, bool spinning, bool attributed) {
   cycle_acc_ += cycles;
   const u64 whole = static_cast<u64>(cycle_acc_);
   if (whole > 0) {
@@ -25,6 +25,15 @@ void Process::advance(double cycles, bool spinning) {
     now_ += whole;
     ctr_.cycles += whole;
     if (spinning) ctr_.spin_cycles += whole;
+    if (!attributed && machine_.attribution()) {
+      // Compute/spin work: the whole cycles actually banked go to the
+      // matching CPI-stack bucket (stall cycles arrive pre-attributed).
+      if (spinning) {
+        ctr_.stack.spin += whole;
+      } else {
+        ctr_.stack.compute += whole;
+      }
+    }
     check_timeslice();
   }
 }
@@ -40,6 +49,7 @@ void Process::check_timeslice() {
     const u64 cost = machine_.config().ctx_switch_cost;
     now_ += cost;
     ctr_.cycles += cost;
+    if (machine_.attribution()) ctr_.stack.sched += cost;
     slice_end_ += timeslice_ + cost;
   }
 }
@@ -58,18 +68,29 @@ void Process::spin(u64 n) {
 
 void Process::read(sim::SimAddr a, u32 len) {
   const u64 stall = machine_.access(cpu_, sim::AccessKind::Read, a, len, now_);
-  if (stall > 0) advance(static_cast<double>(stall), false);
+  if (stall > 0) {
+    // Integer stalls land whole in the clock (the fractional accumulator
+    // stays < 1), so the machine's per-part split conserves exactly.
+    if (machine_.attribution()) ctr_.stack += machine_.stall_parts(cpu_);
+    advance(static_cast<double>(stall), false, /*attributed=*/true);
+  }
 }
 
 void Process::write(sim::SimAddr a, u32 len) {
   const u64 stall = machine_.access(cpu_, sim::AccessKind::Write, a, len, now_);
-  if (stall > 0) advance(static_cast<double>(stall), false);
+  if (stall > 0) {
+    if (machine_.attribution()) ctr_.stack += machine_.stall_parts(cpu_);
+    advance(static_cast<double>(stall), false, /*attributed=*/true);
+  }
 }
 
 void Process::atomic(sim::SimAddr a, u32 len) {
   const u64 stall =
       machine_.access(cpu_, sim::AccessKind::Atomic, a, len, now_);
-  if (stall > 0) advance(static_cast<double>(stall), true);
+  if (stall > 0) {
+    if (machine_.attribution()) ctr_.stack += machine_.stall_parts(cpu_);
+    advance(static_cast<double>(stall), true, /*attributed=*/true);
+  }
 }
 
 void Process::select_sleep(u64 cycles) {
@@ -91,6 +112,7 @@ void Process::note_preemption() {
   const u64 cost = machine_.config().ctx_switch_cost;
   now_ += cost;
   ctr_.cycles += cost;
+  if (machine_.attribution()) ctr_.stack.sched += cost;
 }
 
 double Process::thread_seconds() const {

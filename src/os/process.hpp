@@ -60,7 +60,10 @@ class Process {
   void note_preemption();
 
  private:
-  void advance(double cycles, bool spinning);
+  /// Advance the clock. `attributed` marks a stall whose CPI-stack parts
+  /// were already folded in from the machine's stall_parts(); otherwise the
+  /// cycles are compute (or spin) and this attributes them itself.
+  void advance(double cycles, bool spinning, bool attributed = false);
   void check_timeslice();
 
   sim::MachineSim& machine_;

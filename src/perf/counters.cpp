@@ -2,6 +2,71 @@
 
 namespace dss::perf {
 
+const char* miss_cause_name(MissCause c) {
+  switch (c) {
+    case MissCause::kCold: return "cold";
+    case MissCause::kCapacity: return "capacity";
+    case MissCause::kCohInval: return "coh_inval";
+    case MissCause::kCohDirty: return "coh_dirty";
+    case MissCause::kCohClean: return "coh_clean";
+  }
+  return "?";
+}
+
+const char* obj_class_name(ObjClass c) {
+  switch (c) {
+    case ObjClass::kHeapPage: return "heap_page";
+    case ObjClass::kIndexPage: return "index_page";
+    case ObjClass::kBufHeader: return "buf_header";
+    case ObjClass::kLockTable: return "lock_table";
+    case ObjClass::kCatalog: return "catalog";
+    case ObjClass::kWorkMem: return "work_mem";
+    case ObjClass::kOther: return "other";
+  }
+  return "?";
+}
+
+u64 MissBreakdown::total() const {
+  u64 s = 0;
+  for (u64 v : by_cause) s += v;
+  return s;
+}
+
+u64 MissBreakdown::communication() const {
+  return (*this)[MissCause::kCohInval] + (*this)[MissCause::kCohDirty] +
+         (*this)[MissCause::kCohClean];
+}
+
+MissBreakdown& MissBreakdown::operator+=(const MissBreakdown& o) {
+  for (u32 i = 0; i < kNumMissCauses; ++i) by_cause[i] += o.by_cause[i];
+  return *this;
+}
+
+u64 CpiStack::total() const {
+  return compute + spin + sched + tlb + atomics + l2_hit + mem_local +
+         mem_remote_near + mem_remote_mid + mem_remote_far + intervention;
+}
+
+u64 CpiStack::mem_stall() const {
+  return tlb + atomics + l2_hit + mem_local + mem_remote_near +
+         mem_remote_mid + mem_remote_far + intervention;
+}
+
+CpiStack& CpiStack::operator+=(const CpiStack& o) {
+  compute += o.compute;
+  spin += o.spin;
+  sched += o.sched;
+  tlb += o.tlb;
+  atomics += o.atomics;
+  l2_hit += o.l2_hit;
+  mem_local += o.mem_local;
+  mem_remote_near += o.mem_remote_near;
+  mem_remote_mid += o.mem_remote_mid;
+  mem_remote_far += o.mem_remote_far;
+  intervention += o.intervention;
+  return *this;
+}
+
 Counters& Counters::operator+=(const Counters& o) {
   cycles += o.cycles;
   instructions += o.instructions;
@@ -29,6 +94,13 @@ Counters& Counters::operator+=(const Counters& o) {
   buffer_pins += o.buffer_pins;
   tuples_scanned += o.tuples_scanned;
   index_descents += o.index_descents;
+  l1_miss_causes += o.l1_miss_causes;
+  l2_miss_causes += o.l2_miss_causes;
+  for (u32 i = 0; i < kNumObjClasses; ++i) {
+    obj_misses[i] += o.obj_misses[i];
+    obj_comm_misses[i] += o.obj_comm_misses[i];
+  }
+  stack += o.stack;
   return *this;
 }
 

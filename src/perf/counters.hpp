@@ -7,11 +7,84 @@
 // how the same measurement had to be expressed differently on each machine.
 #pragma once
 
+#include <array>
 #include <string>
 
 #include "util/types.hpp"
 
 namespace dss::perf {
+
+/// Why a cache miss happened (the paper's Section 4.2 decomposition).
+/// Exactly one cause is recorded per miss per level, so the per-cause sums
+/// conserve against `l1d_misses` / `l2d_misses` (invariant I8).
+enum class MissCause : u8 {
+  kCold = 0,      ///< line never resident in this cache before
+  kCapacity,      ///< line was evicted by replacement (capacity/conflict)
+  kCohInval,      ///< line was removed by an external invalidation
+  kCohDirty,      ///< miss served by a remote cache's Modified copy
+  kCohClean,      ///< miss served by a remote cache's clean-exclusive copy
+};
+inline constexpr u32 kNumMissCauses = 5;
+
+[[nodiscard]] const char* miss_cause_name(MissCause c);
+
+/// Per-cause miss tallies for one cache level.
+struct MissBreakdown {
+  std::array<u64, kNumMissCauses> by_cause{};
+
+  [[nodiscard]] u64& operator[](MissCause c) {
+    return by_cause[static_cast<u32>(c)];
+  }
+  [[nodiscard]] u64 operator[](MissCause c) const {
+    return by_cause[static_cast<u32>(c)];
+  }
+  /// Sum over all causes; must equal the level's miss counter.
+  [[nodiscard]] u64 total() const;
+  /// Misses caused by sharing (invalidation-induced + served remotely).
+  [[nodiscard]] u64 communication() const;
+
+  MissBreakdown& operator+=(const MissBreakdown& o);
+};
+
+/// DBMS object class an address belongs to, resolved through the
+/// sim::AddrClassRegistry that db::ShmAllocator feeds.
+enum class ObjClass : u8 {
+  kHeapPage = 0,  ///< relation data pages in the buffer pool
+  kIndexPage,     ///< index pages in the buffer pool
+  kBufHeader,     ///< buffer headers, hash table, freelist, pool lock
+  kLockTable,     ///< lock-manager table and lock
+  kCatalog,       ///< shared catalog region
+  kWorkMem,       ///< per-process private work memory
+  kOther,         ///< shared allocations without a registered class
+};
+inline constexpr u32 kNumObjClasses = 7;
+
+[[nodiscard]] const char* obj_class_name(ObjClass c);
+
+/// Cycle-accounting stack: where every cycle of `Counters::cycles` went.
+/// Components conserve exactly against `cycles` (invariant I9): each site
+/// that advances the cycle counter adds the same amount to exactly one
+/// bucket here.
+struct CpiStack {
+  u64 compute = 0;          ///< instruction execution (base CPI), non-spin
+  u64 spin = 0;             ///< spinlock loops (compute-side of spin waits)
+  u64 sched = 0;            ///< context-switch cost charged by the scheduler
+  u64 tlb = 0;              ///< data-TLB refill stalls
+  u64 atomics = 0;          ///< atomic-operation pipeline penalty
+  u64 l2_hit = 0;           ///< exposed L1-miss/L2-hit stalls (Origin)
+  u64 mem_local = 0;        ///< memory stalls served by the local node / UMA
+  u64 mem_remote_near = 0;  ///< remote, same router (0 network hops)
+  u64 mem_remote_mid = 0;   ///< remote, 1 network hop
+  u64 mem_remote_far = 0;   ///< remote, 2+ network hops
+  u64 intervention = 0;     ///< stalls on 3-hop dirty/clean interventions
+
+  /// Sum of all components; must equal `Counters::cycles`.
+  [[nodiscard]] u64 total() const;
+  /// All memory-system stall components (everything below the CPU core).
+  [[nodiscard]] u64 mem_stall() const;
+
+  CpiStack& operator+=(const CpiStack& o);
+};
 
 /// Raw event totals for one simulated process (thread). All values are
 /// accumulated while the thread occupies a CPU, so `cycles` is the paper's
@@ -60,6 +133,17 @@ struct Counters {
   u64 buffer_pins = 0;
   u64 tuples_scanned = 0;
   u64 index_descents = 0;
+
+  // Attribution (populated when MachineSim::attribution() is on, the
+  // default; purely observational — never feeds back into timing).
+  MissBreakdown l1_miss_causes;  ///< why each L1 miss happened
+  MissBreakdown l2_miss_causes;  ///< why each last-level miss happened
+  /// Last-level misses per DBMS object class (sums to last-level misses).
+  std::array<u64, kNumObjClasses> obj_misses{};
+  /// Subset of `obj_misses` that were communication misses.
+  std::array<u64, kNumObjClasses> obj_comm_misses{};
+  /// Cycle accounting; `stack.total() == cycles` (invariant I9).
+  CpiStack stack;
 
   /// Element-wise accumulate (used to aggregate per-process counters).
   Counters& operator+=(const Counters& o);

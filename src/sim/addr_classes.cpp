@@ -1,0 +1,43 @@
+#include "sim/addr_classes.hpp"
+
+#include <algorithm>
+
+namespace dss::sim {
+
+void AddrClassRegistry::add(SimAddr base, u64 bytes, perf::ObjClass cls) {
+  if (bytes == 0) return;
+  const SimAddr end = base + bytes;
+
+  // Find the first range that could overlap [base, end).
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), base,
+      [](const Range& r, SimAddr b) { return r.end <= b; });
+
+  // Carve the new range out of any overlapping existing ones. Overlap only
+  // happens on re-tagging (buffer-pool frame remap), so the span is small.
+  std::vector<Range> pieces;
+  while (it != ranges_.end() && it->base < end) {
+    if (it->base < base) pieces.push_back({it->base, base, it->cls});
+    if (it->end > end) pieces.push_back({end, it->end, it->cls});
+    it = ranges_.erase(it);
+  }
+  pieces.push_back({base, end, cls});
+  for (auto& p : pieces) {
+    auto pos = std::lower_bound(
+        ranges_.begin(), ranges_.end(), p.base,
+        [](const Range& r, SimAddr b) { return r.base < b; });
+    ranges_.insert(pos, p);
+  }
+}
+
+perf::ObjClass AddrClassRegistry::classify(SimAddr a) const {
+  if (is_private(a)) return perf::ObjClass::kWorkMem;
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), a,
+      [](SimAddr x, const Range& r) { return x < r.base; });
+  if (it == ranges_.begin()) return perf::ObjClass::kOther;
+  --it;
+  return a < it->end ? it->cls : perf::ObjClass::kOther;
+}
+
+}  // namespace dss::sim

@@ -1,0 +1,43 @@
+// Address-range -> DBMS-object-class registry.
+//
+// The DBMS layer registers every shared allocation here (db::ShmAllocator
+// tags each alloc; the buffer pool additionally re-tags individual frames as
+// heap vs. index pages as relations are mapped in). The simulator consults
+// the registry on last-level misses to attribute each miss to the object
+// class it touched — the paper's "what kind of data is missing" breakdown.
+//
+// The registry is pure address bookkeeping: it never affects placement,
+// latency, or any existing counter.
+#pragma once
+
+#include <vector>
+
+#include "perf/counters.hpp"
+#include "sim/addr.hpp"
+
+namespace dss::sim {
+
+class AddrClassRegistry {
+ public:
+  /// Register [base, base+bytes) as `cls`. A later registration whose base
+  /// falls inside an existing range splits/overrides it (the buffer pool
+  /// re-tags frames on remap), so lookups always see the newest tag.
+  void add(SimAddr base, u64 bytes, perf::ObjClass cls);
+
+  /// Class of `a`. Private addresses are per-process work memory and need
+  /// no registration; unregistered shared addresses report kOther.
+  [[nodiscard]] perf::ObjClass classify(SimAddr a) const;
+
+  [[nodiscard]] std::size_t num_ranges() const { return ranges_.size(); }
+
+ private:
+  struct Range {
+    SimAddr base;
+    SimAddr end;  ///< exclusive
+    perf::ObjClass cls;
+  };
+  /// Sorted by base, non-overlapping.
+  std::vector<Range> ranges_;
+};
+
+}  // namespace dss::sim

@@ -20,6 +20,11 @@
 //   I7  counter conservation: hits + misses = accesses (misses never exceed
 //       references), L2 misses never exceed L1 misses, and
 //       mem_requests = upgrades + last-level misses
+//   I8  attribution conservation (when MachineSim attribution is on): the
+//       per-cause miss breakdowns sum exactly to each level's miss counter,
+//       and the per-object-class breakdown sums exactly to last-level misses
+//   I9  cycle-accounting conservation: the CPI stack's components sum
+//       exactly to the cycle counter
 //
 // Cost model: after every observed access the checker validates the touched
 // units only (O(processors) per access); a configurable interval triggers a
@@ -71,7 +76,7 @@ class InvariantChecker final : public ProtocolObserver {
   void check_unit(u64 unit);
 
   /// Global sweep: every directory entry, every cache line, inclusion, and
-  /// the counter conservation identities (I1-I5, I7).
+  /// the counter conservation identities (I1-I5, I7-I9).
   void full_sweep();
 
   [[nodiscard]] const std::vector<Violation>& violations() const {

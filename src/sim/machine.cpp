@@ -12,7 +12,9 @@ MachineSim::MachineSim(const MachineConfig& cfg)
       net_(cfg),
       mc_(cfg.uma ? cfg.mem_banks : cfg.num_nodes(), cfg.mc_occupancy,
           cfg.mc_burst),
-      counters_(cfg.num_processors, nullptr) {
+      counters_(cfg.num_processors, nullptr),
+      hist_(cfg.num_processors),
+      parts_(cfg.num_processors) {
   assert(!cfg_.dcache.empty());
   caches_.reserve(cfg_.num_processors);
   for (u32 p = 0; p < cfg_.num_processors; ++p) {
@@ -64,6 +66,39 @@ void MachineSim::attach_counters(u32 proc, perf::Counters* c) {
   counters_[proc] = c;
 }
 
+u64& MachineSim::bucket_part(perf::CpiStack& s, MemBucket b) {
+  switch (b) {
+    case MemBucket::kLocal: return s.mem_local;
+    case MemBucket::kNear: return s.mem_remote_near;
+    case MemBucket::kMid: return s.mem_remote_mid;
+    case MemBucket::kFar: return s.mem_remote_far;
+    case MemBucket::kIntervention: return s.intervention;
+  }
+  return s.mem_local;  // unreachable
+}
+
+MemBucket MachineSim::home_bucket(u32 pnode, u32 home) const {
+  if (cfg_.uma || home == pnode) return MemBucket::kLocal;
+  const u32 h = net_.hops(pnode, home);
+  if (h == 0) return MemBucket::kNear;
+  return h == 1 ? MemBucket::kMid : MemBucket::kFar;
+}
+
+void MachineSim::record_ll_miss(perf::Counters& c, perf::MissCause cause,
+                                SimAddr byte_addr) {
+  const perf::ObjClass cls =
+      classes_ != nullptr
+          ? classes_->classify(byte_addr)
+          : (is_private(byte_addr) ? perf::ObjClass::kWorkMem
+                                   : perf::ObjClass::kOther);
+  ++c.obj_misses[static_cast<u32>(cls)];
+  if (cause == perf::MissCause::kCohInval ||
+      cause == perf::MissCause::kCohDirty ||
+      cause == perf::MissCause::kCohClean) {
+    ++c.obj_comm_misses[static_cast<u32>(cls)];
+  }
+}
+
 u32 MachineSim::home_of(SimAddr addr) const {
   if (cfg_.uma) {
     // The V-Class interleaves memory across EMAC banks at line granularity.
@@ -92,6 +127,7 @@ u64 MachineSim::access(u32 proc, AccessKind kind, SimAddr addr, u32 len,
   assert(len > 0);
   if (trace_hook_) trace_hook_(proc, kind, addr, len);
   perf::Counters& c = ctr(proc);
+  if (attrib_) parts_[proc] = perf::CpiStack{};
   SetAssocCache& l1 = caches_[proc][0];
   const u32 l1_shift = l1.line_shift();
   const u64 first = addr >> l1_shift;
@@ -120,13 +156,17 @@ u64 MachineSim::access(u32 proc, AccessKind kind, SimAddr addr, u32 len,
         switch (kind) {
           case AccessKind::Read: ++c.loads; return 0;
           case AccessKind::Write: ++c.stores; return 0;
-          case AccessKind::Atomic: ++c.atomics; return cfg_.atomic_penalty;
+          case AccessKind::Atomic:
+            ++c.atomics;
+            if (attrib_) parts_[proc].atomics = cfg_.atomic_penalty;
+            return cfg_.atomic_penalty;
         }
       }
     }
   }
 
   u64 exposed = translate(proc, addr, len);
+  if (attrib_) parts_[proc].tlb = exposed;
   for (u64 line = first; line <= last; ++line) {
     switch (kind) {
       case AccessKind::Read: ++c.loads; break;
@@ -148,6 +188,9 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
   const bool two_level = levels.size() > 1;
   SetAssocCache& ll = levels.back();
   const u64 unit = unit_of_l1_line(l1_line);
+  // Every return path below charges `extra_atomic`, so attribute it once.
+  perf::CpiStack& parts = parts_[proc];
+  if (attrib_) parts.atomics += extra_atomic;
 
   // ---- L1 ----
   if (auto st = l1.lookup(l1_line)) {
@@ -179,18 +222,29 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
     if (two_level) ll.set_state(unit, LineState::M);
     ++c.mem_requests;
     c.mem_latency_cycles += g.latency;
-    return static_cast<u64>(static_cast<double>(g.latency) *
-                            cfg_.exposed_mem_frac) +
-           extra_atomic;
+    const u64 mem_exposed = static_cast<u64>(static_cast<double>(g.latency) *
+                                             cfg_.exposed_mem_frac);
+    if (attrib_) bucket_part(parts, g.bucket) += mem_exposed;
+    return mem_exposed + extra_atomic;
   }
 
   ++c.l1d_misses;
+  // Classify against pre-fill residency history; a later coherence result
+  // (served by a remote cache) overrides the local classification.
+  const perf::MissCause l1_hist_cause =
+      attrib_ ? hist_[proc][0].classify(l1_line) : perf::MissCause::kCold;
 
   // ---- L2 (Origin only) ----
   if (two_level) {
     if (auto st2 = ll.lookup(unit)) {
       const u64 l2_exposed = static_cast<u64>(
           static_cast<double>(ll.config().hit_latency) * cfg_.exposed_l2_frac);
+      if (attrib_) {
+        // L1 miss served from the local L2: the local history is the cause.
+        ++c.l1_miss_causes[l1_hist_cause];
+        hist_[proc][0].note_fill(l1_line);
+        parts.l2_hit += l2_exposed;
+      }
       if (!want_excl || is_exclusive(*st2)) {
         const LineState fill =
             want_excl ? LineState::M
@@ -215,18 +269,37 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
       }
       ++c.mem_requests;
       c.mem_latency_cycles += g.latency;
-      return l2_exposed +
-             static_cast<u64>(static_cast<double>(g.latency) *
-                              cfg_.exposed_mem_frac) +
-             extra_atomic;
+      const u64 mem_exposed = static_cast<u64>(static_cast<double>(g.latency) *
+                                               cfg_.exposed_mem_frac);
+      if (attrib_) bucket_part(parts, g.bucket) += mem_exposed;
+      return l2_exposed + mem_exposed + extra_atomic;
     }
     ++c.l2d_misses;
   }
 
   // ---- Coherence-unit transaction ----
+  const perf::MissCause ll_hist_cause =
+      attrib_ && two_level ? hist_[proc][1].classify(unit) : l1_hist_cause;
   const GlobalResult g = global_op(proc, want_excl, false, unit, now);
   ++c.mem_requests;
   c.mem_latency_cycles += g.latency;
+  if (attrib_) {
+    perf::MissCause l1_cause = l1_hist_cause;
+    perf::MissCause ll_cause = ll_hist_cause;
+    if (g.remote_cache) {
+      // Served through another cache's copy: a communication miss at every
+      // level regardless of local residency history.
+      l1_cause = ll_cause =
+          g.dirty ? perf::MissCause::kCohDirty : perf::MissCause::kCohClean;
+    }
+    ++c.l1_miss_causes[l1_cause];
+    hist_[proc][0].note_fill(l1_line);
+    if (two_level) {
+      ++c.l2_miss_causes[ll_cause];
+      hist_[proc][1].note_fill(unit);
+    }
+    record_ll_miss(c, ll_cause, unit << ll.line_shift());
+  }
 
   if (two_level) {
     if (auto ev = ll.insert(unit, g.fill)) last_level_eviction(proc, *ev, now);
@@ -242,9 +315,10 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
   } else {
     if (auto ev = l1.insert(l1_line, g.fill)) last_level_eviction(proc, *ev, now);
   }
-  return static_cast<u64>(static_cast<double>(g.latency) *
-                          cfg_.exposed_mem_frac) +
-         extra_atomic;
+  const u64 mem_exposed =
+      static_cast<u64>(static_cast<double>(g.latency) * cfg_.exposed_mem_frac);
+  if (attrib_) bucket_part(parts, g.bucket) += mem_exposed;
+  return mem_exposed + extra_atomic;
 }
 
 MachineSim::GlobalResult MachineSim::global_op(u32 proc, bool want_excl,
@@ -268,12 +342,14 @@ MachineSim::GlobalResult MachineSim::global_op(u32 proc, bool want_excl,
       const u64 queue = mc_.request(home, now + req_leg);
       r.latency = req_leg + queue + cfg_.mem_access + data_leg;
       r.fill = want_excl ? LineState::M : LineState::E;
+      r.bucket = home_bucket(pnode, home);
       e.state = DirState::Owned;
       e.owner = proc;
       e.sharers = 0;
       break;
     }
     case DirState::Shared: {
+      r.bucket = home_bucket(pnode, home);
       if (!want_excl) {
         const u64 queue = mc_.request(home, now + req_leg);
         r.latency = req_leg + queue + cfg_.mem_access + data_leg;
@@ -324,6 +400,12 @@ MachineSim::GlobalResult MachineSim::global_op(u32 proc, bool want_excl,
                   unit_line, q);
       const bool dirty = q_state == LineState::M;
       if (dirty) ++c.dirty_misses;
+      // Any transaction through an exclusive remote copy is intervention
+      // wait for the requester (the speculative-reply case included: the
+      // stall is still bounded by confirming the owner).
+      r.bucket = MemBucket::kIntervention;
+      r.remote_cache = true;
+      r.dirty = dirty;
 
       const bool migratory_handoff =
           !want_excl && cfg_.migratory_opt && e.migratory;
@@ -389,11 +471,13 @@ bool MachineSim::invalidate_unit_at(u32 q, u64 unit_line) {
     for (u64 i = 0; i < count; ++i) {
       if (auto st = levels[0].invalidate(base_l1 + i)) {
         dirty = dirty || (*st == LineState::M);
+        if (attrib_) hist_[q][0].note_inval(base_l1 + i);
       }
     }
   }
   if (auto st = levels.back().invalidate(unit_line)) {
     dirty = dirty || (*st == LineState::M);
+    if (attrib_) hist_[q][levels.size() > 1 ? 1 : 0].note_inval(unit_line);
   }
   ++ctr(q).invalidations_recv;
   return dirty;

@@ -23,13 +23,16 @@
 // "open-request ticks" counter used for the paper's Fig. 9.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "perf/counters.hpp"
 #include "sim/addr.hpp"
+#include "sim/addr_classes.hpp"
 #include "sim/cache.hpp"
 #include "sim/config.hpp"
 #include "sim/directory.hpp"
@@ -102,6 +105,47 @@ class ProtocolObserver {
   }
 };
 
+/// Where an access's exposed memory stall was spent; maps 1:1 onto the
+/// perf::CpiStack memory components.
+enum class MemBucket : u8 {
+  kLocal,         ///< home on the requesting node (or UMA)
+  kNear,          ///< remote home, same router (0 network hops)
+  kMid,           ///< remote home, 1 network hop
+  kFar,           ///< remote home, 2+ network hops
+  kIntervention,  ///< served through another cache (3-hop transaction)
+};
+
+/// Per-cache line-residency history for miss-cause classification. Tracks,
+/// per line, whether it was ever resident ("seen") and whether its last
+/// removal was an external invalidation. Stored as two bitmaps per 64-line
+/// block so the footprint stays a few bits per line ever touched.
+class LineHist {
+ public:
+  [[nodiscard]] perf::MissCause classify(u64 line) const {
+    const auto it = blocks_.find(line >> 6);
+    if (it == blocks_.end()) return perf::MissCause::kCold;
+    const u64 bit = u64{1} << (line & 63);
+    if ((it->second[0] & bit) == 0) return perf::MissCause::kCold;
+    if ((it->second[1] & bit) != 0) return perf::MissCause::kCohInval;
+    return perf::MissCause::kCapacity;
+  }
+  void note_fill(u64 line) {
+    auto& b = blocks_[line >> 6];
+    const u64 bit = u64{1} << (line & 63);
+    b[0] |= bit;
+    b[1] &= ~bit;
+  }
+  void note_inval(u64 line) {
+    const auto it = blocks_.find(line >> 6);
+    if (it == blocks_.end()) return;
+    it->second[1] |= u64{1} << (line & 63);
+  }
+
+ private:
+  /// [0] = seen bits, [1] = last-removal-was-invalidation bits.
+  std::unordered_map<u64, std::array<u64, 2>> blocks_;
+};
+
 class MachineSim {
  public:
   explicit MachineSim(const MachineConfig& cfg);
@@ -137,6 +181,26 @@ class MachineSim {
   void set_fault(CheckFault f) { fault_ = f; }
   [[nodiscard]] CheckFault fault() const { return fault_; }
 
+  /// Toggle miss-cause / CPI-stack attribution (on by default). Attribution
+  /// is observation-only: every existing counter and every returned stall is
+  /// bit-identical either way. Flip it before creating processes so the OS
+  /// layer's stall bookkeeping agrees with the machine's.
+  void set_attribution(bool on) { attrib_ = on; }
+  [[nodiscard]] bool attribution() const { return attrib_; }
+
+  /// Registry used to attribute last-level misses to DBMS object classes
+  /// (nullptr: shared addresses report kOther). Not owned; must outlive the
+  /// simulation.
+  void set_addr_classes(const AddrClassRegistry* r) { classes_ = r; }
+
+  /// CPI-stack components of the most recent `access()` by `proc`; the
+  /// components sum exactly to the stall that call returned. Only populated
+  /// while attribution is on — the caller folds this into its counter
+  /// block's `stack` as it burns the stall.
+  [[nodiscard]] const perf::CpiStack& stall_parts(u32 proc) const {
+    return parts_[proc];
+  }
+
   [[nodiscard]] const MachineConfig& config() const { return cfg_; }
   [[nodiscard]] u32 node_of_proc(u32 proc) const {
     return proc / cfg_.procs_per_node;
@@ -166,6 +230,9 @@ class MachineSim {
   struct GlobalResult {
     u64 latency = 0;        ///< full round-trip latency, cycles
     LineState fill = LineState::S;
+    MemBucket bucket = MemBucket::kLocal;  ///< where the stall was spent
+    bool remote_cache = false;  ///< served through another cache's copy
+    bool dirty = false;         ///< that copy was Modified
   };
 
   /// Coherence-unit transaction. `had_shared_copy` marks an upgrade (the
@@ -208,6 +275,14 @@ class MachineSim {
   /// refill cycles (0 when the TLB model is disabled).
   u64 translate(u32 proc, SimAddr addr, u32 len);
 
+  /// MemBucket -> CpiStack component of `s`.
+  static u64& bucket_part(perf::CpiStack& s, MemBucket b);
+  /// Bucket for a home-memory-serviced stall from `pnode` to `home`.
+  [[nodiscard]] MemBucket home_bucket(u32 pnode, u32 home) const;
+  /// Record one last-level miss's cause + object class into `c`.
+  void record_ll_miss(perf::Counters& c, perf::MissCause cause,
+                      SimAddr byte_addr);
+
   MachineConfig cfg_;
   Interconnect net_;
   Directory dir_;
@@ -220,6 +295,12 @@ class MachineSim {
   TraceHook trace_hook_;
   ProtocolObserver* obs_ = nullptr;
   CheckFault fault_ = CheckFault::kNone;
+  bool attrib_ = true;
+  const AddrClassRegistry* classes_ = nullptr;
+  /// [proc][level: 0=L1, 1=last level] residency history (attribution).
+  std::vector<std::array<LineHist, 2>> hist_;
+  /// Per-proc scratch: CPI parts of the access in flight (attribution).
+  std::vector<perf::CpiStack> parts_;
 };
 
 }  // namespace dss::sim

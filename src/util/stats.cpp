@@ -1,7 +1,6 @@
 #include "util/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 namespace dss {
 
@@ -31,13 +30,18 @@ double mean_of(const std::vector<double>& xs) {
 }
 
 double geomean_of(const std::vector<double>& xs) {
-  if (xs.empty()) return 0.0;
+  // Non-positive samples have no geometric mean; skip them explicitly
+  // (an assert here would compile out under NDEBUG and let log(0)/log(-x)
+  // poison the result with -inf/NaN in release builds).
   double s = 0.0;
+  std::size_t n = 0;
   for (double x : xs) {
-    assert(x > 0.0);
+    if (x <= 0.0) continue;
     s += std::log(x);
+    ++n;
   }
-  return std::exp(s / static_cast<double>(xs.size()));
+  if (n == 0) return 0.0;
+  return std::exp(s / static_cast<double>(n));
 }
 
 }  // namespace dss

@@ -34,7 +34,9 @@ class RunningStat {
 /// Arithmetic mean of a vector (0 for empty input).
 [[nodiscard]] double mean_of(const std::vector<double>& xs);
 
-/// Geometric mean; all inputs must be positive.
+/// Geometric mean over the positive samples; non-positive samples are
+/// skipped (they have no geometric mean), and 0.0 is returned when no
+/// positive sample remains. Identical behaviour in Debug and Release.
 [[nodiscard]] double geomean_of(const std::vector<double>& xs);
 
 }  // namespace dss

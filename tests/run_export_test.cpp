@@ -1,0 +1,149 @@
+// Unit tests for core/run_export: document writing, schema validation, and
+// run-to-run diffing (the machinery behind `--metrics` and dss_report).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/run_export.hpp"
+#include "util/json.hpp"
+
+namespace dss::core {
+namespace {
+
+ExportCell make_cell(const std::string& query, double thread_time) {
+  ExportCell c;
+  c.platform = "V-Class";
+  c.query = query;
+  c.nproc = 4;
+  c.trials = 2;
+  c.result.thread_time_cycles = thread_time;
+  c.result.cpi = 1.5;
+  c.result.mean.cycles = static_cast<u64>(thread_time) * 4;
+  c.result.mean.instructions = 1'000'000;
+  c.result.mean.l1_miss_causes[perf::MissCause::kCold] = 100;
+  c.result.mean.l1_miss_causes[perf::MissCause::kCohDirty] = 7;
+  c.result.mean.obj_misses[static_cast<u32>(perf::ObjClass::kHeapPage)] = 90;
+  c.result.mean.stack.compute = 1'000'000;
+  c.result.mean.stack.mem_local = 2'000'000;
+  return c;
+}
+
+MetricsDoc make_doc(double q6_time, double q21_time) {
+  MetricsDoc doc;
+  doc.bench = "unit_test";
+  doc.scale_denom = 64;
+  doc.seed = 7;
+  doc.cells.push_back(make_cell("Q6", q6_time));
+  doc.cells.push_back(make_cell("Q21", q21_time));
+  return doc;
+}
+
+util::Json round_trip(const MetricsDoc& doc) {
+  std::ostringstream os;
+  write_metrics_json(os, doc);
+  return util::json_parse(os.str());
+}
+
+TEST(RunExport, WrittenDocumentPassesSchemaCheck) {
+  const util::Json doc = round_trip(make_doc(1e6, 2e6));
+  EXPECT_TRUE(check_metrics_schema(doc).empty());
+  EXPECT_DOUBLE_EQ(doc.get("schema_version")->as_number(),
+                   double(kMetricsSchemaVersion));
+  EXPECT_EQ(doc.get("bench")->as_string(), "unit_test");
+  ASSERT_EQ(doc.get("cells")->as_array().size(), 2u);
+  const util::Json& cell = doc.get("cells")->as_array()[0];
+  EXPECT_EQ(cell.get("query")->as_string(), "Q6");
+  EXPECT_DOUBLE_EQ(
+      cell.get("metrics")->get("thread_time_cycles")->as_number(), 1e6);
+  EXPECT_DOUBLE_EQ(
+      cell.get("miss_causes")->get("l1")->get("cold")->as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(
+      cell.get("miss_causes")->get("l1")->get("coh_dirty")->as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(
+      cell.get("obj_misses")->get("heap_page")->get("total")->as_number(),
+      90.0);
+  EXPECT_DOUBLE_EQ(cell.get("cpi_stack")->get("compute")->as_number(), 1e6);
+}
+
+TEST(RunExport, EmptyDocumentStillValidates) {
+  MetricsDoc doc;
+  doc.bench = "empty";
+  EXPECT_TRUE(check_metrics_schema(round_trip(doc)).empty());
+}
+
+TEST(RunExport, EscapesBenchName) {
+  MetricsDoc doc;
+  doc.bench = "weird\"name\nwith\\stuff";
+  const util::Json parsed = round_trip(doc);
+  EXPECT_EQ(parsed.get("bench")->as_string(), doc.bench);
+}
+
+TEST(RunExport, SchemaCheckRejectsWrongVersionAndShapes) {
+  EXPECT_FALSE(
+      check_metrics_schema(util::json_parse("{\"schema_version\": 99}"))
+          .empty());
+  EXPECT_FALSE(check_metrics_schema(util::json_parse("[1, 2]")).empty());
+  // A cell missing its metrics object is reported, not crashed on.
+  const auto problems = check_metrics_schema(util::json_parse(
+      R"({"schema_version": 1, "bench": "x", "scale_denom": 16, "seed": 1,
+          "cells": [{"platform": "V-Class", "query": "Q6", "nproc": 1,
+                     "trials": 1, "variant": ""}]})"));
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(RunExport, SelfDiffHasNoRegressions) {
+  const util::Json doc = round_trip(make_doc(1e6, 2e6));
+  const DiffReport rep = diff_metrics(doc, doc);
+  EXPECT_TRUE(rep.errors.empty());
+  EXPECT_FALSE(rep.has_regressions());
+  EXPECT_FALSE(rep.deltas.empty());
+  for (const auto& d : rep.deltas) EXPECT_DOUBLE_EQ(d.rel, 0.0);
+}
+
+TEST(RunExport, DetectsRegressionPastThreshold) {
+  const util::Json before = round_trip(make_doc(1e6, 2e6));
+  const util::Json after = round_trip(make_doc(1.2e6, 2e6));  // Q6 +20%
+  const DiffReport rep = diff_metrics(before, after);
+  EXPECT_TRUE(rep.errors.empty());
+  ASSERT_TRUE(rep.has_regressions());
+  const auto regs = rep.regressions();
+  for (const auto& d : regs) {
+    EXPECT_EQ(d.cell, "V-Class/Q6/4");
+    EXPECT_GT(d.rel, 0.05);
+  }
+}
+
+TEST(RunExport, ThresholdGatesRegression) {
+  const util::Json before = round_trip(make_doc(1e6, 2e6));
+  const util::Json after = round_trip(make_doc(1.2e6, 2e6));
+  DiffOptions opts;
+  opts.rel_threshold = 0.25;  // 20% movement stays under a 25% gate
+  EXPECT_FALSE(diff_metrics(before, after, opts).has_regressions());
+}
+
+TEST(RunExport, ImprovementIsNotARegression) {
+  const util::Json before = round_trip(make_doc(1e6, 2e6));
+  const util::Json after = round_trip(make_doc(0.5e6, 2e6));
+  const DiffReport rep = diff_metrics(before, after);
+  EXPECT_TRUE(rep.errors.empty());
+  EXPECT_FALSE(rep.has_regressions());
+}
+
+TEST(RunExport, MismatchedCellsReportErrors) {
+  MetricsDoc a = make_doc(1e6, 2e6);
+  MetricsDoc b = make_doc(1e6, 2e6);
+  b.cells[1].query = "Q12";  // Q21 vanished, Q12 appeared
+  const DiffReport rep = diff_metrics(round_trip(a), round_trip(b));
+  EXPECT_EQ(rep.errors.size(), 2u);
+}
+
+TEST(RunExport, VariantDistinguishesCells) {
+  MetricsDoc a = make_doc(1e6, 2e6);
+  MetricsDoc b = make_doc(1e6, 2e6);
+  b.cells[0].variant = "machine_override";
+  const DiffReport rep = diff_metrics(round_trip(a), round_trip(b));
+  EXPECT_FALSE(rep.errors.empty());
+}
+
+}  // namespace
+}  // namespace dss::core

@@ -107,6 +107,26 @@ TEST(Stats, GeomeanOf) {
   EXPECT_DOUBLE_EQ(geomean_of({}), 0.0);
 }
 
+// Release-mode semantics: these used to be guarded only by an assert, which
+// compiles out under NDEBUG and let log(0)/log(-x) poison the result.
+TEST(Stats, GeomeanSkipsNonPositiveSamples) {
+  EXPECT_NEAR(geomean_of({0.0, 1.0, 8.0}), 2.8284, 1e-3);
+  EXPECT_NEAR(geomean_of({-3.0, 4.0, 0.0, 4.0}), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(geomean_of({0.0, -1.0}), 0.0);
+  EXPECT_TRUE(std::isfinite(geomean_of({0.0, 2.0})));
+}
+
+TEST(Stats, VarianceDefinedForFewerThanTwoSamples) {
+  RunningStat s;
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(-7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(-7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
 TEST(Table, AlignedPrint) {
   Table t({"q", "value"});
   t.add_row({"Q6", "1.5"});

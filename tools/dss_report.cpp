@@ -1,0 +1,187 @@
+// dss_report — pretty-print and diff the JSON documents the bench binaries
+// write via `--metrics` (schema: core/run_export.hpp).
+//
+//   dss_report run.json                    summarize one run
+//   dss_report --check-schema run.json     validate only (exit 2 on problems)
+//   dss_report before.json after.json      diff two runs; exit 1 when any
+//                                          metric regressed past --threshold
+//   dss_report --threshold 0.10 a.json b.json
+//
+// Exit codes: 0 clean, 1 regression past threshold, 2 usage/parse/schema
+// error — so CI can gate on "1 means the change is slower, 2 means the
+// tooling is broken".
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/run_export.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using dss::core::DiffOptions;
+using dss::core::DiffReport;
+using dss::core::MetricDelta;
+using dss::util::Json;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threshold F] [--check-schema] "
+               "[--expect-regression] <run.json> [after.json]\n",
+               argv0);
+  return 2;
+}
+
+bool load(const std::string& path, Json& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "dss_report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    out = dss::util::json_parse(buf.str());
+  } catch (const dss::util::JsonError& e) {
+    std::fprintf(stderr, "dss_report: %s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  return true;
+}
+
+/// Schema-check one parsed document, printing problems. True when valid.
+bool check(const std::string& path, const Json& doc) {
+  const auto problems = dss::core::check_metrics_schema(doc);
+  for (const auto& p : problems) {
+    std::fprintf(stderr, "dss_report: %s: %s\n", path.c_str(), p.c_str());
+  }
+  return problems.empty();
+}
+
+void print_run(const Json& doc) {
+  std::printf("bench: %s  (scale 1/%g, seed %g)\n",
+              doc.get("bench")->as_string().c_str(),
+              doc.get("scale_denom")->as_number(),
+              doc.get("seed")->as_number());
+  for (const Json& cell : doc.get("cells")->as_array()) {
+    const std::string variant = cell.get("variant")->as_string();
+    const Json* checked = cell.get("check");
+    std::printf("\n%s %s nproc=%d trials=%d%s%s\n",
+                cell.get("platform")->as_string().c_str(),
+                cell.get("query")->as_string().c_str(),
+                static_cast<int>(cell.get("nproc")->as_number()),
+                static_cast<int>(cell.get("trials")->as_number()),
+                variant.empty() ? "" : (" variant=" + variant).c_str(),
+                checked != nullptr && checked->as_bool() ? " [checked]" : "");
+    const Json& m = *cell.get("metrics");
+    for (const auto& [k, v] : m.as_object()) {
+      std::printf("  %-22s %.6g\n", k.c_str(), v.as_number());
+    }
+    if (const Json* causes = cell.get("miss_causes")) {
+      for (const char* level : {"l1", "l2"}) {
+        const Json& b = *causes->get(level);
+        double total = 0;
+        for (const auto& [k, v] : b.as_object()) total += v.as_number();
+        if (total == 0) continue;
+        std::printf("  %s miss causes:", level);
+        for (const auto& [k, v] : b.as_object()) {
+          if (v.as_number() > 0) {
+            std::printf(" %s=%.1f%%", k.c_str(),
+                        100.0 * v.as_number() / total);
+          }
+        }
+        std::printf("\n");
+      }
+    }
+    if (const Json* stack = cell.get("cpi_stack")) {
+      double total = 0;
+      for (const auto& [k, v] : stack->as_object()) total += v.as_number();
+      if (total > 0) {
+        std::printf("  cpi stack:");
+        for (const auto& [k, v] : stack->as_object()) {
+          if (v.as_number() > 0) {
+            std::printf(" %s=%.1f%%", k.c_str(),
+                        100.0 * v.as_number() / total);
+          }
+        }
+        std::printf("\n");
+      }
+    }
+  }
+}
+
+int print_diff(const DiffReport& rep, double threshold) {
+  for (const auto& e : rep.errors) {
+    std::fprintf(stderr, "dss_report: %s\n", e.c_str());
+  }
+  if (!rep.errors.empty()) return 2;
+
+  std::size_t moved = 0;
+  for (const MetricDelta& d : rep.deltas) {
+    if (std::fabs(d.rel) <= threshold) continue;
+    ++moved;
+    std::printf("%-11s %s %s: %.6g -> %.6g (%+.1f%%)\n",
+                d.regression ? "REGRESSION" : "improvement", d.cell.c_str(),
+                d.metric.c_str(), d.before, d.after, 100.0 * d.rel);
+  }
+  std::printf("%zu metrics compared, %zu moved past %.0f%%, %zu regressions\n",
+              rep.deltas.size(), moved, 100.0 * threshold,
+              rep.regressions().size());
+  return rep.has_regressions() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = DiffOptions{}.rel_threshold;
+  bool schema_only = false;
+  bool expect_regression = false;  // for tests: invert the regression gate
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      try {
+        threshold = std::stod(argv[++i]);
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--check-schema") == 0) {
+      schema_only = true;
+    } else if (std::strcmp(argv[i], "--expect-regression") == 0) {
+      expect_regression = true;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty() || files.size() > 2) return usage(argv[0]);
+
+  std::vector<Json> docs(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (!load(files[i], docs[i])) return 2;
+    if (!check(files[i], docs[i])) return 2;
+  }
+  if (schema_only) {
+    std::printf("%zu file%s ok\n", files.size(), files.size() == 1 ? "" : "s");
+    return 0;
+  }
+  if (files.size() == 1) {
+    print_run(docs[0]);
+    return 0;
+  }
+  DiffOptions opts;
+  opts.rel_threshold = threshold;
+  const int rc = print_diff(dss::core::diff_metrics(docs[0], docs[1], opts),
+                            threshold);
+  if (expect_regression) {
+    if (rc == 2) return 2;  // tooling errors still fail the test
+    return rc == 1 ? 0 : 1;
+  }
+  return rc;
+}
