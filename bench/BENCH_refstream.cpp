@@ -1,0 +1,178 @@
+// BENCH_refstream — replay-core throughput scoreboard.
+//
+// Replays each synthetic reference pattern (sim/refstream.hpp) through the
+// batched, shard-parallel replay core (sim/batch.hpp) on both machine
+// models and reports host throughput in references per second. This is the
+// benchmark the "vectorized, shard-parallel simulator core" work is gated
+// on: `bench/BENCH_refstream.json` holds the committed pre-refactor
+// baseline, and the CI perf-smoke job diffs a fresh run against it with
+// `dss_report --perf-threshold` (refs_per_sec is the one host-dependent,
+// higher-is-better metric in the export; every simulated counter in the
+// document is exact and must not move at all).
+//
+// Cells: {V-Class, Origin 2000} x {5 patterns} x {shards 1, 8}, each replayed
+// `--trials` times, best time kept. The reference streams and all simulated
+// counters depend only on --seed — never on the host, the shard count or
+// --jobs. The record count per stream is fixed (not a flag) so runs are
+// comparable across invocations by construction.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/run_export.hpp"
+#include "perf/platform_events.hpp"
+#include "sim/batch.hpp"
+#include "sim/machine_configs.hpp"
+#include "sim/refstream.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace dss;
+
+/// Fixed stream length: large enough that a replay takes milliseconds (the
+/// timer floor is ~microseconds), small enough that 20 cells x 4 trials
+/// finish in well under a minute even on the pre-refactor core.
+constexpr u64 kRecords = 200'000;
+
+struct Cell {
+  perf::Platform platform;
+  sim::RefPattern pattern;
+  u32 shards;
+  double refs_per_sec = 0;
+  std::vector<perf::Counters> counters;  ///< merged per-proc result
+};
+
+double time_replay(const sim::MachineConfig& cfg,
+                   const std::vector<sim::TraceRecord>& recs,
+                   const sim::ReplayOptions& opts, u32 trials,
+                   std::vector<perf::Counters>& out) {
+  double best = 0;
+  for (u32 t = 0; t < trials; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto ctr = sim::replay_batched(cfg, recs, opts);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    const double rate = static_cast<double>(recs.size()) / dt.count();
+    if (rate > best) {
+      best = rate;
+      out = std::move(ctr);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = core::parse_bench_options(argc, argv);
+  const u32 trials = std::max(1u, opts.trials);
+  const u32 jobs =
+      opts.jobs == 0 ? dss::ThreadPool::default_jobs() : opts.jobs;
+  std::cout << "(replay-core scoreboard: " << kRecords
+            << " records per stream, seed " << opts.seed << ", trials "
+            << trials << ", jobs " << jobs << ", scale 1/" << opts.scale_denom
+            << ")\n";
+
+  std::unique_ptr<dss::ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<dss::ThreadPool>(jobs);
+
+  const std::vector<std::pair<perf::Platform, sim::MachineConfig>> machines = {
+      {perf::Platform::VClass, sim::vclass().scaled(opts.scale_denom)},
+      {perf::Platform::Origin2000,
+       sim::origin2000().scaled(opts.scale_denom)}};
+
+  std::vector<Cell> cells;
+  for (const auto& [platform, cfg] : machines) {
+    for (u32 pi = 0; pi < sim::kNumRefPatterns; ++pi) {
+      sim::RefStreamConfig rc;
+      rc.pattern = static_cast<sim::RefPattern>(pi);
+      rc.records = kRecords;
+      rc.seed = opts.seed;
+      const auto recs = sim::make_refstream(rc);
+      for (u32 shards : {1u, 8u}) {
+        Cell cell;
+        cell.platform = platform;
+        cell.pattern = rc.pattern;
+        cell.shards = shards;
+        sim::ReplayOptions ro;
+        ro.shards = shards;
+        ro.pool = pool.get();
+        cell.refs_per_sec =
+            time_replay(cfg, recs, ro, trials, cell.counters);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  // Scoreboard: one row per (machine, pattern), columns per shard count.
+  Table t({"machine", "pattern", "refs/s shards=1", "refs/s shards=8",
+           "l1 misses", "cycles"});
+  for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+    const Cell& s1 = cells[i];
+    const Cell& s8 = cells[i + 1];
+    u64 misses = 0, cycles = 0;
+    for (const auto& c : s1.counters) {
+      misses += c.l1d_misses;
+      cycles += c.cycles;
+    }
+    t.add_row({perf::platform_name(s1.platform),
+               sim::ref_pattern_name(s1.pattern),
+               Table::num(s1.refs_per_sec, 0), Table::num(s8.refs_per_sec, 0),
+               std::to_string(misses), std::to_string(cycles)});
+  }
+  core::print_figure(std::cout, "BENCH_refstream replay throughput", t);
+
+  std::vector<double> rates;
+  for (const Cell& c : cells) rates.push_back(c.refs_per_sec);
+  std::cout << "geomean refs/s: "
+            << Table::num(dss::geomean_of(rates), 0) << "\n\n";
+
+  if (!opts.metrics_path.empty()) {
+    core::MetricsDoc doc;
+    doc.bench = opts.bench_name;
+    doc.scale_denom = opts.scale_denom;
+    doc.seed = opts.seed;
+    for (const Cell& c : cells) {
+      core::ExportCell ec;
+      ec.platform = perf::platform_name(c.platform);
+      ec.query = sim::ref_pattern_name(c.pattern);
+      ec.nproc = static_cast<u32>(c.counters.size());
+      ec.trials = trials;
+      ec.variant = "shards=" + std::to_string(c.shards);
+      for (const auto& pc : c.counters) ec.result.mean += pc;
+      const perf::Counters& m = ec.result.mean;
+      ec.result.thread_time_cycles = static_cast<double>(m.cycles);
+      ec.result.cpi = m.cpi();
+      ec.result.cycles_per_minstr = m.cycles_per_minstr();
+      ec.result.l1d_misses = static_cast<double>(m.l1d_misses);
+      ec.result.l2d_misses = static_cast<double>(m.l2d_misses);
+      ec.result.l1d_per_minstr = m.l1d_per_minstr();
+      ec.result.l2d_per_minstr = m.l2d_per_minstr();
+      ec.result.avg_mem_latency = m.avg_mem_latency();
+      ec.result.refs_per_sec = c.refs_per_sec;
+      doc.cells.push_back(std::move(ec));
+    }
+    core::write_metrics_file(opts.metrics_path, doc);
+    std::cout << "(exported run metrics to " << opts.metrics_path << ")\n";
+  }
+
+  // The scoreboard's correctness claim: the shard partition really is
+  // transparent — every simulated counter is bit-identical across shard
+  // counts (refs_per_sec is the only value allowed to differ).
+  bool identical = true;
+  for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+    const auto& a = cells[i].counters;
+    const auto& b = cells[i + 1].counters;
+    identical = identical && a.size() == b.size();
+    for (std::size_t p = 0; identical && p < a.size(); ++p) {
+      identical = a[p].cycles == b[p].cycles &&
+                  a[p].l1d_misses == b[p].l1d_misses &&
+                  a[p].l2d_misses == b[p].l2d_misses &&
+                  a[p].mem_latency_cycles == b[p].mem_latency_cycles &&
+                  a[p].stack.total() == b[p].stack.total();
+    }
+  }
+  return bench::report_claims(
+      {{"replay results bit-identical across shard counts", identical}});
+}

@@ -81,6 +81,10 @@ struct RunResult {
   double vol_ctx_per_minstr = 0;  ///< Fig. 10
   double invol_ctx_per_minstr = 0;
   double wall_seconds = 0;        ///< scheduler span (response time)
+  /// Host replay throughput in references per second (BENCH_refstream
+  /// cells; 0 everywhere else). The one host-dependent metric in the
+  /// export — schema v2, written only when nonzero.
+  double refs_per_sec = 0;
   std::vector<tpch::ResultRow> query_result;  ///< from process 0, trial 0
 };
 

@@ -1,8 +1,10 @@
 #include "core/metrics.hpp"
 
 #include <cstring>
+#include <iostream>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 
 namespace dss::core {
 
@@ -22,6 +24,8 @@ BenchOptions parse_bench_options(int argc, char** argv) {
     const std::size_t slash = path.find_last_of('/');
     o.bench_name = slash == std::string::npos ? path : path.substr(slash + 1);
   }
+  bool jobs_given = false;
+  bool shards_given = false;
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -37,12 +41,43 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       o.seed = std::stoull(need_value("--seed"));
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
       o.jobs = static_cast<u32>(std::stoul(need_value("--jobs")));
+      jobs_given = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      o.shards = static_cast<u32>(std::stoul(need_value("--shards")));
+      shards_given = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {
       o.check = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       o.metrics_path = need_value("--metrics");
     } else {
       throw std::invalid_argument(std::string("unknown option: ") + argv[i]);
+    }
+  }
+  // Clamp thread-ish counts with a warning rather than erroring or silently
+  // oversubscribing. Warnings go to stderr so stdout tables and --metrics
+  // JSON stay byte-identical across hosts and flag spellings.
+  const u32 hw = std::max(1u, std::thread::hardware_concurrency());
+  if (jobs_given) {
+    if (o.jobs == 0) {
+      std::cerr << o.bench_name << ": warning: --jobs 0 means one worker per "
+                << "hardware thread; using " << hw << "\n";
+      o.jobs = hw;
+    } else if (o.jobs > hw) {
+      std::cerr << o.bench_name << ": warning: --jobs " << o.jobs
+                << " exceeds hardware concurrency; clamping to " << hw << "\n";
+      o.jobs = hw;
+    }
+  }
+  if (shards_given) {
+    if (o.shards == 0) {
+      std::cerr << o.bench_name << ": warning: --shards 0 is invalid; "
+                << "using 1\n";
+      o.shards = 1;
+    } else if (o.shards > hw) {
+      std::cerr << o.bench_name << ": warning: --shards " << o.shards
+                << " exceeds hardware concurrency; clamping to " << hw
+                << " (results are bit-identical at any shard count)\n";
+      o.shards = hw;
     }
   }
   return o;

@@ -24,16 +24,24 @@ void print_figure(std::ostream& os, const std::string& title,
 
 /// Parse common bench options: --scale N (μ denominator), --trials N,
 /// --seed N, --jobs N (worker threads for trial/cell execution; 0 = one per
-/// hardware thread, the default), --check (attach the runtime coherence
-/// invariant checker to every trial; observation-only, metrics unchanged),
+/// hardware thread, the default), --shards N (intra-trial shard count for
+/// the replay core; no-op on the execution-driven fig binaries — see
+/// DESIGN.md "Sharded replay core" — and bit-identical at every value
+/// where it applies), --check (attach the runtime coherence invariant
+/// checker to every trial; observation-only, metrics unchanged),
 /// --metrics PATH (write every cell the binary runs as one schema-versioned
 /// JSON document; see core/run_export.hpp and tools/dss_report).
-/// Unrecognized options and flags missing their value raise.
+///
+/// An explicit `--jobs 0` or `--shards 0`, or a value above the host's
+/// hardware concurrency, is clamped with a warning on stderr (stdout and
+/// any --metrics JSON stay byte-identical). Unrecognized options and flags
+/// missing their value raise.
 struct BenchOptions {
   u32 scale_denom = 16;
   u32 trials = 4;
   u64 seed = 42;
   u32 jobs = 0;        ///< 0 = hardware concurrency
+  u32 shards = 1;      ///< replay-core shard count (where supported)
   bool check = false;  ///< run trials under the invariant checker
   std::string metrics_path;  ///< empty = no export
   std::string bench_name;    ///< argv[0] basename, labels the export

@@ -137,6 +137,11 @@ void write_cell(std::ostream& os, int indent, const ExportCell& cell) {
     m.num("vol_ctx_per_minstr", cell.result.vol_ctx_per_minstr);
     m.num("invol_ctx_per_minstr", cell.result.invol_ctx_per_minstr);
     m.num("wall_seconds", cell.result.wall_seconds);
+    // Optional since schema v2; omitted when zero so figure exports stay
+    // byte-identical to v1 output (modulo the version number).
+    if (cell.result.refs_per_sec != 0.0) {
+      m.num("refs_per_sec", cell.result.refs_per_sec);
+    }
     m.close();
   }
   w.key("counters");
@@ -244,7 +249,8 @@ std::vector<std::string> check_metrics_schema(const util::Json& doc) {
   }
   if (const util::Json* v = get_typed(problems, doc, "schema_version",
                                       util::Json::Type::Number, "document")) {
-    if (static_cast<u32>(v->as_number()) != kMetricsSchemaVersion) {
+    const u32 version = static_cast<u32>(v->as_number());
+    if (version < kMetricsSchemaMinVersion || version > kMetricsSchemaVersion) {
       problems.push_back("unsupported schema_version " +
                          std::to_string(v->as_number()));
     }
@@ -362,9 +368,14 @@ DiffReport diff_metrics(const util::Json& before, const util::Json& after,
       } else if (d.after != 0.0) {
         d.rel = std::numeric_limits<double>::infinity();
       }
-      // All exported metrics are higher-is-worse (times, misses, latency,
-      // switch rates), so only upward movement gates.
-      d.regression = d.rel > opts.rel_threshold;
+      // Every exported metric is higher-is-worse (times, misses, latency,
+      // switch rates) except throughput, which gates on downward movement
+      // with its own (looser, host-noise-tolerant) threshold.
+      if (metric == "refs_per_sec") {
+        d.regression = d.rel < -opts.perf_threshold;
+      } else {
+        d.regression = d.rel > opts.rel_threshold;
+      }
       rep.deltas.push_back(d);
     }
   }

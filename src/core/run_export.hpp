@@ -17,8 +17,14 @@
 
 namespace dss::core {
 
-/// Bump when the JSON layout changes shape (readers reject other versions).
-inline constexpr u32 kMetricsSchemaVersion = 1;
+/// Bump when the JSON layout changes shape. Version history:
+///   1 — initial layout.
+///   2 — adds the optional "refs_per_sec" metric (replay throughput,
+///       BENCH_refstream); omitted when zero, so v1 documents parse
+///       unchanged and readers accept both versions.
+inline constexpr u32 kMetricsSchemaVersion = 2;
+/// Oldest schema version readers still accept.
+inline constexpr u32 kMetricsSchemaMinVersion = 1;
 
 /// One exported configuration cell: identifying labels + its RunResult.
 struct ExportCell {
@@ -57,6 +63,11 @@ struct DiffOptions {
   /// Relative delta above which a higher-is-worse metric counts as a
   /// regression (and a lower one as an improvement).
   double rel_threshold = 0.05;
+  /// Gate for the higher-is-BETTER throughput metric ("refs_per_sec"):
+  /// a drop of more than this fraction counts as a regression. Wider than
+  /// `rel_threshold` because host timing is noisy where simulated metrics
+  /// are exact (the CI perf-smoke job gates at 15%).
+  double perf_threshold = 0.15;
 };
 
 /// One compared metric across the two runs.

@@ -1,0 +1,299 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <memory>
+
+#include "sim/addr.hpp"
+#include "sim/cache.hpp"
+
+namespace dss::sim {
+
+u32 max_shards(const MachineConfig& cfg) {
+  assert(!cfg.dcache.empty());
+  // Shard s owns units with unit % S == s. Two units sharing a last-level
+  // set must land in the same shard, so S must divide the last-level set
+  // count; for two-level hierarchies the L1 sublines of a unit occupy sets
+  // keyed by unit % (l1_sets / sublines_per_unit), so S must divide that
+  // stride as well. All geometries are powers of two, so "divides" reduces
+  // to "<=" on powers of two.
+  u64 limit = cfg.dcache.back().num_sets();
+  if (cfg.dcache.size() > 1) {
+    const u32 l1_sets = cfg.dcache.front().num_sets();
+    const u32 shift =
+        static_cast<u32>(std::countr_zero(cfg.dcache.back().line_bytes)) -
+        static_cast<u32>(std::countr_zero(cfg.dcache.front().line_bytes));
+    limit = std::min<u64>(limit, std::max<u32>(1, l1_sets >> shift));
+  }
+  return static_cast<u32>(std::bit_floor(limit));
+}
+
+namespace {
+
+/// Per-shard work list: each element is a per-unit segment of one input
+/// record, routed to the owning shard (BatchRef is the machine's batched
+/// reference format — the replay loop hands slices straight to
+/// MachineSim::access_batch).
+struct ShardPlan {
+  std::vector<BatchRef> refs;
+  /// refs.size() snapshot at the end of each epoch (one entry per epoch).
+  std::vector<std::size_t> epoch_end;
+};
+
+/// Everything the serial pre-pass extracts from the stream: the per-shard
+/// work lists plus all per-processor accounting that does not depend on
+/// cache or directory state (instruction gaps and the TLB model).
+struct Prepass {
+  std::vector<ShardPlan> plans;
+  u64 epochs = 1;
+  /// Cumulative serial clock (gap cycles + TLB stalls) per processor at the
+  /// end of each epoch, row-major [epoch][proc]; feeds the epoch-span
+  /// computation at each barrier.
+  std::vector<u64> serial_cum;
+  // Per-processor totals, folded into the merged counters at the end.
+  std::vector<u64> instr_total;
+  std::vector<u64> gap_cycles_total;
+  std::vector<u64> tlb_stall_total;
+  std::vector<u64> tlb_miss_total;
+};
+
+Prepass build_prepass(const MachineConfig& cfg,
+                      const std::vector<TraceRecord>& records, u32 shards,
+                      u64 epoch_records) {
+  const u32 nproc = cfg.num_processors;
+  const u64 n = records.size();
+  Prepass pp;
+  pp.epochs = epoch_records == 0 ? 1 : (n + epoch_records - 1) / epoch_records;
+  if (pp.epochs == 0) pp.epochs = 1;
+  pp.plans.resize(shards);
+  const u64 est = n / shards + n / (8 * shards) + 16;
+  for (ShardPlan& plan : pp.plans) {
+    plan.refs.reserve(est);
+    plan.epoch_end.reserve(pp.epochs);
+  }
+  // Single-shard plans are exactly one BatchRef per record: write by index
+  // into a pre-sized array instead of paying a capacity check per record.
+  BatchRef* out1 = nullptr;
+  if (shards == 1) {
+    pp.plans[0].refs.resize(n);
+    out1 = pp.plans[0].refs.data();
+  }
+  pp.serial_cum.assign(pp.epochs * nproc, 0);
+  pp.instr_total.assign(nproc, 0);
+  pp.gap_cycles_total.assign(nproc, 0);
+  pp.tlb_stall_total.assign(nproc, 0);
+  pp.tlb_miss_total.assign(nproc, 0);
+
+  // The TLB is per-processor state keyed by page, not by coherence unit, so
+  // it cannot be partitioned across shards — but its outcomes depend only on
+  // each processor's page sequence, never on cache state, so the pre-pass
+  // replays it here exactly as MachineSim::translate would (same geometry,
+  // same lookup/insert order over each record's pages; see machine.cpp for
+  // why the L1-hit fast path touches the same page sequence).
+  std::vector<SetAssocCache> tlbs;
+  if (cfg.tlb_entries != 0) {
+    const CacheConfig tlb_geom{
+        static_cast<u64>(cfg.tlb_entries) * kPlacementPageBytes,
+        static_cast<u32>(kPlacementPageBytes), cfg.tlb_entries, 1};
+    tlbs.reserve(nproc);
+    for (u32 p = 0; p < nproc; ++p) tlbs.emplace_back(tlb_geom);
+  }
+
+  const double cpi = cfg.base_cpi;
+  const u32 unit_shift =
+      static_cast<u32>(std::countr_zero(cfg.dcache.back().line_bytes));
+  std::vector<u64> serial(nproc, 0);
+  // Small instruction gaps dominate every stream; memoize the fp multiply
+  // (identical double math, computed once per distinct small gap).
+  constexpr u64 kGapMemo = 256;
+  std::array<u64, kGapMemo> gap_memo;
+  for (u64 g = 0; g < kGapMemo; ++g) {
+    gap_memo[g] = static_cast<u64>(static_cast<double>(g) * cpi);
+  }
+  // Per-processor MRU page: a lookup of the page that is already MRU in a
+  // proc's TLB is a guaranteed hit whose touch is a no-op, so the pre-pass
+  // can skip the associative probe entirely (bit-identical; the steady
+  // state of every pattern is a run of references to one page).
+  constexpr u64 kNoPage = ~u64{0};
+  std::vector<u64> mru_page(nproc, kNoPage);
+  u64 epoch = 0;
+  for (u64 i = 0; i < n; ++i) {
+    const TraceRecord& r = records[i];
+    const u32 p = r.proc % nproc;
+    assert(r.len > 0);
+
+    const u64 gap_cycles =
+        r.instr_gap < kGapMemo
+            ? gap_memo[r.instr_gap]
+            : static_cast<u64>(static_cast<double>(r.instr_gap) * cpi);
+    u64 tlb_stall = 0;
+    if (!tlbs.empty()) {
+      const u64 first_page = r.addr / kPlacementPageBytes;
+      const u64 last_page = (r.addr + r.len - 1) / kPlacementPageBytes;
+      for (u64 page = first_page; page <= last_page; ++page) {
+        if (page == mru_page[p]) continue;
+        if (tlbs[p].lookup(page).has_value()) {
+          mru_page[p] = page;
+          continue;
+        }
+        ++pp.tlb_miss_total[p];
+        tlb_stall += cfg.tlb_miss_penalty;
+        (void)tlbs[p].insert(page, LineState::E);
+        mru_page[p] = page;
+      }
+    }
+    pp.instr_total[p] += r.instr_gap;
+    pp.gap_cycles_total[p] += gap_cycles;
+    pp.tlb_stall_total[p] += tlb_stall;
+    serial[p] += gap_cycles + tlb_stall;
+
+    // Route the record to its unit's shard, splitting records that straddle
+    // coherence-unit boundaries into per-unit segments (each segment's L1
+    // lines are exactly the serial per-line loop's lines for that unit).
+    const u8 kind = r.kind;
+    if (shards == 1) {
+      out1[i] = BatchRef{r.addr, p, (r.len << 2) | kind};
+    } else {
+      const u64 last_addr = r.addr + r.len - 1;
+      const u64 first_unit = r.addr >> unit_shift;
+      const u64 last_unit = last_addr >> unit_shift;
+      for (u64 unit = first_unit; unit <= last_unit; ++unit) {
+        const u64 seg_lo = std::max(r.addr, unit << unit_shift);
+        const u64 seg_hi = std::min(last_addr, ((unit + 1) << unit_shift) - 1);
+        const u32 seg_len = static_cast<u32>(seg_hi - seg_lo + 1);
+        pp.plans[unit & (shards - 1)].refs.push_back(
+            BatchRef{seg_lo, p, (seg_len << 2) | kind});
+      }
+    }
+
+    const bool boundary =
+        epoch_records != 0 ? ((i + 1) % epoch_records == 0) : false;
+    if (boundary || i + 1 == n) {
+      for (u32 q = 0; q < nproc; ++q) {
+        pp.serial_cum[epoch * nproc + q] = serial[q];
+      }
+      if (shards == 1) {
+        // The plan was pre-sized, so "refs emitted so far" is the record
+        // index, not the vector size.
+        pp.plans[0].epoch_end.push_back(i + 1);
+      } else {
+        for (ShardPlan& plan : pp.plans) {
+          plan.epoch_end.push_back(plan.refs.size());
+        }
+      }
+      ++epoch;
+    }
+  }
+  if (n == 0) {
+    for (ShardPlan& plan : pp.plans) plan.epoch_end.push_back(0);
+  }
+  // A boundary exactly at the last record already closed the final epoch.
+  for (ShardPlan& plan : pp.plans) {
+    plan.epoch_end.resize(pp.epochs, plan.refs.size());
+  }
+  return pp;
+}
+
+}  // namespace
+
+std::vector<perf::Counters> replay_batched(
+    const MachineConfig& cfg, const std::vector<TraceRecord>& records,
+    const ReplayOptions& opts, ReplayStats* stats) {
+  const u32 nproc = cfg.num_processors;
+  const u32 shards = std::min(std::max(opts.shards, 1u), max_shards(cfg));
+  const u32 S = static_cast<u32>(std::bit_floor(shards));
+
+  const Prepass pp = build_prepass(cfg, records, S, opts.epoch_records);
+
+  // Shard machines run with the TLB disabled: translation was fully handled
+  // by the pre-pass, and the per-processor TLB is the one structure a unit
+  // partition cannot split.
+  MachineConfig shard_cfg = cfg;
+  shard_cfg.tlb_entries = 0;
+  std::vector<std::unique_ptr<MachineSim>> machines;
+  machines.reserve(S);
+  std::vector<std::vector<perf::Counters>> shard_ctr(S);
+  for (u32 s = 0; s < S; ++s) {
+    machines.push_back(std::make_unique<MachineSim>(shard_cfg));
+    machines[s]->set_attribution(opts.attribution);
+    shard_ctr[s].assign(nproc, perf::Counters{});
+    for (u32 p = 0; p < nproc; ++p) {
+      machines[s]->attach_counters(p, &shard_ctr[s][p]);
+    }
+    if (opts.on_shard_start) opts.on_shard_start(s, *machines[s]);
+  }
+
+  ThreadPool* pool = S > 1 ? opts.pool : nullptr;
+  const bool epochs_on = opts.epoch_records != 0;
+  u64 prev_clock_max = 0;
+  for (u64 e = 0; e < pp.epochs; ++e) {
+    parallel_for_index(pool, S, [&](u64 s) {
+      MachineSim& m = *machines[s];
+      const ShardPlan& plan = pp.plans[s];
+      const std::size_t lo = e == 0 ? 0 : plan.epoch_end[e - 1];
+      const std::size_t hi = plan.epoch_end[e];
+      // The machine folds each reference's stall (and, under attribution,
+      // its CPI-stack parts) into the attached shard counters.
+      m.access_batch(plan.refs.data() + lo, hi - lo);
+      if (e + 1 == pp.epochs && opts.on_shard_done) {
+        opts.on_shard_done(static_cast<u32>(s), m);
+      }
+    });
+    if (epochs_on && e + 1 < pp.epochs) {
+      // Deterministic epoch merge: sum every shard's per-home request tally,
+      // measure the finished epoch's span off the merged clocks, and install
+      // the same totals into every shard. All sums run in fixed index order
+      // over exact integers, so the result is independent of both thread
+      // interleaving and the shard count.
+      std::vector<u32> merged(machines[0]->memctrl().num_homes(), 0);
+      for (u32 s = 0; s < S; ++s) {
+        const std::vector<u32>& counts = machines[s]->memctrl().epoch_counts();
+        for (std::size_t h = 0; h < merged.size(); ++h) merged[h] += counts[h];
+      }
+      u64 clock_max = 0;
+      for (u32 p = 0; p < nproc; ++p) {
+        u64 clk = pp.serial_cum[e * nproc + p];
+        for (u32 s = 0; s < S; ++s) clk += shard_ctr[s][p].cycles;
+        clock_max = std::max(clock_max, clk);
+      }
+      const u64 span = std::max<u64>(1, clock_max - prev_clock_max);
+      prev_clock_max = clock_max;
+      for (u32 s = 0; s < S; ++s) {
+        machines[s]->begin_epoch_merged(merged, span);
+      }
+    }
+  }
+
+  // Merge: per-processor counters are sums of per-reference contributions,
+  // so summing the shards (fixed order, exact u64 arithmetic) reproduces the
+  // serial accumulation bit-for-bit; the pre-pass totals add the serial
+  // clock side (instructions, gap cycles, TLB) that no shard owns.
+  std::vector<perf::Counters> result(nproc);
+  for (u32 p = 0; p < nproc; ++p) {
+    for (u32 s = 0; s < S; ++s) result[p] += shard_ctr[s][p];
+    result[p].instructions += pp.instr_total[p];
+    result[p].cycles += pp.gap_cycles_total[p] + pp.tlb_stall_total[p];
+    result[p].tlb_misses += pp.tlb_miss_total[p];
+    if (opts.attribution) {
+      result[p].stack.compute += pp.gap_cycles_total[p];
+      result[p].stack.tlb += pp.tlb_stall_total[p];
+    }
+  }
+  for (u32 s = 0; s < S; ++s) {
+    for (u32 p = 0; p < nproc; ++p) machines[s]->attach_counters(p, nullptr);
+  }
+  if (stats != nullptr) {
+    stats->records = records.size();
+    stats->line_refs = 0;
+    for (const perf::Counters& c : result) {
+      stats->line_refs += c.loads + c.stores + c.atomics;
+    }
+    stats->epochs = epochs_on ? pp.epochs : 0;
+    stats->shards_used = S;
+  }
+  return result;
+}
+
+}  // namespace dss::sim

@@ -1,0 +1,100 @@
+// Batched, shard-parallel trace replay.
+//
+// `replay_batched` replays a reference stream against a machine model the
+// way `sim::replay` does, but restructured for raw speed (this is the
+// BENCH_refstream hot path):
+//
+//   * Batched processing — per-reference dispatch (TLB walk, instruction
+//     accounting, attribution lookups) is hoisted into a serial pre-pass
+//     that compiles the stream into dense prepared references; the replay
+//     loop then touches only cache/directory state.
+//   * Intra-trial sharding — cache sets and directory homes are partitioned
+//     across `shards` workers by coherence-unit address. Shard `s` owns
+//     every unit with `unit % shards == s`; because the shard count divides
+//     both the last-level set count and the L1 sets-per-unit stride (see
+//     `max_shards`), two units in different shards can never share a cache
+//     set, a directory entry, or a residency-history line. Each shard runs a
+//     complete MachineSim over its sub-stream, so all per-unit protocol
+//     state transitions happen in exactly the order the serial replay would
+//     apply them.
+//   * Deterministic epoch merge — the only cross-shard coupling is the
+//     memory-controller rate estimate. Requests are tallied per epoch and
+//     merged at a barrier (`MemCtrl::begin_epoch_merged`); within an epoch
+//     the queueing delay depends only on the *previous* epoch's merged
+//     totals, so it is insensitive to both intra-epoch order and the shard
+//     count. Per-processor cycle and counter contributions are u64 sums of
+//     per-reference terms, which are permutation-invariant — merged results
+//     are bit-identical at any `shards` value, checker on or off.
+//
+// The TLB is the one piece of per-processor state that is *not* partitioned
+// by unit address; TLB outcomes are independent of cache state, so the
+// pre-pass replays each processor's page stream against a private TLB model
+// and bakes the refill stalls into the prepared references. Shard machines
+// run with the TLB model disabled.
+//
+// Scope: this core replays *recorded* streams. The execution-driven figure
+// trials (core/experiment) generate references online, with every stall
+// feeding back into scheduling decisions, and therefore cannot be
+// address-sharded without speculation — `--shards` on the fig binaries is
+// validated and documented as a no-op (DESIGN.md, "Sharded replay core").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "perf/counters.hpp"
+#include "sim/config.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+#include "util/threadpool.hpp"
+
+namespace dss::sim {
+
+struct ReplayOptions {
+  /// Worker partitions; clamped to [1, max_shards(cfg)] (and rounded down
+  /// to a power of two). Results are bit-identical at every value.
+  u32 shards = 1;
+  /// Input records per scheduling epoch; 0 disables the epoch-rate
+  /// contention model entirely, matching legacy `sim::replay` (whose
+  /// queueing estimate stays zero because it never begins an epoch).
+  u64 epoch_records = 0;
+  /// Miss-cause / CPI-stack attribution (observation-only; all other
+  /// counters and every cycle count are bit-identical either way).
+  bool attribution = true;
+  /// Pool for shard execution; nullptr (or a single-thread pool) runs
+  /// shards serially in index order. Results never depend on this.
+  ThreadPool* pool = nullptr;
+  /// Called serially for each shard machine before replay begins; the seam
+  /// sim/check uses to attach one invariant checker per shard (the observer
+  /// seam is per-machine). Must only observe, never mutate.
+  std::function<void(u32 shard, MachineSim&)> on_shard_start;
+  /// Called for each shard machine after its last reference completes, on
+  /// the worker that ran the shard (final checker sweeps).
+  std::function<void(u32 shard, MachineSim&)> on_shard_done;
+};
+
+/// Replay statistics (for throughput reporting).
+struct ReplayStats {
+  u64 records = 0;    ///< input trace records replayed
+  u64 line_refs = 0;  ///< per-L1-line references (loads + stores + atomics)
+  u64 epochs = 0;     ///< epoch barriers crossed (0 when epochs disabled)
+  u32 shards_used = 1;
+};
+
+/// Largest shard count whose unit partition is disjoint on `cfg`'s cache
+/// geometry: the largest power of two dividing both the last-level set count
+/// and (for two-level hierarchies) the number of distinct L1 set groups per
+/// coherence unit. Above this, two shards could race on one cache set.
+[[nodiscard]] u32 max_shards(const MachineConfig& cfg);
+
+/// Replay `records` against machine model `cfg` and return merged per-
+/// processor counters (indexed by processor id, `records[i].proc %
+/// cfg.num_processors`). With default options the result equals legacy
+/// `sim::replay` on the same machine, except that `Counters::stack` is also
+/// populated (attribution folds every stall into the CPI stack, so invariant
+/// I9 holds on the result: stack.total() == cycles).
+[[nodiscard]] std::vector<perf::Counters> replay_batched(
+    const MachineConfig& cfg, const std::vector<TraceRecord>& records,
+    const ReplayOptions& opts = {}, ReplayStats* stats = nullptr);
+
+}  // namespace dss::sim

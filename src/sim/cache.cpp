@@ -36,17 +36,18 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg)
   }
 }
 
-SetAssocCache::Way* SetAssocCache::find(u64 line_addr) {
+u64* SetAssocCache::find(u64 line_addr) {
   const u32 set = set_of(line_addr);
-  const u64 tag = tag_of(line_addr);
-  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+  const u64 want = tag_of(line_addr) << 2;
+  u64* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
   for (u32 w = 0; w < cfg_.assoc; ++w) {
-    if (base[w].state != LineState::I && base[w].tag == tag) return &base[w];
+    const u64 v = base[w];
+    if ((v & 3) != 0 && (v & ~u64{3}) == want) return &base[w];
   }
   return nullptr;
 }
 
-const SetAssocCache::Way* SetAssocCache::find(u64 line_addr) const {
+const u64* SetAssocCache::find(u64 line_addr) const {
   return const_cast<SetAssocCache*>(this)->find(line_addr);
 }
 
@@ -71,67 +72,51 @@ u32 SetAssocCache::lru_way_stamp(u32 set) const {
   return victim;
 }
 
-std::optional<LineState> SetAssocCache::lookup(u64 line_addr) {
-  // Inline the tag scan so set/tag are computed once and the hit way's
-  // index falls out of the loop without pointer arithmetic.
-  const u32 set = set_of(line_addr);
-  const u64 tag = tag_of(line_addr);
-  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
-  for (u32 w = 0; w < cfg_.assoc; ++w) {
-    if (base[w].state != LineState::I && base[w].tag == tag) {
-      touch(set, w);
-      return base[w].state;
-    }
-  }
-  return std::nullopt;
-}
-
 std::optional<LineState> SetAssocCache::probe(u64 line_addr) const {
-  const Way* w = find(line_addr);
-  if (w == nullptr) return std::nullopt;
-  return w->state;
+  const u64* v = find(line_addr);
+  if (v == nullptr) return std::nullopt;
+  return static_cast<LineState>(*v & 3);
 }
 
 void SetAssocCache::set_state(u64 line_addr, LineState s) {
-  Way* w = find(line_addr);
-  assert(w != nullptr && "set_state on non-resident line");
+  u64* v = find(line_addr);
+  assert(v != nullptr && "set_state on non-resident line");
   assert(s != LineState::I && "use invalidate() to drop a line");
-  w->state = s;
+  *v = (*v & ~u64{3}) | static_cast<u64>(s);
 }
 
 std::optional<Eviction> SetAssocCache::insert(u64 line_addr, LineState s) {
   assert(s != LineState::I);
   assert(find(line_addr) == nullptr && "insert of already-resident line");
   const u32 set = set_of(line_addr);
-  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+  u64* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
   u32 slot = cfg_.assoc;
   for (u32 w = 0; w < cfg_.assoc; ++w) {
-    if (base[w].state == LineState::I) {
+    if ((base[w] & 3) == 0) {
       slot = w;
       break;
     }
   }
   if (slot == cfg_.assoc) slot = lru_way(set);  // set full: evict true LRU
-  Way& victim = base[slot];
+  const u64 victim = base[slot];
   std::optional<Eviction> evicted;
-  if (victim.state != LineState::I) {
+  if ((victim & 3) != 0) {
     // Reconstruct the victim's line address from its tag and this set index.
-    const u64 victim_line = (victim.tag << set_bits_) | set;
-    evicted = Eviction{victim_line, victim.state};
+    const u64 victim_line = ((victim >> 2) << set_bits_) | set;
+    evicted = Eviction{victim_line, static_cast<LineState>(victim & 3)};
     --resident_;
   }
-  victim.tag = tag_of(line_addr);
-  victim.state = s;
+  base[slot] = pack(tag_of(line_addr), s);
   touch(set, slot);
   ++resident_;
   return evicted;
 }
 
 std::optional<LineState> SetAssocCache::invalidate(u64 line_addr) {
-  Way* w = find(line_addr);
-  if (w == nullptr) return std::nullopt;
-  const LineState prior = w->state;
-  w->state = LineState::I;
+  u64* v = find(line_addr);
+  if (v == nullptr) return std::nullopt;
+  const auto prior = static_cast<LineState>(*v & 3);
+  *v = 0;
   --resident_;
   return prior;
 }
@@ -139,7 +124,7 @@ std::optional<LineState> SetAssocCache::invalidate(u64 line_addr) {
 void SetAssocCache::append_canonical(std::vector<u64>& out) const {
   std::vector<u32> order(cfg_.assoc);
   for (u32 set = 0; set < num_sets_; ++set) {
-    const Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+    const u64* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
     // Way indices in MRU -> LRU order for this set, per replacement scheme.
     switch (repl_) {
       case Repl::kNone:
@@ -164,14 +149,14 @@ void SetAssocCache::append_canonical(std::vector<u64>& out) const {
     }
     u64 count = 0;
     for (u32 w = 0; w < cfg_.assoc; ++w) {
-      if (base[order[w]].state != LineState::I) ++count;
+      if ((base[order[w]] & 3) != 0) ++count;
     }
     out.push_back(count);
     for (u32 w = 0; w < cfg_.assoc; ++w) {
-      const Way& way = base[order[w]];
-      if (way.state == LineState::I) continue;
-      const u64 line = (way.tag << set_bits_) | set;
-      out.push_back((line << 2) | (static_cast<u64>(way.state) - 1));
+      const u64 way = base[order[w]];
+      if ((way & 3) == 0) continue;
+      const u64 line = ((way >> 2) << set_bits_) | set;
+      out.push_back((line << 2) | ((way & 3) - 1));
     }
   }
 }
@@ -179,10 +164,11 @@ void SetAssocCache::append_canonical(std::vector<u64>& out) const {
 void SetAssocCache::for_each_line(
     const std::function<void(u64, LineState)>& fn) const {
   for (u32 set = 0; set < num_sets_; ++set) {
-    const Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+    const u64* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
     for (u32 w = 0; w < cfg_.assoc; ++w) {
-      if (base[w].state != LineState::I) {
-        fn((base[w].tag << set_bits_) | set, base[w].state);
+      const u64 v = base[w];
+      if ((v & 3) != 0) {
+        fn(((v >> 2) << set_bits_) | set, static_cast<LineState>(v & 3));
       }
     }
   }

@@ -4,6 +4,14 @@
 // addresses are resident and in which coherence state, not the data (the
 // DBMS keeps functional data in host memory).
 //
+// Way storage is a flat structure-of-arrays: each way is one packed u64,
+// `(tag << 2) | state`, with 0 meaning invalid (LineState::I is 0, so the
+// low two bits ARE the MESI state). A set's ways are contiguous, so the
+// lookup hot path — the single most executed loop in the simulator — is a
+// masked compare over one cache line of host memory with no pointer chasing
+// and no per-way padding (the previous {u64, enum} pair padded to 16 bytes;
+// packing halves the footprint and doubles effective tag bandwidth).
+//
 // Replacement bookkeeping is geometry-specialized (all four schemes
 // implement *exactly* true LRU, so results are identical across them):
 //   * assoc == 1 (the V-Class's direct-mapped 2 MB cache): no LRU state at
@@ -19,6 +27,7 @@
 //     in a side array so the hot tag/state array stays compact.
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -51,7 +60,45 @@ class SetAssocCache {
   [[nodiscard]] u32 line_shift() const { return line_shift_; }
 
   /// Look up a line; returns its state or nullopt on miss. Updates LRU.
-  [[nodiscard]] std::optional<LineState> lookup(u64 line_addr);
+  /// Defined inline: this is the innermost probe of every simulated
+  /// reference, and the batched replay fast path needs it folded into the
+  /// caller (set/tag compute, one packed compare per way, conditional
+  /// touch).
+  [[nodiscard]] std::optional<LineState> lookup(u64 line_addr) {
+    const u32 set = set_of(line_addr);
+    const u64 want = tag_of(line_addr) << 2;
+    const u64* base = &ways_[static_cast<std::size_t>(set) * cfg_.assoc];
+    for (u32 w = 0; w < cfg_.assoc; ++w) {
+      const u64 v = base[w];
+      if ((v & 3) != 0 && (v & ~u64{3}) == want) {
+        touch(set, w);
+        return static_cast<LineState>(v & 3);
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// lookup() with the associativity fixed at compile time — the batched
+  /// replay loop dispatches once per batch on the L1 geometry (direct-mapped
+  /// V-Class, 2-way Origin) so the per-reference probe is a fully unrolled
+  /// compare with the LRU touch reduced to nothing (assoc 1) or one store
+  /// (assoc 2). Identical transitions and results to lookup().
+  template <u32 kAssoc>
+  [[nodiscard]] std::optional<LineState> lookup_fixed(u64 line_addr) {
+    static_assert(kAssoc == 1 || kAssoc == 2);
+    assert(cfg_.assoc == kAssoc);
+    const u32 set = set_of(line_addr);
+    const u64 want = tag_of(line_addr) << 2;
+    u64* base = &ways_[static_cast<std::size_t>(set) * kAssoc];
+    for (u32 w = 0; w < kAssoc; ++w) {
+      const u64 v = base[w];
+      if ((v & 3) != 0 && (v & ~u64{3}) == want) {
+        if constexpr (kAssoc == 2) order_[set] = w;
+        return static_cast<LineState>(v & 3);
+      }
+    }
+    return std::nullopt;
+  }
 
   /// Look up without touching LRU (for invariant checks / probes).
   [[nodiscard]] std::optional<LineState> probe(u64 line_addr) const;
@@ -88,17 +135,19 @@ class SetAssocCache {
   /// Replacement scheme, chosen once from the geometry (see file comment).
   enum class Repl : u8 { kNone, kTwoWay, kPacked, kStamp };
 
-  struct Way {
-    u64 tag = 0;
-    LineState state = LineState::I;
-  };
+  /// Packed way word: `(tag << 2) | state`; 0 == invalid.
+  [[nodiscard]] static u64 pack(u64 tag, LineState s) {
+    return (tag << 2) | static_cast<u64>(s);
+  }
 
   [[nodiscard]] u32 set_of(u64 line_addr) const {
     return static_cast<u32>(line_addr & (num_sets_ - 1));
   }
   [[nodiscard]] u64 tag_of(u64 line_addr) const { return line_addr >> set_bits_; }
-  [[nodiscard]] Way* find(u64 line_addr);
-  [[nodiscard]] const Way* find(u64 line_addr) const;
+  /// Packed word of a resident line (nullptr on miss). The pointer is only
+  /// valid until the next insert/invalidate on this cache.
+  [[nodiscard]] u64* find(u64 line_addr);
+  [[nodiscard]] const u64* find(u64 line_addr) const;
 
   /// Promote way `w` of `set` to most-recently-used. Defined inline: it sits
   /// on the lookup hit path, and for the common geometries (assoc 1 and 2)
@@ -141,7 +190,7 @@ class SetAssocCache {
   u32 num_sets_;
   u32 set_bits_;
   u64 resident_ = 0;
-  std::vector<Way> ways_;  ///< num_sets_ * assoc, set-major
+  std::vector<u64> ways_;  ///< packed way words, num_sets_ * assoc, set-major
 
   // --- replacement state (see header comment) ---
   Repl repl_ = Repl::kNone;

@@ -1,0 +1,36 @@
+#include "sim/check/checked_replay.hpp"
+
+#include <cassert>
+#include <memory>
+#include <mutex>
+
+namespace dss::sim::check {
+
+CheckedReplayResult checked_replay_batched(const MachineConfig& cfg,
+                                           const std::vector<TraceRecord>& records,
+                                           ReplayOptions opts,
+                                           CheckerOptions copts) {
+  assert(!opts.on_shard_start && !opts.on_shard_done);
+  CheckedReplayResult out;
+  // One checker per shard, created on the start seam (serial) and swept on
+  // the done seam (the shard's own worker — shards never share a checker,
+  // but the stats fold below is cross-shard, hence the mutex).
+  std::vector<std::unique_ptr<InvariantChecker>> checkers;
+  std::mutex fold_mu;
+  opts.on_shard_start = [&](u32 shard, MachineSim& m) {
+    if (checkers.size() <= shard) checkers.resize(shard + 1);
+    checkers[shard] = std::make_unique<InvariantChecker>(m, copts);
+  };
+  opts.on_shard_done = [&](u32 shard, MachineSim&) {
+    InvariantChecker& c = *checkers[shard];
+    c.full_sweep();
+    const std::lock_guard<std::mutex> lock(fold_mu);
+    out.violations += c.violations().size();
+    out.accesses_observed += c.accesses_observed();
+    out.full_sweeps_run += c.full_sweeps_run();
+  };
+  out.counters = replay_batched(cfg, records, opts, &out.stats);
+  return out;
+}
+
+}  // namespace dss::sim::check

@@ -10,24 +10,25 @@ void Directory::reserve(std::size_t expected_units) {
   entries_.reserve(expected_units);
 }
 
-DirEntry& Directory::entry(u64 unit_addr) { return entries_[unit_addr]; }
+DirEntry& Directory::entry(u64 unit_addr) {
+  return entries_.get_or_insert(unit_addr);
+}
 
 const DirEntry* Directory::probe(u64 unit_addr) const {
-  auto it = entries_.find(unit_addr);
-  return it == entries_.end() ? nullptr : &it->second;
+  return entries_.find(unit_addr);
 }
 
 void Directory::erase_if_uncached(u64 unit_addr) {
-  auto it = entries_.find(unit_addr);
-  if (it != entries_.end() && it->second.state == DirState::Uncached &&
-      !it->second.migratory && !it->second.has_dirty_reader) {
-    entries_.erase(it);
+  const DirEntry* e = entries_.find(unit_addr);
+  if (e != nullptr && e->state == DirState::Uncached && !e->migratory &&
+      !e->has_dirty_reader) {
+    entries_.erase(unit_addr);
   }
 }
 
 void Directory::for_each(
     const std::function<void(u64, const DirEntry&)>& fn) const {
-  for (const auto& [addr, e] : entries_) fn(addr, e);
+  entries_.for_each(fn);
 }
 
 }  // namespace dss::sim

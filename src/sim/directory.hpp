@@ -9,9 +9,9 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
 
 #include "sim/addr.hpp"
+#include "util/flatmap.hpp"
 #include "util/types.hpp"
 
 namespace dss::sim {
@@ -59,7 +59,7 @@ class Directory {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
  private:
-  std::unordered_map<u64, DirEntry> entries_;
+  util::FlatMap<DirEntry> entries_;
 };
 
 }  // namespace dss::sim

@@ -7,12 +7,18 @@ namespace dss::sim {
 Interconnect::Interconnect(const MachineConfig& cfg)
     : uma_(cfg.uma),
       nodes_per_router_(cfg.nodes_per_router == 0 ? 1 : cfg.nodes_per_router),
+      router_shift_(std::has_single_bit(nodes_per_router_)
+                        ? static_cast<u32>(std::countr_zero(nodes_per_router_))
+                        : ~u32{0}),
       net_oneway_(cfg.net_oneway),
       per_hop_(cfg.per_hop),
       off_node_extra_(cfg.off_node_extra),
       line_transfer_(cfg.line_transfer) {}
 
-u32 Interconnect::router_of(u32 node) const { return node / nodes_per_router_; }
+u32 Interconnect::router_of(u32 node) const {
+  return router_shift_ != ~u32{0} ? node >> router_shift_
+                                  : node / nodes_per_router_;
+}
 
 u32 Interconnect::hops(u32 node_a, u32 node_b) const {
   if (uma_) return 0;

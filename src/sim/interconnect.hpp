@@ -34,6 +34,10 @@ class Interconnect {
  private:
   bool uma_;
   u32 nodes_per_router_;
+  /// log2(nodes_per_router_) when it is a power of two (the hardware case),
+  /// else UINT32_MAX — router_of() is two calls per coherence transaction,
+  /// so it shifts instead of dividing whenever the geometry allows.
+  u32 router_shift_;
   u32 net_oneway_;
   u32 per_hop_;
   u32 off_node_extra_;

@@ -28,12 +28,21 @@ MachineSim::MachineSim(const MachineConfig& cfg)
   assert(ll_shift >= l1_shift && "last-level line must be >= L1 line");
   unit_vs_l1_shift_ = ll_shift - l1_shift;
 
+  proc_node_.resize(cfg_.num_processors);
+  for (u32 p = 0; p < cfg_.num_processors; ++p) {
+    proc_node_[p] = p / cfg_.procs_per_node;
+  }
+  num_nodes_ = cfg_.num_nodes();
+
   // The directory can hold at most one entry per simultaneously cached
-  // coherence unit; pre-sizing to the aggregate last-level capacity (capped)
-  // eliminates rehash storms in the access hot loop.
+  // coherence unit (the aggregate last-level capacity). Pre-size for the
+  // common scaled geometries only: the flat map stores entries inline, so an
+  // aggressive reserve would zero megabytes per machine up front (the
+  // sharded replay constructs one machine per shard), while growth beyond
+  // the hint is geometric and amortizes to a small constant per insert.
   const CacheConfig& ll = cfg_.dcache.back();
   const u64 units = (ll.size_bytes / ll.line_bytes) * cfg_.num_processors;
-  dir_.reserve(static_cast<std::size_t>(std::min(units, u64{1} << 20)));
+  dir_.reserve(static_cast<std::size_t>(std::min(units, u64{1} << 14)));
 
   if (cfg_.tlb_entries != 0) {
     // A fully-associative LRU TLB is a one-set cache of page-sized lines.
@@ -102,23 +111,31 @@ void MachineSim::record_ll_miss(perf::Counters& c, perf::MissCause cause,
 u32 MachineSim::home_of(SimAddr addr) const {
   if (cfg_.uma) {
     // The V-Class interleaves memory across EMAC banks at line granularity.
+    // Bank counts are powers of two on real hardware; mask instead of the
+    // integer divide this costs on every last-level miss.
     const u64 unit = addr >> caches_[0].back().line_shift();
-    return static_cast<u32>(unit % cfg_.mem_banks);
+    const u32 banks = cfg_.mem_banks;
+    if ((banks & (banks - 1)) == 0) return static_cast<u32>(unit & (banks - 1));
+    return static_cast<u32>(unit % banks);
   }
   const u64 page = addr / kPlacementPageBytes;
   if (is_private(addr)) {
     // First-touch: a process's private pages live on its own node.
     const u32 owner = private_owner(addr);
-    return node_of_proc(owner % cfg_.num_processors);
+    const u32 np = cfg_.num_processors;
+    const u32 p = (np & (np - 1)) == 0 ? (owner & (np - 1)) : owner % np;
+    return node_of_proc(p);
   }
   if (is_shared(addr) && !cfg_.shared_home_nodes.empty()) {
     // The DBMS shared segment is homed on a small set of nodes; the paper
     // points at exactly this placement to explain the Origin's 6-8 process
     // behaviour.
     return cfg_.shared_home_nodes[page % cfg_.shared_home_nodes.size()] %
-           cfg_.num_nodes();
+           num_nodes_;
   }
-  return static_cast<u32>(page % cfg_.num_nodes());
+  const u32 nn = num_nodes_;
+  if ((nn & (nn - 1)) == 0) return static_cast<u32>(page & (nn - 1));
+  return static_cast<u32>(page % nn);
 }
 
 u64 MachineSim::access(u32 proc, AccessKind kind, SimAddr addr, u32 len,
@@ -179,6 +196,80 @@ u64 MachineSim::access(u32 proc, AccessKind kind, SimAddr addr, u32 len,
   return exposed;
 }
 
+void MachineSim::access_batch(const BatchRef* refs, std::size_t n) {
+  const bool attrib = attrib_;
+  // Any per-reference hook (observer, trace capture, TLB model) forces the
+  // general path so the hook sees every reference; the fold below is exactly
+  // the one sim/batch.cpp's replay loop used to perform inline.
+  const bool plain = obs_ == nullptr && !trace_hook_ && tlbs_.empty();
+  if (!plain) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const BatchRef& r = refs[i];
+      const u64 stall = access(r.proc, static_cast<AccessKind>(r.len_kind & 3),
+                               r.addr, r.len_kind >> 2, 0);
+      perf::Counters& c = ctr(r.proc);
+      c.cycles += stall;
+      if (attrib) c.stack += parts_[r.proc];
+    }
+    return;
+  }
+  // Dispatch once per batch on the L1 associativity so the per-reference
+  // probe is fully unrolled for the two hardware geometries.
+  switch (caches_[0][0].config().assoc) {
+    case 1: batch_plain<1>(refs, n); break;
+    case 2: batch_plain<2>(refs, n); break;
+    default: batch_plain<0>(refs, n); break;
+  }
+}
+
+template <u32 kAssoc>
+void MachineSim::batch_plain(const BatchRef* refs, std::size_t n) {
+  const bool attrib = attrib_;
+  // All L1s share one geometry; hoist the line shift out of the loop.
+  const u32 l1_shift = caches_[0][0].line_shift();
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchRef& r = refs[i];
+    const auto kind = static_cast<AccessKind>(r.len_kind & 3);
+    const u32 len = r.len_kind >> 2;
+    const u64 first = r.addr >> l1_shift;
+    perf::Counters& c = ctr(r.proc);
+    // Inline single-line L1-hit dispatch. Counter identity with access():
+    // a 0-stall hit resets parts_ and returns 0 there, so the fold adds an
+    // all-zero stack — skipping both the reset and the fold changes nothing;
+    // an atomic hit assigns parts_.atomics = penalty after the reset, so the
+    // single-component add below is that whole fold.
+    if (((r.addr + len - 1) >> l1_shift) == first) {
+      SetAssocCache& l1 = caches_[r.proc][0];
+      std::optional<LineState> st;
+      if constexpr (kAssoc == 0) {
+        st = l1.lookup(first);
+      } else {
+        st = l1.lookup_fixed<kAssoc>(first);
+      }
+      if (st.has_value() && (kind == AccessKind::Read || *st == LineState::M)) {
+        switch (kind) {
+          case AccessKind::Read:
+            ++c.loads;
+            continue;
+          case AccessKind::Write:
+            ++c.stores;
+            continue;
+          case AccessKind::Atomic:
+            ++c.atomics;
+            c.cycles += cfg_.atomic_penalty;
+            if (attrib) c.stack.atomics += cfg_.atomic_penalty;
+            continue;
+        }
+      }
+    }
+    // Miss, upgrade, or multi-line reference: full protocol path. The extra
+    // LRU touch from the probe above is idempotent (access() re-probes).
+    const u64 stall = access(r.proc, kind, r.addr, len, 0);
+    c.cycles += stall;
+    if (attrib) c.stack += parts_[r.proc];
+  }
+}
+
 u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
   perf::Counters& c = ctr(proc);
   const bool want_excl = kind != AccessKind::Read;
@@ -229,10 +320,14 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
   }
 
   ++c.l1d_misses;
-  // Classify against pre-fill residency history; a later coherence result
-  // (served by a remote cache) overrides the local classification.
+  // Classify against pre-fill residency history and record the fill in the
+  // same probe (every path below fills l1_line; nothing observes this
+  // processor's history in between, since invalidations never target the
+  // requester). A later coherence result (served by a remote cache)
+  // overrides the local classification.
   const perf::MissCause l1_hist_cause =
-      attrib_ ? hist_[proc][0].classify(l1_line) : perf::MissCause::kCold;
+      attrib_ ? hist_[proc][0].classify_and_fill(l1_line)
+              : perf::MissCause::kCold;
 
   // ---- L2 (Origin only) ----
   if (two_level) {
@@ -240,9 +335,9 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
       const u64 l2_exposed = static_cast<u64>(
           static_cast<double>(ll.config().hit_latency) * cfg_.exposed_l2_frac);
       if (attrib_) {
-        // L1 miss served from the local L2: the local history is the cause.
+        // L1 miss served from the local L2: the local history is the cause
+        // (the fill itself was recorded by classify_and_fill above).
         ++c.l1_miss_causes[l1_hist_cause];
-        hist_[proc][0].note_fill(l1_line);
         parts.l2_hit += l2_exposed;
       }
       if (!want_excl || is_exclusive(*st2)) {
@@ -279,7 +374,8 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
 
   // ---- Coherence-unit transaction ----
   const perf::MissCause ll_hist_cause =
-      attrib_ && two_level ? hist_[proc][1].classify(unit) : l1_hist_cause;
+      attrib_ && two_level ? hist_[proc][1].classify_and_fill(unit)
+                           : l1_hist_cause;
   const GlobalResult g = global_op(proc, want_excl, false, unit, now);
   ++c.mem_requests;
   c.mem_latency_cycles += g.latency;
@@ -292,12 +388,9 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
       l1_cause = ll_cause =
           g.dirty ? perf::MissCause::kCohDirty : perf::MissCause::kCohClean;
     }
+    // Fills for l1_line / unit were recorded by classify_and_fill above.
     ++c.l1_miss_causes[l1_cause];
-    hist_[proc][0].note_fill(l1_line);
-    if (two_level) {
-      ++c.l2_miss_causes[ll_cause];
-      hist_[proc][1].note_fill(unit);
-    }
+    if (two_level) ++c.l2_miss_causes[ll_cause];
     record_ll_miss(c, ll_cause, unit << ll.line_shift());
   }
 

@@ -27,7 +27,6 @@
 #include <functional>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "perf/counters.hpp"
@@ -122,28 +121,52 @@ enum class MemBucket : u8 {
 class LineHist {
  public:
   [[nodiscard]] perf::MissCause classify(u64 line) const {
-    const auto it = blocks_.find(line >> 6);
-    if (it == blocks_.end()) return perf::MissCause::kCold;
+    const auto* b = blocks_.find(line >> 6);
+    if (b == nullptr) return perf::MissCause::kCold;
     const u64 bit = u64{1} << (line & 63);
-    if ((it->second[0] & bit) == 0) return perf::MissCause::kCold;
-    if ((it->second[1] & bit) != 0) return perf::MissCause::kCohInval;
+    if (((*b)[0] & bit) == 0) return perf::MissCause::kCold;
+    if (((*b)[1] & bit) != 0) return perf::MissCause::kCohInval;
     return perf::MissCause::kCapacity;
   }
   void note_fill(u64 line) {
-    auto& b = blocks_[line >> 6];
+    auto& b = blocks_.get_or_insert(line >> 6);
     const u64 bit = u64{1} << (line & 63);
     b[0] |= bit;
     b[1] &= ~bit;
   }
+  /// classify(line) followed by note_fill(line) in a single block probe —
+  /// the miss path always fills the line it just classified, and the two
+  /// calls otherwise hash to the same block twice.
+  [[nodiscard]] perf::MissCause classify_and_fill(u64 line) {
+    auto& b = blocks_.get_or_insert(line >> 6);
+    const u64 bit = u64{1} << (line & 63);
+    perf::MissCause cause = perf::MissCause::kCold;
+    if ((b[0] & bit) != 0) {
+      cause = (b[1] & bit) != 0 ? perf::MissCause::kCohInval
+                                : perf::MissCause::kCapacity;
+    }
+    b[0] |= bit;
+    b[1] &= ~bit;
+    return cause;
+  }
   void note_inval(u64 line) {
-    const auto it = blocks_.find(line >> 6);
-    if (it == blocks_.end()) return;
-    it->second[1] |= u64{1} << (line & 63);
+    auto* b = blocks_.find(line >> 6);
+    if (b == nullptr) return;
+    (*b)[1] |= u64{1} << (line & 63);
   }
 
  private:
   /// [0] = seen bits, [1] = last-removal-was-invalidation bits.
-  std::unordered_map<u64, std::array<u64, 2>> blocks_;
+  util::FlatMap<std::array<u64, 2>> blocks_;
+};
+
+/// One reference of a batched stream (sim/batch.hpp): the access kind is
+/// packed into the low two bits of `len_kind`, the byte length above them.
+/// 16 bytes so a replay plan streams through the hardware prefetcher.
+struct BatchRef {
+  SimAddr addr;
+  u32 proc;
+  u32 len_kind;  ///< (len << 2) | AccessKind
 };
 
 class MachineSim {
@@ -163,9 +186,28 @@ class MachineSim {
   [[nodiscard]] u64 access(u32 proc, AccessKind kind, SimAddr addr, u32 len,
                            u64 now);
 
+  /// Issue a batch of references (at now = 0, the replay convention: no
+  /// component reads absolute time) and fold each reference's stall into the
+  /// attached counters — `cycles += stall` plus, under attribution,
+  /// `stack += stall_parts`. Counters after the call are bit-identical to a
+  /// per-reference access() loop doing the same fold; the batched form
+  /// exists because the per-reference loop pays a CpiStack reset and an
+  /// 11-component fold on every L1 hit, where this dispatches hits inline
+  /// and touches only the counter fields a hit can change. With an
+  /// observer, trace hook, or TLB model active every reference takes the
+  /// general path (identical results, every hook still fires).
+  void access_batch(const BatchRef* refs, std::size_t n);
+
   /// Roll the memory-controller contention estimate; the scheduler calls
   /// this once per lockstep window.
   void begin_epoch(u64 epoch_cycles) { mc_.begin_epoch(epoch_cycles); }
+
+  /// Epoch barrier of the shard-parallel replay core (sim/batch.hpp):
+  /// install the merged per-home request totals of the finished epoch and
+  /// start a new one.
+  void begin_epoch_merged(const std::vector<u32>& merged, u64 epoch_cycles) {
+    mc_.begin_epoch_merged(merged, epoch_cycles);
+  }
 
   /// Observer invoked for every reference (trace capture); nullptr clears.
   using TraceHook = std::function<void(u32, AccessKind, SimAddr, u32)>;
@@ -202,9 +244,9 @@ class MachineSim {
   }
 
   [[nodiscard]] const MachineConfig& config() const { return cfg_; }
-  [[nodiscard]] u32 node_of_proc(u32 proc) const {
-    return proc / cfg_.procs_per_node;
-  }
+  /// Table lookup, not a division: this sits on every coherence transaction
+  /// (requester node, owner node, home placement).
+  [[nodiscard]] u32 node_of_proc(u32 proc) const { return proc_node_[proc]; }
   /// Home (memory bank or node) of the coherence unit containing `addr`.
   [[nodiscard]] u32 home_of(SimAddr addr) const;
 
@@ -255,6 +297,12 @@ class MachineSim {
   /// Per-L1-line reference; returns exposed stall cycles.
   u64 access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now);
 
+  /// Hook-free body of access_batch(), dispatched once per batch on the L1
+  /// associativity (0 = generic probe) so the per-reference L1 probe is
+  /// fully unrolled for the two hardware geometries.
+  template <u32 kAssoc>
+  void batch_plain(const BatchRef* refs, std::size_t n);
+
   [[nodiscard]] perf::Counters& ctr(u32 proc) {
     return counters_[proc] != nullptr ? *counters_[proc] : scratch_;
   }
@@ -292,6 +340,8 @@ class MachineSim {
   std::vector<perf::Counters*> counters_;
   perf::Counters scratch_;  ///< sink for unattached processors
   u32 unit_vs_l1_shift_;    ///< log2(last-level line / L1 line)
+  std::vector<u32> proc_node_;  ///< proc -> node (avoids a per-miss divide)
+  u32 num_nodes_ = 1;           ///< cfg_.num_nodes(), cached
   TraceHook trace_hook_;
   ProtocolObserver* obs_ = nullptr;
   CheckFault fault_ = CheckFault::kNone;

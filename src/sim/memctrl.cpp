@@ -11,13 +11,33 @@ MemCtrl::MemCtrl(u32 num_homes, u32 occupancy, double burst)
       cur_count_(num_homes, 0),
       prev_count_(num_homes, 0),
       requests_(num_homes, 0),
-      queued_(num_homes, 0) {}
+      queued_(num_homes, 0),
+      delay_memo_(num_homes, 0) {
+  recompute_delays();
+}
 
 void MemCtrl::begin_epoch(u64 epoch_cycles) {
   assert(epoch_cycles > 0);
   epoch_cycles_ = epoch_cycles;
   prev_count_ = cur_count_;
   std::fill(cur_count_.begin(), cur_count_.end(), 0);
+  recompute_delays();
+}
+
+void MemCtrl::begin_epoch_merged(const std::vector<u32>& merged,
+                                 u64 epoch_cycles) {
+  assert(epoch_cycles > 0);
+  assert(merged.size() == cur_count_.size());
+  epoch_cycles_ = epoch_cycles;
+  prev_count_ = merged;
+  std::fill(cur_count_.begin(), cur_count_.end(), 0);
+  recompute_delays();
+}
+
+void MemCtrl::recompute_delays() {
+  for (u32 h = 0; h < delay_memo_.size(); ++h) {
+    delay_memo_[h] = queue_delay(h);
+  }
 }
 
 double MemCtrl::utilization(u32 home) const {
@@ -34,16 +54,6 @@ u64 MemCtrl::queue_delay(u32 home) const {
   // clamp above so a saturated home costs ~16x occupancy, not infinity.
   const double rho = utilization(home);
   return static_cast<u64>(rho * occupancy_ / (2.0 * (1.0 - rho)));
-}
-
-u64 MemCtrl::request(u32 home, u64 arrival) {
-  (void)arrival;
-  assert(home < cur_count_.size());
-  ++cur_count_[home];
-  ++requests_[home];
-  const u64 wait = queue_delay(home);
-  queued_[home] += wait;
-  return wait;
 }
 
 void MemCtrl::post(u32 home, u64 arrival) {

@@ -25,9 +25,35 @@ class MemCtrl {
   /// scheduler each lockstep window). Rolls the rate estimate.
   void begin_epoch(u64 epoch_cycles);
 
+  // --- epoch-merge support for the shard-parallel replay core ---
+
+  /// Requests observed so far in the current epoch, per home. The sharded
+  /// replay core reads every shard's counts at the epoch barrier and sums
+  /// them into one merged vector.
+  [[nodiscard]] const std::vector<u32>& epoch_counts() const {
+    return cur_count_;
+  }
+
+  /// Install an externally merged per-home request count as the finished
+  /// epoch's rate estimate and start a new epoch of `epoch_cycles`. Because
+  /// every shard installs the *same* merged totals, queueing estimates in
+  /// the next epoch are identical across shards and independent of the shard
+  /// count — the determinism argument of DESIGN.md's sharded-core section.
+  void begin_epoch_merged(const std::vector<u32>& merged, u64 epoch_cycles);
+
   /// A blocking request at `home`; returns the estimated queueing delay in
-  /// cycles (0 when the home is lightly loaded).
-  [[nodiscard]] u64 request(u32 home, u64 arrival);
+  /// cycles (0 when the home is lightly loaded). The delay is a function of
+  /// the *previous* epoch's rate only, so it is precomputed per home at each
+  /// epoch roll — the per-request cost is two counter bumps and a load, not
+  /// an M/D/1 evaluation (two FP divides) in the miss hot path.
+  [[nodiscard]] u64 request(u32 home, u64 arrival) {
+    (void)arrival;
+    ++cur_count_[home];
+    ++requests_[home];
+    const u64 wait = delay_memo_[home];
+    queued_[home] += wait;
+    return wait;
+  }
 
   /// A posted (non-blocking) request such as a writeback: adds load but
   /// nobody waits for it.
@@ -43,6 +69,9 @@ class MemCtrl {
 
  private:
   [[nodiscard]] u64 queue_delay(u32 home) const;
+  /// Refresh `delay_memo_` from the current rate estimate; called whenever
+  /// `prev_count_` or `epoch_cycles_` changes.
+  void recompute_delays();
 
   u32 occupancy_;
   double burst_;
@@ -51,6 +80,7 @@ class MemCtrl {
   std::vector<u32> prev_count_;  ///< requests in the finished epoch
   std::vector<u64> requests_;
   std::vector<u64> queued_;
+  std::vector<u64> delay_memo_;  ///< queue_delay(home), this epoch
 };
 
 }  // namespace dss::sim

@@ -1,0 +1,123 @@
+#include "sim/refstream.hpp"
+
+#include <cassert>
+
+#include "sim/addr.hpp"
+#include "util/rng.hpp"
+
+namespace dss::sim {
+
+const char* ref_pattern_name(RefPattern p) {
+  switch (p) {
+    case RefPattern::kSeqScan: return "seq_scan";
+    case RefPattern::kHotProbe: return "hot_probe";
+    case RefPattern::kPointerChase: return "pointer_chase";
+    case RefPattern::kPingPong: return "pingpong";
+    case RefPattern::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Alignment for generated addresses: the smallest line size either machine
+/// uses, so a generated reference never straddles an L1 line by accident.
+constexpr u64 kAlign = 32;
+/// Ping-pong contends at coherence-unit granularity on both machines, so its
+/// addresses are aligned to the larger (Origin L2) line size.
+constexpr u64 kUnitAlign = 128;
+/// The hot set must sit inside the smallest L1 the benches run (the Origin's
+/// 32 KB L1 scaled by 1/16 is 2 KB): 1 KB = 32 hot lines.
+constexpr u64 kHotBytes = 1024;
+
+struct GenState {
+  std::vector<u64> cursor;  ///< seq_scan: per-proc streaming offset
+  u64 pair = 0;             ///< pingpong: read/write pair index
+};
+
+TraceRecord emit(RefPattern pat, u32 p, u32 np, u64 i, u64 footprint,
+                 u64 shared_bytes, GenState& st, Rng& rng) {
+  TraceRecord r{};
+  r.proc = p;
+  r.len = 8;
+  switch (pat) {
+    case RefPattern::kSeqScan: {
+      // Streaming reads with a sparse store tail (aggregate updates).
+      r.addr = private_base(p) + (st.cursor[p] % footprint);
+      st.cursor[p] += kAlign;
+      r.kind = static_cast<u8>((i & 31) == 7 ? AccessKind::Write
+                                             : AccessKind::Read);
+      r.instr_gap = 2 + (i & 3);
+      break;
+    }
+    case RefPattern::kHotProbe: {
+      if ((i & 15) != 15) {
+        const u64 off = (rng.next() % kHotBytes) & ~(kAlign - 1);
+        r.addr = private_base(p) + off;
+        r.kind = static_cast<u8>((i & 7) == 3 ? AccessKind::Write
+                                              : AccessKind::Read);
+      } else {
+        r.addr = private_base(p) + ((rng.next() % footprint) & ~(kAlign - 1));
+        r.kind = static_cast<u8>(AccessKind::Read);
+      }
+      r.instr_gap = 3 + (i & 1);
+      break;
+    }
+    case RefPattern::kPointerChase: {
+      // Dependent random walk: every reference lands on a fresh random line,
+      // defeating both the caches and the TLB.
+      r.addr = private_base(p) + ((rng.next() % footprint) & ~(kAlign - 1));
+      r.kind = static_cast<u8>(AccessKind::Read);
+      r.instr_gap = 6;
+      break;
+    }
+    case RefPattern::kPingPong: {
+      // Processors take read-then-write turns over a rotating shared unit:
+      // back-to-back dirty handoffs, the migratory pattern of Section 4.2.3.
+      const u64 k = st.pair++;
+      const u64 units = shared_bytes / kUnitAlign;
+      const u64 unit = (k / (2 * np)) % units;
+      r.addr = kSharedBase + unit * kUnitAlign;
+      const bool write_turn = (k & 1) != 0;
+      if (write_turn) {
+        r.kind = static_cast<u8>((k & 15) == 1 ? AccessKind::Atomic
+                                               : AccessKind::Write);
+      } else {
+        r.kind = static_cast<u8>(AccessKind::Read);
+      }
+      r.instr_gap = 4;
+      break;
+    }
+    case RefPattern::kMixed: {
+      const double roll = rng.uniform01();
+      const RefPattern sub = roll < 0.40   ? RefPattern::kSeqScan
+                             : roll < 0.70 ? RefPattern::kHotProbe
+                             : roll < 0.85 ? RefPattern::kPointerChase
+                                           : RefPattern::kPingPong;
+      return emit(sub, p, np, i, footprint, shared_bytes, st, rng);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<TraceRecord> make_refstream(const RefStreamConfig& cfg) {
+  assert(cfg.nproc >= 1);
+  assert(cfg.footprint_bytes >= kAlign &&
+         cfg.footprint_bytes <= kPrivateStride);
+  assert(cfg.shared_bytes >= kUnitAlign && cfg.shared_bytes <= kSharedSpan);
+  Rng rng(cfg.seed ^ (static_cast<u64>(cfg.pattern) * 0x9E3779B97F4A7C15ULL));
+  GenState st;
+  st.cursor.assign(cfg.nproc, 0);
+  std::vector<TraceRecord> out;
+  out.reserve(cfg.records);
+  for (u64 i = 0; i < cfg.records; ++i) {
+    const u32 p = static_cast<u32>(i % cfg.nproc);
+    out.push_back(emit(cfg.pattern, p, cfg.nproc, i, cfg.footprint_bytes,
+                       cfg.shared_bytes, st, rng));
+  }
+  return out;
+}
+
+}  // namespace dss::sim

@@ -1,0 +1,48 @@
+// Deterministic synthetic reference-stream generation.
+//
+// The batched replay core (sim/batch.hpp) and the BENCH_refstream scoreboard
+// need workloads whose memory behaviour is known by construction, independent
+// of the DBMS layer: streaming scans, cache-resident probes, TLB-hostile
+// pointer chases and producer/consumer ping-pong sharing. Each generator is a
+// pure function of its configuration (xoshiro-seeded), so the same config
+// yields the same stream on every host — the counters a replay produces are
+// then comparable bit-for-bit across shard counts, hosts and versions.
+#pragma once
+
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "util/types.hpp"
+
+namespace dss::sim {
+
+/// Access-pattern archetypes, ordered as presented by BENCH_refstream.
+enum class RefPattern : u8 {
+  kSeqScan = 0,   ///< streaming reads over a private region (Q6-like scan)
+  kHotProbe,      ///< L1-resident hot set with rare cold excursions
+  kPointerChase,  ///< dependent random walk: cache- and TLB-hostile
+  kPingPong,      ///< read+write turns over shared lines (communication)
+  kMixed,         ///< weighted blend of the four above
+};
+inline constexpr u32 kNumRefPatterns = 5;
+
+[[nodiscard]] const char* ref_pattern_name(RefPattern p);
+
+struct RefStreamConfig {
+  RefPattern pattern = RefPattern::kSeqScan;
+  u32 nproc = 4;
+  u64 records = u64{1} << 20;
+  u64 seed = 42;
+  /// Per-process private footprint (seq_scan / pointer_chase / cold side of
+  /// hot_probe). Must not exceed sim::kPrivateStride.
+  u64 footprint_bytes = u64{4} << 20;
+  /// Shared region the ping-pong pattern contends on.
+  u64 shared_bytes = u64{64} << 10;
+};
+
+/// Generate `cfg.records` trace records, round-robin across processors in
+/// issue order. The stream depends only on `cfg` — never on a machine model.
+[[nodiscard]] std::vector<TraceRecord> make_refstream(
+    const RefStreamConfig& cfg);
+
+}  // namespace dss::sim

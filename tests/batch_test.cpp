@@ -1,0 +1,341 @@
+// Tests for the batched, shard-parallel replay core (sim/batch.hpp):
+// equivalence with the legacy serial replay, bit-identity across shard
+// counts (serial and pooled), epoch-merge determinism, shard-geometry
+// limits, and the synthetic reference-stream generators.
+#include <gtest/gtest.h>
+
+#include "perf/counters.hpp"
+#include "sim/batch.hpp"
+#include "sim/check/checked_replay.hpp"
+#include "sim/machine.hpp"
+#include "sim/machine_configs.hpp"
+#include "sim/refstream.hpp"
+#include "sim/trace.hpp"
+#include "util/threadpool.hpp"
+
+namespace dss::sim {
+namespace {
+
+void expect_counters_eq(const perf::Counters& a, const perf::Counters& b,
+                        bool compare_stack, const std::string& where) {
+  SCOPED_TRACE(where);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.spin_cycles, b.spin_cycles);
+  EXPECT_EQ(a.loads, b.loads);
+  EXPECT_EQ(a.stores, b.stores);
+  EXPECT_EQ(a.atomics, b.atomics);
+  EXPECT_EQ(a.l1d_misses, b.l1d_misses);
+  EXPECT_EQ(a.l2d_misses, b.l2d_misses);
+  EXPECT_EQ(a.dirty_misses, b.dirty_misses);
+  EXPECT_EQ(a.cache_interventions, b.cache_interventions);
+  EXPECT_EQ(a.invalidations_recv, b.invalidations_recv);
+  EXPECT_EQ(a.upgrades, b.upgrades);
+  EXPECT_EQ(a.writebacks, b.writebacks);
+  EXPECT_EQ(a.migratory_transfers, b.migratory_transfers);
+  EXPECT_EQ(a.tlb_misses, b.tlb_misses);
+  EXPECT_EQ(a.mem_requests, b.mem_requests);
+  EXPECT_EQ(a.mem_latency_cycles, b.mem_latency_cycles);
+  EXPECT_EQ(a.remote_accesses, b.remote_accesses);
+  EXPECT_EQ(a.l1_miss_causes.by_cause, b.l1_miss_causes.by_cause);
+  EXPECT_EQ(a.l2_miss_causes.by_cause, b.l2_miss_causes.by_cause);
+  EXPECT_EQ(a.obj_misses, b.obj_misses);
+  EXPECT_EQ(a.obj_comm_misses, b.obj_comm_misses);
+  if (compare_stack) {
+    EXPECT_EQ(a.stack.compute, b.stack.compute);
+    EXPECT_EQ(a.stack.spin, b.stack.spin);
+    EXPECT_EQ(a.stack.sched, b.stack.sched);
+    EXPECT_EQ(a.stack.tlb, b.stack.tlb);
+    EXPECT_EQ(a.stack.atomics, b.stack.atomics);
+    EXPECT_EQ(a.stack.l2_hit, b.stack.l2_hit);
+    EXPECT_EQ(a.stack.mem_local, b.stack.mem_local);
+    EXPECT_EQ(a.stack.mem_remote_near, b.stack.mem_remote_near);
+    EXPECT_EQ(a.stack.mem_remote_mid, b.stack.mem_remote_mid);
+    EXPECT_EQ(a.stack.mem_remote_far, b.stack.mem_remote_far);
+    EXPECT_EQ(a.stack.intervention, b.stack.intervention);
+  }
+}
+
+void expect_all_eq(const std::vector<perf::Counters>& a,
+                   const std::vector<perf::Counters>& b, bool compare_stack,
+                   const std::string& where) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    expect_counters_eq(a[p], b[p], compare_stack,
+                       where + " proc=" + std::to_string(p));
+  }
+}
+
+std::vector<TraceRecord> stream(RefPattern pat, u32 nproc = 4,
+                                u64 records = 40'000) {
+  RefStreamConfig rc;
+  rc.pattern = pat;
+  rc.nproc = nproc;
+  rc.records = records;
+  rc.footprint_bytes = u64{256} << 10;
+  return make_refstream(rc);
+}
+
+constexpr RefPattern kAllPatterns[] = {
+    RefPattern::kSeqScan, RefPattern::kHotProbe, RefPattern::kPointerChase,
+    RefPattern::kPingPong, RefPattern::kMixed};
+
+TEST(MaxShards, MatchesCacheGeometry) {
+  // V-Class scaled/16: single-level 128 KB direct-mapped, 32 B lines ->
+  // 4096 sets, no L1 constraint.
+  EXPECT_EQ(max_shards(vclass().scaled(16)), 4096u);
+  // Origin scaled/16: L1 2 KB/32 B 2-way (32 sets), L2 256 KB/128 B 2-way
+  // (1024 sets). A coherence unit spans 4 L1 lines, so only l1_sets >> 2 = 8
+  // distinct L1 set groups exist per unit stride — the limiting term.
+  EXPECT_EQ(max_shards(origin2000().scaled(16)), 8u);
+  // Full-size machines (V-Class 2 MB direct / 32 B; Origin L1 512 sets).
+  EXPECT_EQ(max_shards(vclass()), 65536u);
+  EXPECT_EQ(max_shards(origin2000()), 128u);
+}
+
+TEST(ReplayBatched, MatchesLegacyReplayVclass) {
+  const MachineConfig cfg = vclass().scaled(16);
+  for (RefPattern pat : kAllPatterns) {
+    const auto recs = stream(pat);
+    MachineSim legacy(cfg);
+    const auto want = replay(legacy, recs);
+    const auto got = replay_batched(cfg, recs);
+    // Legacy replay leaves the CPI stack unpopulated; everything else must
+    // match bit-for-bit.
+    expect_all_eq(want, got, /*compare_stack=*/false,
+                  std::string("vclass/") + ref_pattern_name(pat));
+    // The batched path folds every stall into the stack, so I9 holds.
+    for (const perf::Counters& c : got) {
+      EXPECT_EQ(c.stack.total(), c.cycles);
+    }
+  }
+}
+
+TEST(ReplayBatched, MatchesLegacyReplayOrigin) {
+  const MachineConfig cfg = origin2000().scaled(16);
+  for (RefPattern pat : kAllPatterns) {
+    const auto recs = stream(pat);
+    MachineSim legacy(cfg);
+    const auto want = replay(legacy, recs);
+    const auto got = replay_batched(cfg, recs);
+    expect_all_eq(want, got, /*compare_stack=*/false,
+                  std::string("origin/") + ref_pattern_name(pat));
+    for (const perf::Counters& c : got) {
+      EXPECT_EQ(c.stack.total(), c.cycles);
+    }
+  }
+}
+
+TEST(ReplayBatched, BitIdenticalAcrossShardCounts) {
+  for (const MachineConfig& cfg :
+       {vclass().scaled(16), origin2000().scaled(16)}) {
+    for (RefPattern pat : kAllPatterns) {
+      const auto recs = stream(pat);
+      const auto base = replay_batched(cfg, recs);
+      for (u32 shards : {2u, 4u, 8u}) {
+        ReplayOptions opts;
+        opts.shards = shards;
+        ReplayStats st;
+        const auto got = replay_batched(cfg, recs, opts, &st);
+        EXPECT_EQ(st.shards_used, shards);
+        expect_all_eq(base, got, /*compare_stack=*/true,
+                      cfg.name + "/" + ref_pattern_name(pat) + "/shards=" +
+                          std::to_string(shards));
+      }
+    }
+  }
+}
+
+TEST(ReplayBatched, BitIdenticalUnderThreadPool) {
+  ThreadPool pool(4);
+  const MachineConfig cfg = origin2000().scaled(16);
+  const auto recs = stream(RefPattern::kMixed);
+  const auto base = replay_batched(cfg, recs);
+  ReplayOptions opts;
+  opts.shards = 8;
+  opts.pool = &pool;
+  // Several runs: thread interleaving must never leak into the result.
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto got = replay_batched(cfg, recs, opts, nullptr);
+    expect_all_eq(base, got, /*compare_stack=*/true,
+                  "pooled rep=" + std::to_string(rep));
+  }
+}
+
+TEST(ReplayBatched, EpochMergeDeterministicAcrossShards) {
+  ThreadPool pool(4);
+  const MachineConfig cfg = origin2000().scaled(16);
+  const auto recs = stream(RefPattern::kPingPong);
+  ReplayOptions serial_opts;
+  serial_opts.epoch_records = 5000;
+  ReplayStats st1;
+  const auto base = replay_batched(cfg, recs, serial_opts, &st1);
+  EXPECT_EQ(st1.epochs, 8u);
+  // With epochs on, the queueing model engages from epoch 2 onward, so the
+  // totals must differ from the epoch-free run...
+  const auto free_run = replay_batched(cfg, recs);
+  u64 base_cycles = 0, free_cycles = 0;
+  for (const auto& c : base) base_cycles += c.cycles;
+  for (const auto& c : free_run) free_cycles += c.cycles;
+  EXPECT_GT(base_cycles, free_cycles);
+  // ...yet stay bit-identical at every shard count, pooled or not.
+  for (u32 shards : {2u, 8u}) {
+    ReplayOptions opts = serial_opts;
+    opts.shards = shards;
+    opts.pool = &pool;
+    const auto got = replay_batched(cfg, recs, opts, nullptr);
+    expect_all_eq(base, got, /*compare_stack=*/true,
+                  "epoch shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ReplayBatched, ShardCountClampsToGeometry) {
+  const MachineConfig cfg = origin2000().scaled(16);
+  const auto recs = stream(RefPattern::kSeqScan, 4, 4000);
+  ReplayOptions opts;
+  opts.shards = 1u << 20;  // far above max_shards(cfg) == 16
+  ReplayStats st;
+  const auto got = replay_batched(cfg, recs, opts, &st);
+  EXPECT_EQ(st.shards_used, max_shards(cfg));
+  expect_all_eq(replay_batched(cfg, recs), got, /*compare_stack=*/true,
+                "clamped");
+  // Non-power-of-two counts round down.
+  opts.shards = 7;
+  (void)replay_batched(cfg, recs, opts, &st);
+  EXPECT_EQ(st.shards_used, 4u);
+  // 0 behaves as 1.
+  opts.shards = 0;
+  (void)replay_batched(cfg, recs, opts, &st);
+  EXPECT_EQ(st.shards_used, 1u);
+}
+
+TEST(ReplayBatched, AttributionOffMatchesTimingAndStats) {
+  const MachineConfig cfg = origin2000().scaled(16);
+  const auto recs = stream(RefPattern::kMixed);
+  const auto with_attr = replay_batched(cfg, recs);
+  ReplayOptions opts;
+  opts.attribution = false;
+  ReplayStats st_on, st_off;
+  (void)replay_batched(cfg, recs, {}, &st_on);
+  const auto without = replay_batched(cfg, recs, opts, &st_off);
+  ASSERT_EQ(with_attr.size(), without.size());
+  EXPECT_EQ(st_on.records, recs.size());
+  EXPECT_EQ(st_on.line_refs, st_off.line_refs);
+  EXPECT_GT(st_on.line_refs, 0u);
+  for (std::size_t p = 0; p < without.size(); ++p) {
+    // Attribution is observation-only: timing and event counts identical.
+    EXPECT_EQ(with_attr[p].cycles, without[p].cycles);
+    EXPECT_EQ(with_attr[p].l1d_misses, without[p].l1d_misses);
+    EXPECT_EQ(with_attr[p].l2d_misses, without[p].l2d_misses);
+    EXPECT_EQ(with_attr[p].mem_latency_cycles, without[p].mem_latency_cycles);
+    // Off: no causes, no stack.
+    EXPECT_EQ(without[p].l1_miss_causes.total(), 0u);
+    EXPECT_EQ(without[p].stack.total(), 0u);
+  }
+}
+
+TEST(ReplayBatched, ShardHooksSeeEveryShard) {
+  const MachineConfig cfg = vclass().scaled(16);
+  const auto recs = stream(RefPattern::kHotProbe, 4, 8000);
+  ReplayOptions opts;
+  opts.shards = 4;
+  std::vector<u32> started, finished;
+  opts.on_shard_start = [&](u32 s, MachineSim&) { started.push_back(s); };
+  opts.on_shard_done = [&](u32 s, MachineSim&) { finished.push_back(s); };
+  (void)replay_batched(cfg, recs, opts, nullptr);
+  EXPECT_EQ(started, (std::vector<u32>{0, 1, 2, 3}));
+  EXPECT_EQ(finished.size(), 4u);
+}
+
+TEST(ReplayBatched, EmptyStream) {
+  const MachineConfig cfg = vclass().scaled(16);
+  ReplayStats st;
+  const auto got = replay_batched(cfg, {}, {}, &st);
+  ASSERT_EQ(got.size(), cfg.num_processors);
+  for (const auto& c : got) EXPECT_EQ(c.cycles, 0u);
+  EXPECT_EQ(st.records, 0u);
+  EXPECT_EQ(st.shards_used, 1u);
+}
+
+TEST(CheckedReplay, BitIdenticalToUncheckedAtEveryShardCount) {
+  ThreadPool pool(4);
+  // Coherence-heavy pattern on the two-level NUMA machine: the hardest case
+  // for the per-shard checkers (interventions, invalidations, inclusion).
+  const MachineConfig cfg = origin2000().scaled(16);
+  const auto recs = stream(RefPattern::kPingPong, 4, 20'000);
+  const auto plain = replay_batched(cfg, recs);
+  for (u32 shards : {1u, 8u}) {
+    ReplayOptions opts;
+    opts.shards = shards;
+    opts.pool = shards > 1 ? &pool : nullptr;
+    const auto checked = check::checked_replay_batched(cfg, recs, opts);
+    EXPECT_EQ(checked.violations, 0u);
+    EXPECT_GT(checked.accesses_observed, 0u);
+    EXPECT_GT(checked.full_sweeps_run, 0u);  // final sweep per shard
+    expect_all_eq(plain, checked.counters, /*compare_stack=*/true,
+                  "checked shards=" + std::to_string(shards));
+  }
+}
+
+TEST(CheckedReplay, SweepsCoverEveryShardMachine) {
+  const MachineConfig cfg = vclass().scaled(16);
+  const auto recs = stream(RefPattern::kMixed, 4, 20'000);
+  ReplayOptions opts;
+  opts.shards = 4;
+  check::CheckerOptions copts;
+  copts.full_sweep_interval = 1024;
+  const auto checked = check::checked_replay_batched(cfg, recs, opts, copts);
+  EXPECT_EQ(checked.violations, 0u);
+  // Interval sweeps plus the final per-shard sweep.
+  EXPECT_GE(checked.full_sweeps_run, 4u);
+  expect_all_eq(replay_batched(cfg, recs), checked.counters,
+                /*compare_stack=*/true, "checked sweep interval");
+}
+
+TEST(RefStream, DeterministicAndWellFormed) {
+  RefStreamConfig rc;
+  rc.pattern = RefPattern::kMixed;
+  rc.records = 10'000;
+  const auto a = make_refstream(rc);
+  const auto b = make_refstream(rc);
+  ASSERT_EQ(a.size(), rc.records);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].addr, b[i].addr);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].proc, b[i].proc);
+    EXPECT_GT(a[i].len, 0u);
+  }
+  // Different seeds diverge.
+  rc.seed = 43;
+  const auto c = make_refstream(rc);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].addr != c[i].addr) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RefStream, PatternsExerciseDistinctBehaviour) {
+  const MachineConfig cfg = origin2000().scaled(16);
+  // hot_probe should hit nearly always; pointer_chase should miss heavily;
+  // pingpong should generate coherence traffic.
+  const auto hot = replay_batched(cfg, stream(RefPattern::kHotProbe));
+  const auto chase = replay_batched(cfg, stream(RefPattern::kPointerChase));
+  const auto ping = replay_batched(cfg, stream(RefPattern::kPingPong));
+  u64 hot_misses = 0, chase_misses = 0, ping_inval = 0, ping_dirty = 0;
+  for (const auto& c : hot) hot_misses += c.l1d_misses;
+  for (const auto& c : chase) chase_misses += c.l1d_misses;
+  for (const auto& c : ping) {
+    ping_inval += c.invalidations_recv;
+    ping_dirty += c.dirty_misses;
+  }
+  EXPECT_GT(chase_misses, 10 * hot_misses);
+  EXPECT_GT(ping_inval, 0u);
+  EXPECT_GT(ping_dirty, 0u);
+}
+
+}  // namespace
+}  // namespace dss::sim

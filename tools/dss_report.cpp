@@ -6,6 +6,9 @@
 //   dss_report before.json after.json      diff two runs; exit 1 when any
 //                                          metric regressed past --threshold
 //   dss_report --threshold 0.10 a.json b.json
+//   dss_report --perf-threshold 0.15 a.json b.json
+//                                          gate for the higher-is-better
+//                                          refs_per_sec throughput metric
 //
 // Exit codes: 0 clean, 1 regression past threshold, 2 usage/parse/schema
 // error — so CI can gate on "1 means the change is slower, 2 means the
@@ -31,8 +34,9 @@ using dss::util::Json;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--threshold F] [--check-schema] "
-               "[--expect-regression] <run.json> [after.json]\n",
+               "usage: %s [--threshold F] [--perf-threshold F] "
+               "[--check-schema] [--expect-regression] <run.json> "
+               "[after.json]\n",
                argv0);
   return 2;
 }
@@ -115,7 +119,7 @@ void print_run(const Json& doc) {
   }
 }
 
-int print_diff(const DiffReport& rep, double threshold) {
+int print_diff(const DiffReport& rep, const DiffOptions& opts) {
   for (const auto& e : rep.errors) {
     std::fprintf(stderr, "dss_report: %s\n", e.c_str());
   }
@@ -123,22 +127,24 @@ int print_diff(const DiffReport& rep, double threshold) {
 
   std::size_t moved = 0;
   for (const MetricDelta& d : rep.deltas) {
-    if (std::fabs(d.rel) <= threshold) continue;
+    const double gate = d.metric == "refs_per_sec" ? opts.perf_threshold
+                                                   : opts.rel_threshold;
+    if (std::fabs(d.rel) <= gate) continue;
     ++moved;
     std::printf("%-11s %s %s: %.6g -> %.6g (%+.1f%%)\n",
                 d.regression ? "REGRESSION" : "improvement", d.cell.c_str(),
                 d.metric.c_str(), d.before, d.after, 100.0 * d.rel);
   }
-  std::printf("%zu metrics compared, %zu moved past %.0f%%, %zu regressions\n",
-              rep.deltas.size(), moved, 100.0 * threshold,
-              rep.regressions().size());
+  std::printf("%zu metrics compared, %zu moved past threshold, "
+              "%zu regressions\n",
+              rep.deltas.size(), moved, rep.regressions().size());
   return rep.has_regressions() ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  double threshold = DiffOptions{}.rel_threshold;
+  DiffOptions opts;
   bool schema_only = false;
   bool expect_regression = false;  // for tests: invert the regression gate
   std::vector<std::string> files;
@@ -146,7 +152,14 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--threshold") == 0) {
       if (i + 1 >= argc) return usage(argv[0]);
       try {
-        threshold = std::stod(argv[++i]);
+        opts.rel_threshold = std::stod(argv[++i]);
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--perf-threshold") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      try {
+        opts.perf_threshold = std::stod(argv[++i]);
       } catch (const std::exception&) {
         return usage(argv[0]);
       }
@@ -175,10 +188,8 @@ int main(int argc, char** argv) {
     print_run(docs[0]);
     return 0;
   }
-  DiffOptions opts;
-  opts.rel_threshold = threshold;
-  const int rc = print_diff(dss::core::diff_metrics(docs[0], docs[1], opts),
-                            threshold);
+  const int rc =
+      print_diff(dss::core::diff_metrics(docs[0], docs[1], opts), opts);
   if (expect_regression) {
     if (rc == 2) return 2;  // tooling errors still fail the test
     return rc == 1 ? 0 : 1;
