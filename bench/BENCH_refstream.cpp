@@ -49,9 +49,11 @@ double time_replay(const sim::MachineConfig& cfg,
                    std::vector<perf::Counters>& out) {
   double best = 0;
   for (u32 t = 0; t < trials; ++t) {
+    // dss-lint: allow(nondet-clock) wall-clock throughput is this benchmark's product
     const auto t0 = std::chrono::steady_clock::now();
     auto ctr = sim::replay_batched(cfg, recs, opts);
     const std::chrono::duration<double> dt =
+        // dss-lint: allow(nondet-clock) wall-clock throughput is this benchmark's product
         std::chrono::steady_clock::now() - t0;
     const double rate = static_cast<double>(recs.size()) / dt.count();
     if (rate > best) {

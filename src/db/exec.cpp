@@ -263,6 +263,7 @@ void HashGroupBy::update(os::Process& p, const std::string& key,
 std::vector<HashGroupBy::Group> HashGroupBy::sorted_groups() const {
   std::vector<Group> out;
   out.reserve(groups_.size());
+  // dss-lint: allow(unordered-iter) visit order is laundered by the sort below
   for (const auto& [k, a] : groups_) out.push_back(Group{k, a});
   std::sort(out.begin(), out.end(),
             [](const Group& a, const Group& b) { return a.key < b.key; });

@@ -263,6 +263,7 @@ std::vector<perf::Counters> replay_batched(
       for (u32 s = 0; s < S; ++s) {
         machines[s]->begin_epoch_merged(merged, span);
       }
+      if (opts.on_epoch) opts.on_epoch(e + 1);
     }
   }
 

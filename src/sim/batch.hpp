@@ -71,6 +71,11 @@ struct ReplayOptions {
   /// Called for each shard machine after its last reference completes, on
   /// the worker that ran the shard (final checker sweeps).
   std::function<void(u32 shard, MachineSim&)> on_shard_done;
+  /// Called serially at each epoch barrier (after the merge, before the
+  /// next epoch's batches) with the index of the epoch about to run. Never
+  /// called when epoch_records == 0 — there are no barriers. The seam
+  /// sim/check uses to stamp epoch numbers into violation messages.
+  std::function<void(u64 epoch)> on_epoch;
 };
 
 /// Replay statistics (for throughput reporting).

@@ -185,18 +185,20 @@ class SetAssocCache {
   }
   [[nodiscard]] u32 lru_way_stamp(u32 set) const;
 
-  CacheConfig cfg_;
-  u32 line_shift_;
-  u32 num_sets_;
-  u32 set_bits_;
-  u64 resident_ = 0;
-  std::vector<u64> ways_;  ///< packed way words, num_sets_ * assoc, set-major
+  DSS_REPLAY_SAFE CacheConfig cfg_;
+  DSS_REPLAY_SAFE u32 line_shift_;
+  DSS_REPLAY_SAFE u32 num_sets_;
+  DSS_REPLAY_SAFE u32 set_bits_;
+  DSS_SHARD_PARTITIONED u64 resident_ = 0;
+  /// packed way words, num_sets_ * assoc, set-major
+  DSS_SHARD_PARTITIONED std::vector<u64> ways_;
 
   // --- replacement state (see header comment) ---
-  Repl repl_ = Repl::kNone;
-  std::vector<u64> order_;   ///< two-way: MRU way; packed: recency word
-  std::vector<u64> stamps_;  ///< stamp mode: per-way timestamp
-  u64 clock_ = 0;            ///< stamp mode: monotonically increasing source
+  DSS_REPLAY_SAFE Repl repl_ = Repl::kNone;
+  /// two-way: MRU way; packed: recency word
+  DSS_SHARD_PARTITIONED std::vector<u64> order_;
+  DSS_SHARD_PARTITIONED std::vector<u64> stamps_;  ///< stamp mode: per-way timestamp
+  DSS_SHARD_PARTITIONED u64 clock_ = 0;  ///< stamp mode: monotonic source
 };
 
 }  // namespace dss::sim

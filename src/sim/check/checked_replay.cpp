@@ -10,7 +10,7 @@ CheckedReplayResult checked_replay_batched(const MachineConfig& cfg,
                                            const std::vector<TraceRecord>& records,
                                            ReplayOptions opts,
                                            CheckerOptions copts) {
-  assert(!opts.on_shard_start && !opts.on_shard_done);
+  assert(!opts.on_shard_start && !opts.on_shard_done && !opts.on_epoch);
   CheckedReplayResult out;
   // One checker per shard, created on the start seam (serial) and swept on
   // the done seam (the shard's own worker — shards never share a checker,
@@ -19,7 +19,16 @@ CheckedReplayResult checked_replay_batched(const MachineConfig& cfg,
   std::mutex fold_mu;
   opts.on_shard_start = [&](u32 shard, MachineSim& m) {
     if (checkers.size() <= shard) checkers.resize(shard + 1);
-    checkers[shard] = std::make_unique<InvariantChecker>(m, copts);
+    CheckerOptions shard_opts = copts;
+    shard_opts.shard = static_cast<i32>(shard);
+    checkers[shard] = std::make_unique<InvariantChecker>(m, shard_opts);
+  };
+  // Epoch barriers run serially; stamping every checker here means a
+  // violation thrown mid-epoch reports the window it happened in.
+  opts.on_epoch = [&](u64 epoch) {
+    for (auto& c : checkers) {
+      if (c != nullptr) c->set_epoch(epoch);
+    }
   };
   opts.on_shard_done = [&](u32 shard, MachineSim&) {
     InvariantChecker& c = *checkers[shard];

@@ -1,6 +1,7 @@
 #include "sim/check/invariants.hpp"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 #include <unordered_set>
 
@@ -30,6 +31,13 @@ InvariantChecker::~InvariantChecker() {
 }
 
 void InvariantChecker::report(std::string what, u64 unit, u32 proc) {
+  // Under a sharded replay, say which partition and merge window failed —
+  // `--shards N` hides which machine a violation happened on, and the
+  // epoch tells the debugger which window to re-run serially.
+  if (opts_.shard >= 0) {
+    what = "shard " + std::to_string(opts_.shard) + ", epoch " +
+           std::to_string(epoch_) + ": " + what;
+  }
   log_error("invariant checker: ", what, " (unit ", unit, ", proc ", proc,
             ")");
   violations_.push_back({what, unit, proc});
@@ -85,8 +93,20 @@ void InvariantChecker::on_migratory_handoff(u32 requester, u32 owner,
 }
 
 void InvariantChecker::on_violation(const char* what, u64 unit, u32 proc) {
-  // proto_check throws right after this hook; just record the event.
-  violations_.push_back({what, unit, proc});
+  // The machine's proto_check guard throws right after this hook returns.
+  // Standalone, just record the event and let that exception fly. Under a
+  // sharded replay (shard set), throw the shard/epoch-stamped message from
+  // here instead — same exception type, same control flow, but the text
+  // says which partition and merge window to re-run serially.
+  if (opts_.shard < 0) {
+    violations_.push_back({what, unit, proc});
+    return;
+  }
+  const std::string tagged = "shard " + std::to_string(opts_.shard) +
+                             ", epoch " + std::to_string(epoch_) + ": " +
+                             what;
+  violations_.push_back({tagged, unit, proc});
+  throw ProtocolViolation(tagged, unit, proc);
 }
 
 void InvariantChecker::check_unit(u64 unit) {
@@ -220,7 +240,10 @@ void InvariantChecker::full_sweep() {
   // check_unit() on each covers I1-I5 for the whole machine (a unit cached
   // anywhere but unknown to the directory is caught by the Uncached arm,
   // and an orphan L1 subline by the inclusion arm).
-  std::unordered_set<u64> units;
+  // Ordered set: check_unit() runs in unit order so any violation report is
+  // deterministic across runs and standard libraries (dss-lint enforces
+  // this; it used to be an unordered_set).
+  std::set<u64> units;
   m_.directory().for_each(
       [&](u64 unit, const DirEntry&) { units.insert(unit); });
   for (u32 p = 0; p < nproc; ++p) {
@@ -238,6 +261,7 @@ void InvariantChecker::full_sweep() {
   // constructor) and the simulator only ever adds to them.
   bool all_attached = true;
   u64 sum_dirty = 0, sum_interventions = 0, sum_migratory = 0;
+  // dss-lint: allow(pointer-key) membership-only dedup of shared counter blocks; never iterated
   std::unordered_set<const perf::Counters*> seen;
   for (u32 p = 0; p < nproc; ++p) {
     const perf::Counters* c = m_.attached_counters(p);

@@ -53,6 +53,11 @@ struct CheckerOptions {
   /// Throw ProtocolViolation on the first violation (the default). When
   /// false, violations are collected and the run continues.
   bool fail_fast = true;
+  /// Shard this checker's machine belongs to under checked_replay_batched,
+  /// or -1 standalone. A non-negative shard makes every violation message
+  /// carry "shard S, epoch E: " so a failure in a 8-shard replay says which
+  /// partition and which merge window to re-run serially.
+  i32 shard = -1;
 };
 
 class InvariantChecker final : public ProtocolObserver {
@@ -79,6 +84,12 @@ class InvariantChecker final : public ProtocolObserver {
   /// the counter conservation identities (I1-I5, I7-I9).
   void full_sweep();
 
+  /// Advance the replay-epoch counter stamped into violation messages.
+  /// Called from the serial epoch barrier under checked_replay_batched;
+  /// meaningless (and unused) standalone.
+  void set_epoch(u64 epoch) { epoch_ = epoch; }
+  [[nodiscard]] u64 epoch() const { return epoch_; }
+
   [[nodiscard]] const std::vector<Violation>& violations() const {
     return violations_;
   }
@@ -96,6 +107,7 @@ class InvariantChecker final : public ProtocolObserver {
   MachineSim& m_;
   CheckerOptions opts_;
   std::vector<Violation> violations_;
+  u64 epoch_ = 0;
   u64 accesses_ = 0;
   u64 unit_checks_ = 0;
   u64 sweeps_ = 0;

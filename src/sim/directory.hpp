@@ -59,7 +59,7 @@ class Directory {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
  private:
-  util::FlatMap<DirEntry> entries_;
+  DSS_SHARD_PARTITIONED util::FlatMap<DirEntry> entries_;
 };
 
 }  // namespace dss::sim

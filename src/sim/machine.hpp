@@ -138,6 +138,7 @@ class LineHist {
   /// the miss path always fills the line it just classified, and the two
   /// calls otherwise hash to the same block twice.
   [[nodiscard]] perf::MissCause classify_and_fill(u64 line) {
+    // dss-lint: allow(hot-alloc) FlatMap growth amortizes to the first touch of each 64-line region
     auto& b = blocks_.get_or_insert(line >> 6);
     const u64 bit = u64{1} << (line & 63);
     perf::MissCause cause = perf::MissCause::kCold;
@@ -157,7 +158,7 @@ class LineHist {
 
  private:
   /// [0] = seen bits, [1] = last-removal-was-invalidation bits.
-  util::FlatMap<std::array<u64, 2>> blocks_;
+  DSS_SHARD_PARTITIONED util::FlatMap<std::array<u64, 2>> blocks_;
 };
 
 /// One reference of a batched stream (sim/batch.hpp): the access kind is
@@ -331,26 +332,31 @@ class MachineSim {
   void record_ll_miss(perf::Counters& c, perf::MissCause cause,
                       SimAddr byte_addr);
 
-  MachineConfig cfg_;
-  Interconnect net_;
-  Directory dir_;
-  MemCtrl mc_;
-  std::vector<std::vector<SetAssocCache>> caches_;  ///< [proc][level]
-  std::vector<SetAssocCache> tlbs_;                 ///< [proc], optional
-  std::vector<perf::Counters*> counters_;
-  perf::Counters scratch_;  ///< sink for unattached processors
-  u32 unit_vs_l1_shift_;    ///< log2(last-level line / L1 line)
-  std::vector<u32> proc_node_;  ///< proc -> node (avoids a per-miss divide)
-  u32 num_nodes_ = 1;           ///< cfg_.num_nodes(), cached
-  TraceHook trace_hook_;
-  ProtocolObserver* obs_ = nullptr;
-  CheckFault fault_ = CheckFault::kNone;
-  bool attrib_ = true;
-  const AddrClassRegistry* classes_ = nullptr;
+  DSS_REPLAY_SAFE MachineConfig cfg_;
+  DSS_REPLAY_SAFE Interconnect net_;  ///< immutable topology + latencies
+  DSS_SHARD_PARTITIONED Directory dir_;
+  DSS_EPOCH_MERGED MemCtrl mc_;  ///< rate estimates merged at epoch barriers
+  /// [proc][level]
+  DSS_SHARD_PARTITIONED std::vector<std::vector<SetAssocCache>> caches_;
+  /// [proc], optional
+  DSS_SHARD_PARTITIONED std::vector<SetAssocCache> tlbs_;
+  DSS_SHARD_PARTITIONED std::vector<perf::Counters*> counters_;
+  /// sink for unattached processors
+  DSS_SHARD_PARTITIONED perf::Counters scratch_;
+  /// log2(last-level line / L1 line)
+  DSS_REPLAY_SAFE u32 unit_vs_l1_shift_;
+  /// proc -> node (avoids a per-miss divide)
+  DSS_REPLAY_SAFE std::vector<u32> proc_node_;
+  DSS_REPLAY_SAFE u32 num_nodes_ = 1;  ///< cfg_.num_nodes(), cached
+  DSS_REPLAY_SAFE TraceHook trace_hook_;
+  DSS_REPLAY_SAFE ProtocolObserver* obs_ = nullptr;
+  DSS_REPLAY_SAFE CheckFault fault_ = CheckFault::kNone;
+  DSS_REPLAY_SAFE bool attrib_ = true;
+  DSS_REPLAY_SAFE const AddrClassRegistry* classes_ = nullptr;
   /// [proc][level: 0=L1, 1=last level] residency history (attribution).
-  std::vector<std::array<LineHist, 2>> hist_;
+  DSS_SHARD_PARTITIONED std::vector<std::array<LineHist, 2>> hist_;
   /// Per-proc scratch: CPI parts of the access in flight (attribution).
-  std::vector<perf::CpiStack> parts_;
+  DSS_SHARD_PARTITIONED std::vector<perf::CpiStack> parts_;
 };
 
 }  // namespace dss::sim

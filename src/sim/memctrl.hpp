@@ -73,14 +73,17 @@ class MemCtrl {
   /// `prev_count_` or `epoch_cycles_` changes.
   void recompute_delays();
 
-  u32 occupancy_;
-  double burst_;
-  u64 epoch_cycles_ = 20'000;
-  std::vector<u32> cur_count_;   ///< requests seen this epoch
-  std::vector<u32> prev_count_;  ///< requests in the finished epoch
-  std::vector<u64> requests_;
-  std::vector<u64> queued_;
-  std::vector<u64> delay_memo_;  ///< queue_delay(home), this epoch
+  DSS_REPLAY_SAFE u32 occupancy_;
+  DSS_REPLAY_SAFE double burst_;
+  DSS_EPOCH_MERGED u64 epoch_cycles_ = 20'000;
+  /// requests seen this epoch
+  DSS_EPOCH_MERGED std::vector<u32> cur_count_;
+  /// requests in the finished epoch
+  DSS_EPOCH_MERGED std::vector<u32> prev_count_;
+  DSS_EPOCH_MERGED std::vector<u64> requests_;
+  DSS_EPOCH_MERGED std::vector<u64> queued_;
+  /// queue_delay(home), this epoch
+  DSS_EPOCH_MERGED std::vector<u64> delay_memo_;
 };
 
 }  // namespace dss::sim

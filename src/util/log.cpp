@@ -9,6 +9,7 @@ namespace dss {
 namespace {
 
 LogLevel g_level = []() {
+  // dss-lint: allow(nondet-env) log verbosity only; never reaches simulated state or metrics
   const char* env = std::getenv("DSS_LOG");
   if (env == nullptr) return LogLevel::Warn;
   if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;

@@ -1,7 +1,42 @@
-// Common integer aliases used across the project.
+// Common integer aliases used across the project, plus the shard-safety
+// annotation macros checked by tools/dss_lint.
 #pragma once
 
 #include <cstdint>
+
+// --- shard-safety annotations (DESIGN.md §11, tools/dss_lint) ---
+//
+// The shard-parallel replay core (sim/batch.hpp) runs one complete MachineSim
+// per shard and merges results deterministically. That is only sound if every
+// piece of mutable simulator state falls into one of three classes, declared
+// at the definition site and verified statically by `dss_lint` (rules
+// `shard-unsafe` and `annotation-coverage`):
+//
+//   DSS_SHARD_PARTITIONED  Mutable state wholly owned by one shard machine
+//                          (cache ways, directory entries, residency
+//                          histories, attached counters). Two shards never
+//                          touch the same instance, so no synchronization and
+//                          no merge step is needed; the final counter merge
+//                          is a fixed-order integer sum.
+//
+//   DSS_EPOCH_MERGED       Mutable state that is cross-shard coupled but only
+//                          through the epoch barrier (the memory-controller
+//                          rate estimate). Shards accumulate privately within
+//                          an epoch; identical merged totals are installed
+//                          into every shard at the barrier, so intra-epoch
+//                          order and the shard count never matter.
+//
+//   DSS_REPLAY_SAFE        State that is immutable while a replay is in
+//                          flight (geometry, latency tables, configuration,
+//                          mode flags). Reads from any shard are safe; writes
+//                          happen only between replays.
+//
+// The macros expand to nothing — they exist so the analyzer (and the reader)
+// can see the contract in the declaration. Every data member of an annotated
+// class must carry exactly one of them.
+#define DSS_SHARD_PARTITIONED
+#define DSS_EPOCH_MERGED
+#define DSS_REPLAY_SAFE
 
 namespace dss {
 

@@ -247,6 +247,24 @@ TEST(ReplayBatched, ShardHooksSeeEveryShard) {
   EXPECT_EQ(finished.size(), 4u);
 }
 
+TEST(ReplayBatched, OnEpochSeamFiresAtEveryBarrier) {
+  const MachineConfig cfg = vclass().scaled(16);
+  const auto recs = stream(RefPattern::kHotProbe, 4, 8000);
+  ReplayOptions opts;
+  opts.shards = 2;
+  opts.epoch_records = 1000;  // 8 epochs -> 7 barriers
+  std::vector<u64> epochs;
+  opts.on_epoch = [&](u64 e) { epochs.push_back(e); };
+  (void)replay_batched(cfg, recs, opts, nullptr);
+  EXPECT_EQ(epochs, (std::vector<u64>{1, 2, 3, 4, 5, 6, 7}));
+
+  // No barriers when the epoch model is off.
+  opts.epoch_records = 0;
+  epochs.clear();
+  (void)replay_batched(cfg, recs, opts, nullptr);
+  EXPECT_TRUE(epochs.empty());
+}
+
 TEST(ReplayBatched, EmptyStream) {
   const MachineConfig cfg = vclass().scaled(16);
   ReplayStats st;

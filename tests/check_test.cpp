@@ -147,6 +147,51 @@ TEST(InvariantChecker, DetectsInjectedSelfUpgrade) {
             std::string::npos);
 }
 
+// Under a sharded replay, a violation message must say which shard and
+// which merge epoch it happened in (checked_replay sets both through
+// CheckerOptions::shard and set_epoch).
+TEST(InvariantChecker, ViolationMessagesCarryShardAndEpoch) {
+  Rig rig(tiny_numa());
+  check::CheckerOptions opts;
+  opts.shard = 2;
+  check::InvariantChecker chk(rig.m, opts);
+  chk.set_epoch(7);
+  rig.m.set_fault(CheckFault::kSelfUpgrade);
+
+  const SimAddr s0 = kSharedBase;
+  const SimAddr s1 = kSharedBase + 32;
+  rig.read(0, s1);
+  rig.read(1, s1);
+  rig.write(0, s0);
+  try {
+    rig.write(0, s1);
+    FAIL() << "expected ProtocolViolation";
+  } catch (const ProtocolViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("shard 2, epoch 7: "),
+              std::string::npos)
+        << e.what();
+  }
+  ASSERT_FALSE(chk.ok());
+  EXPECT_NE(chk.violations().front().what.find("shard 2, epoch 7: "),
+            std::string::npos);
+}
+
+// Standalone checkers (shard unset) must not grow a prefix — their
+// messages are consumed by tests and scripts that match exact text.
+TEST(InvariantChecker, StandaloneMessagesHaveNoShardPrefix) {
+  Rig rig(tiny_numa());
+  check::InvariantChecker chk(rig.m);
+  rig.m.set_fault(CheckFault::kSelfUpgrade);
+  const SimAddr s0 = kSharedBase;
+  const SimAddr s1 = kSharedBase + 32;
+  rig.read(0, s1);
+  rig.read(1, s1);
+  rig.write(0, s0);
+  EXPECT_THROW(rig.write(0, s1), ProtocolViolation);
+  ASSERT_FALSE(chk.ok());
+  EXPECT_EQ(chk.violations().front().what.find("shard"), std::string::npos);
+}
+
 TEST(InvariantChecker, SameSequenceWithoutFaultIsClean) {
   Rig rig(tiny_numa());
   check::InvariantChecker chk(rig.m);

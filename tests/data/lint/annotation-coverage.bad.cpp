@@ -1,0 +1,9 @@
+// Fixture: once a class carries any shard-safety annotation, every mutable
+// member must declare one — partial coverage is a finding.
+#define DSS_SHARD_PARTITIONED
+
+class Tracker {
+ private:
+  DSS_SHARD_PARTITIONED long hits_ = 0;
+  long misses_ = 0;  // unannotated
+};

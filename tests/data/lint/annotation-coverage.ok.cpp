@@ -1,0 +1,16 @@
+// Fixture: full coverage — every mutable member is annotated, constants
+// are exempt, and unannotated classes are not checked at all.
+#define DSS_SHARD_PARTITIONED
+#define DSS_EPOCH_MERGED
+
+class Tracker {
+ private:
+  DSS_SHARD_PARTITIONED long hits_ = 0;
+  DSS_EPOCH_MERGED long misses_ = 0;
+  static constexpr int kBuckets = 8;  // const: exempt
+};
+
+class Plain {
+ private:
+  long anything_ = 0;  // class has no annotations; not checked
+};

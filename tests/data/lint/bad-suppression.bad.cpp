@@ -1,0 +1,10 @@
+// Fixture: malformed control comments are themselves findings.
+
+// dss-lint: allow(no-such-rule) the rule id does not exist
+int a() { return 1; }
+
+// dss-lint: allow(unordered-iter)
+int b() { return 2; }
+
+// dss-lint: frobnicate(everything) unknown directive
+int c() { return 3; }

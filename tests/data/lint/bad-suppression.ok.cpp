@@ -1,0 +1,16 @@
+// Fixture: a well-formed suppression — known rule, non-empty reason —
+// absorbing a real finding. Clean under the default (non-strict) mode.
+#include <unordered_map>
+
+class Agg {
+ public:
+  int sum() const {
+    int s = 0;
+    // dss-lint: allow(unordered-iter) sum is order-independent
+    for (const auto& [k, v] : totals_) s += v;
+    return s;
+  }
+
+ private:
+  std::unordered_map<int, int> totals_;
+};

@@ -1,0 +1,9 @@
+// dss-lint: treat-as(src/perf/wallclock.cpp)
+// Fixture: the same clock reads are exempt under src/perf/ — host-side
+// measurement is that subtree's purpose.
+#include <chrono>
+
+unsigned long stamp() {
+  return static_cast<unsigned long>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}

@@ -1,0 +1,8 @@
+// Fixture: environment reads outside src/perf/ are findings —
+// configuration must flow through flags so runs reproduce.
+#include <cstdlib>
+
+int scale_override() {
+  const char* env = std::getenv("DSS_SCALE");
+  return env != nullptr ? std::atoi(env) : 0;
+}

@@ -1,0 +1,5 @@
+// dss-lint: treat-as(src/perf/hostinfo.cpp)
+// Fixture: env reads under src/perf/ are exempt (host introspection).
+#include <cstdlib>
+
+const char* host_tag() { return std::getenv("DSS_HOST_TAG"); }

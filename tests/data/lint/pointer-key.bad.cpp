@@ -1,0 +1,11 @@
+// Fixture: ordering or hashing on a pointer value is a finding — addresses
+// differ run to run.
+#include <map>
+#include <unordered_set>
+
+struct Node {
+  int id;
+};
+
+std::map<Node*, int> ranks;
+std::unordered_set<const Node*> visited;

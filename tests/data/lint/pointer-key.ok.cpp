@@ -1,0 +1,13 @@
+// Fixture: value-keyed containers are fine, as are vectors *of* pointers
+// (order comes from insertion, not addresses).
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+struct Node {
+  int id;
+};
+
+std::map<int, int> ranks;
+std::unordered_set<unsigned long> visited;
+std::vector<Node*> order;

@@ -1,0 +1,16 @@
+// Fixture: rendering a pointer value into output is a finding — addresses
+// vary across runs and leak into results.
+#include <cstdint>
+#include <cstdio>
+
+struct Buf {
+  int x;
+};
+
+void debug_dump(const Buf* b) {
+  std::printf("buf at %p\n", static_cast<const void*>(b));
+}
+
+std::uintptr_t as_int(const Buf* b) {
+  return reinterpret_cast<std::uintptr_t>(b);
+}

@@ -1,0 +1,9 @@
+// Fixture: printing values reached *through* a pointer is fine — only the
+// address itself is run-varying.
+#include <cstdio>
+
+struct Buf {
+  int x;
+};
+
+void debug_dump(const Buf* b) { std::printf("buf holds %d\n", b->x); }

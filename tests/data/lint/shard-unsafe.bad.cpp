@@ -1,0 +1,17 @@
+// Fixture: a helper reachable from the shard-replay root `access_batch`
+// writes a member that carries no shard-safety annotation.
+#define DSS_SHARD_PARTITIONED
+#define DSS_REPLAY_SAFE
+
+class MiniSim {
+ public:
+  void access_batch(int n) {
+    for (int i = 0; i < n; ++i) service_miss(i);
+  }
+
+ private:
+  void service_miss(int addr) { pending_ = addr; }
+
+  DSS_SHARD_PARTITIONED long resident_ = 0;
+  long pending_ = 0;  // unannotated, touched on the replay path
+};

@@ -1,0 +1,20 @@
+// Fixture: every member touched on the replay path declares its shard
+// class, so reachability finds nothing.
+#define DSS_SHARD_PARTITIONED
+#define DSS_EPOCH_MERGED
+
+class MiniSim {
+ public:
+  void access_batch(int n) {
+    for (int i = 0; i < n; ++i) service_miss(i);
+  }
+
+ private:
+  void service_miss(int addr) {
+    pending_ = addr;
+    ++requests_;
+  }
+
+  DSS_SHARD_PARTITIONED long pending_ = 0;
+  DSS_EPOCH_MERGED long requests_ = 0;
+};

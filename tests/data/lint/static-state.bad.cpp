@@ -1,0 +1,11 @@
+// dss-lint: treat-as(src/sim/widget.cpp)
+// Fixture: mutable static state in src/sim/ is a finding — it is shared
+// across shard machines and trials.
+
+static unsigned long g_calls = 0;
+
+unsigned long bump() {
+  thread_local unsigned long local_calls = 0;
+  ++local_calls;
+  return ++g_calls;
+}

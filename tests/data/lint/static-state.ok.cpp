@@ -1,0 +1,7 @@
+// dss-lint: treat-as(src/sim/widget.cpp)
+// Fixture: immutable statics are fine — constants cannot couple shards.
+
+static const unsigned long kTableSize = 64;
+static constexpr int kWays = 4;
+
+unsigned long table_bytes() { return kTableSize * sizeof(int) * kWays; }

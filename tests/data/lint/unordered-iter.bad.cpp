@@ -1,0 +1,16 @@
+// Fixture: iterating an unordered container must be flagged — the visit
+// order feeds the output vector.
+#include <unordered_map>
+#include <vector>
+
+class GroupAgg {
+ public:
+  std::vector<int> dump() const {
+    std::vector<int> out;
+    for (const auto& [k, v] : totals_) out.push_back(v);
+    return out;
+  }
+
+ private:
+  std::unordered_map<int, int> totals_;
+};

@@ -1,0 +1,22 @@
+// Fixture: ordered iteration and unordered point-lookups are both fine;
+// only *iterating* an unordered container is a finding.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+class GroupAgg {
+ public:
+  std::vector<int> dump() const {
+    std::vector<int> out;
+    for (const auto& [k, v] : totals_) out.push_back(v);
+    return out;
+  }
+  int lookup(int k) const {
+    const auto it = memo_.find(k);
+    return it == memo_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<int, int> totals_;
+  std::unordered_map<int, int> memo_;  // never iterated
+};

@@ -1,8 +1,12 @@
 // Unit tests for util: RNG determinism, statistics, tables, units.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <sstream>
+#include <vector>
 
+#include "util/flatmap.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -165,6 +169,89 @@ TEST(Units, HumanBytes) {
   EXPECT_EQ(human_bytes(2 * MiB), "2 MiB");
   EXPECT_EQ(human_bytes(32 * KiB), "32 KiB");
   EXPECT_EQ(human_bytes(100), "100 B");
+}
+
+// Mirrors FlatMap::index_of for a capacity-16 table so the test can place
+// keys into chosen home slots.
+std::size_t flatmap_home16(u64 key) {
+  return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 32) & 15;
+}
+
+TEST(FlatMap, BackwardShiftEraseAcrossWraparound) {
+  // Build a probe cluster that wraps the end of a capacity-16 table: five
+  // keys homing into slots 14-15 spill over to slots 0+. Fill the rest of
+  // the table to 14/16 entries — just under the 7/8 growth threshold — so
+  // erase() runs at the highest load factor the map allows.
+  std::vector<u64> tail;
+  std::vector<u64> filler;
+  for (u64 k = 1; tail.size() < 5 || filler.size() < 9; ++k) {
+    if (flatmap_home16(k) >= 14) {
+      if (tail.size() < 5) tail.push_back(k);
+    } else if (filler.size() < 9) {
+      filler.push_back(k);
+    }
+  }
+  util::FlatMap<u64> m;
+  for (u64 k : tail) m.get_or_insert(k) = k * 10;
+  for (u64 k : filler) m.get_or_insert(k) = k * 10;
+  ASSERT_EQ(m.size(), 14u);
+
+  // Erase the head of the wrapped cluster: backward-shift must pull the
+  // spilled-over entries back across the 15 -> 0 boundary without losing
+  // any chain, then every surviving key must still probe home.
+  auto check_all = [&](const std::vector<u64>& gone) {
+    for (u64 k : tail) {
+      const bool erased =
+          std::find(gone.begin(), gone.end(), k) != gone.end();
+      const u64* v = m.find(k);
+      if (erased) {
+        EXPECT_EQ(v, nullptr) << "key " << k;
+      } else {
+        ASSERT_NE(v, nullptr) << "key " << k;
+        EXPECT_EQ(*v, k * 10);
+      }
+    }
+    for (u64 k : filler) {
+      ASSERT_NE(m.find(k), nullptr) << "key " << k;
+      EXPECT_EQ(*m.find(k), k * 10);
+    }
+  };
+  std::vector<u64> gone;
+  for (u64 k : tail) {
+    gone.push_back(k);
+    m.erase(k);
+    check_all(gone);
+  }
+  EXPECT_EQ(m.size(), filler.size());
+}
+
+TEST(FlatMap, EraseTortureMatchesReferenceMap) {
+  // Deterministic insert/erase storm compared against std::map, sized to
+  // keep the table near max load so backward-shift runs constantly.
+  util::FlatMap<u64> m;
+  std::map<u64, u64> ref;
+  Rng rng(2026);
+  for (int step = 0; step < 20'000; ++step) {
+    const u64 key = static_cast<u64>(rng.uniform(0, 200));
+    if (ref.size() > 150 || (ref.count(key) != 0 && rng.uniform(0, 1) == 0)) {
+      m.erase(key);
+      ref.erase(key);
+    } else {
+      m.get_or_insert(key) = key + 7;
+      ref[key] = key + 7;
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(m.find(k), nullptr);
+    EXPECT_EQ(*m.find(k), v);
+  }
+  u64 visited = 0;
+  m.for_each([&](u64 k, u64 v) {
+    ++visited;
+    EXPECT_EQ(ref.at(k), v);
+  });
+  EXPECT_EQ(visited, ref.size());
 }
 
 }  // namespace

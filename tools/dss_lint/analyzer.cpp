@@ -1,0 +1,183 @@
+#include "dss_lint/analyzer.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "dss_lint/lexer.hpp"
+
+namespace dss::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[nodiscard]] bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+[[nodiscard]] std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + p.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Path relative to root if the file lives under it, else as given.
+/// Always uses '/' separators so reports and suppression matching are
+/// platform-stable.
+[[nodiscard]] std::string relativize(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path canon = fs::weakly_canonical(p, ec);
+  const fs::path canon_root = fs::weakly_canonical(root, ec);
+  fs::path rel = canon.lexically_relative(canon_root);
+  if (rel.empty() || *rel.begin() == "..") rel = p;
+  return rel.generic_string();
+}
+
+/// Resolve a quoted include target against the repo's include roots.
+[[nodiscard]] fs::path resolve_include(const std::string& target,
+                                       const fs::path& root,
+                                       const fs::path& including_dir) {
+  const fs::path candidates[] = {
+      including_dir / target, root / "src" / target, root / "tools" / target,
+      root / target,          root / "tests" / target,
+  };
+  for (const fs::path& c : candidates) {
+    std::error_code ec;
+    if (fs::is_regular_file(c, ec)) return c;
+  }
+  return {};
+}
+
+void json_escape(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* kHex = "0123456789abcdef";
+          out << "\\u00" << kHex[(c >> 4) & 0xF] << kHex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void json_str(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  json_escape(out, s);
+  out << '"';
+}
+
+}  // namespace
+
+AnalysisResult run_driver(const DriverOptions& opts) {
+  const fs::path root = opts.root;
+
+  // Expand inputs to a sorted, duplicate-free file list. std::set keeps the
+  // scan order independent of directory-entry order on disk.
+  std::set<fs::path> paths;
+  for (const std::string& input : opts.inputs) {
+    const fs::path p = input;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && lintable_extension(entry.path())) {
+          paths.insert(fs::weakly_canonical(entry.path(), ec));
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      paths.insert(fs::weakly_canonical(p, ec));
+    } else {
+      throw std::runtime_error("no such file or directory: " + input);
+    }
+  }
+
+  // Lex + parse, following quoted includes if asked. The worklist is a
+  // sorted set too, so closure order is deterministic.
+  std::vector<FileModel> models;
+  std::set<fs::path> seen = paths;
+  std::vector<fs::path> work(paths.begin(), paths.end());
+  while (!work.empty()) {
+    const fs::path p = work.front();
+    work.erase(work.begin());
+    FileModel fm = build_model(relativize(p, root), lex(read_file(p)));
+    if (opts.follow_includes) {
+      for (const Include& inc : fm.includes) {
+        if (!inc.quoted) continue;
+        const fs::path target =
+            resolve_include(inc.target, root, p.parent_path());
+        if (target.empty()) continue;
+        std::error_code ec;
+        const fs::path canon = fs::weakly_canonical(target, ec);
+        if (seen.insert(canon).second) work.push_back(canon);
+      }
+    }
+    models.push_back(std::move(fm));
+  }
+  std::sort(models.begin(), models.end(),
+            [](const FileModel& a, const FileModel& b) {
+              return a.path < b.path;
+            });
+  return analyze(models, opts.analysis);
+}
+
+std::string format_text(const AnalysisResult& r) {
+  std::ostringstream out;
+  for (const Finding& f : r.findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  out << "dss_lint: " << r.files_scanned << " file(s), "
+      << r.findings.size() << " finding(s), " << r.suppressed.size()
+      << " suppressed\n";
+  return out.str();
+}
+
+std::string format_json(const AnalysisResult& r) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"tool\": \"dss_lint\",\n";
+  out << "  \"files_scanned\": " << r.files_scanned << ",\n";
+  out << "  \"finding_count\": " << r.findings.size() << ",\n";
+  out << "  \"suppressed_count\": " << r.suppressed.size() << ",\n";
+  out << "  \"findings\": [";
+  for (std::size_t i = 0; i < r.findings.size(); ++i) {
+    const Finding& f = r.findings[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"rule\": ";
+    json_str(out, f.rule);
+    out << ", \"file\": ";
+    json_str(out, f.file);
+    out << ", \"line\": " << f.line << ", \"message\": ";
+    json_str(out, f.message);
+    out << "}";
+  }
+  out << (r.findings.empty() ? "]" : "\n  ]") << ",\n";
+  out << "  \"suppressions\": [";
+  for (std::size_t i = 0; i < r.suppressions.size(); ++i) {
+    const SuppressionRecord& s = r.suppressions[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"rule\": ";
+    json_str(out, s.rule);
+    out << ", \"file\": ";
+    json_str(out, s.file);
+    out << ", \"line\": " << s.line << ", \"hits\": " << s.hits
+        << ", \"reason\": ";
+    json_str(out, s.reason);
+    out << "}";
+  }
+  out << (r.suppressions.empty() ? "]" : "\n  ]") << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace dss::lint

@@ -1,0 +1,33 @@
+// Driver layer for dss_lint: path expansion, include-graph closure, and
+// text/JSON report formatting. Everything below `analyze()` itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dss_lint/rules.hpp"
+
+namespace dss::lint {
+
+struct DriverOptions {
+  /// Files or directories to scan (directories recurse over .hpp/.cpp/.h).
+  std::vector<std::string> inputs;
+  /// Root the reported paths are made relative to (usually the repo root).
+  std::string root = ".";
+  /// Follow quoted #include edges from the inputs into files under root.
+  bool follow_includes = false;
+  AnalysisOptions analysis;
+};
+
+/// Expand inputs, lex+parse each file, run the rules.
+/// Throws std::runtime_error on unreadable input paths.
+[[nodiscard]] AnalysisResult run_driver(const DriverOptions& opts);
+
+/// Human-readable report (one line per finding, summary trailer).
+[[nodiscard]] std::string format_text(const AnalysisResult& r);
+
+/// Machine-readable report. Same shape conventions as tools/dss_report:
+/// a single top-level object, stable key order, LF line endings.
+[[nodiscard]] std::string format_json(const AnalysisResult& r);
+
+}  // namespace dss::lint

@@ -1,0 +1,272 @@
+#include "dss_lint/lexer.hpp"
+
+#include <cctype>
+
+namespace dss::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character punctuators that matter to the parse layer (`::` for
+/// qualified names, `->` for member access) or that would otherwise be
+/// mis-split into operators the rule layer pattern-matches on (`<<` must not
+/// read as two template-openers). Longest match first.
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",  ".*",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  LexedFile run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;  // line continuation
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (ident_start(c)) {
+        ident();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_lit();
+        continue;
+      }
+      if (c == '\'') {
+        char_lit();
+        continue;
+      }
+      punct();
+    }
+    out_.tokens.push_back(Token{TokKind::kEof, "", line_});
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(TokKind kind, std::string text, u32 line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void line_comment() {
+    const u32 line = line_;
+    pos_ += 2;
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    out_.comments.push_back(
+        Comment{src_.substr(start, pos_ - start), line, true});
+  }
+
+  void block_comment() {
+    const u32 line = line_;
+    pos_ += 2;
+    const std::size_t start = pos_;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        end = pos_;
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    out_.comments.push_back(Comment{src_.substr(start, end - start), line,
+                                    false});
+  }
+
+  /// Preprocessor directive: record #include targets, skip the rest of the
+  /// (continuation-joined) line. Comments inside directives still land in
+  /// the comment stream.
+  void directive() {
+    const u32 line = line_;
+    ++pos_;  // '#'
+    while (pos_ < src_.size() &&
+           (src_[pos_] == ' ' || src_[pos_] == '\t')) {
+      ++pos_;
+    }
+    std::size_t word_start = pos_;
+    while (pos_ < src_.size() && ident_cont(src_[pos_])) ++pos_;
+    const std::string word = src_.substr(word_start, pos_ - word_start);
+    if (word == "include") {
+      while (pos_ < src_.size() &&
+             (src_[pos_] == ' ' || src_[pos_] == '\t')) {
+        ++pos_;
+      }
+      if (pos_ < src_.size() && (src_[pos_] == '"' || src_[pos_] == '<')) {
+        const char close = src_[pos_] == '"' ? '"' : '>';
+        const bool quoted = close == '"';
+        ++pos_;
+        const std::size_t start = pos_;
+        while (pos_ < src_.size() && src_[pos_] != close &&
+               src_[pos_] != '\n') {
+          ++pos_;
+        }
+        out_.includes.push_back(
+            Include{src_.substr(start, pos_ - start), line, quoted});
+      }
+    }
+    // Skip to end of line, honouring continuations and stripping comments.
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && peek(1) == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '/' && peek(1) == '/') {
+        line_comment();
+        return;  // line comment consumed the rest of the line
+      }
+      if (src_[pos_] == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      ++pos_;
+    }
+  }
+
+  void ident() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && ident_cont(src_[pos_])) ++pos_;
+    std::string text = src_.substr(start, pos_ - start);
+    // Raw string literal: R"delim( ... )delim"
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+         text == "LR")) {
+      raw_string();
+      return;
+    }
+    emit(TokKind::kIdent, std::move(text), line_);
+  }
+
+  void raw_string() {
+    const u32 line = line_;
+    ++pos_;  // '"'
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    if (pos_ < src_.size()) ++pos_;  // '('
+    const std::string close = ")" + delim + "\"";
+    const std::size_t start = pos_;
+    const std::size_t found = src_.find(close, pos_);
+    const std::size_t end = found == std::string::npos ? src_.size() : found;
+    for (std::size_t i = start; i < end; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    pos_ = found == std::string::npos ? src_.size() : found + close.size();
+    emit(TokKind::kString, src_.substr(start, end - start), line);
+  }
+
+  void number() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_cont(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      // Exponent sign: 1e-5, 0x1p+3
+      if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokKind::kNumber, src_.substr(start, pos_ - start), line_);
+  }
+
+  void string_lit() {
+    const u32 line = line_;
+    ++pos_;
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    emit(TokKind::kString, src_.substr(start, pos_ - start), line);
+    if (pos_ < src_.size()) ++pos_;
+  }
+
+  void char_lit() {
+    const u32 line = line_;
+    ++pos_;
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      if (src_[pos_] == '\n') break;  // stray quote, not a literal
+      ++pos_;
+    }
+    emit(TokKind::kChar, src_.substr(start, pos_ - start), line);
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+  }
+
+  void punct() {
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (src_.compare(pos_, len, p) == 0) {
+        emit(TokKind::kPunct, p, line_);
+        pos_ += len;
+        return;
+      }
+    }
+    emit(TokKind::kPunct, std::string(1, src_[pos_]), line_);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  u32 line_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& source) { return Lexer(source).run(); }
+
+}  // namespace dss::lint

@@ -1,0 +1,65 @@
+// Lightweight C++ lexer for dss_lint (tools/dss_lint).
+//
+// Tokenizes a translation unit far enough for project-rule linting: it
+// understands identifiers, numbers, string/char literals (including raw
+// strings), multi-character punctuators, and line/block comments. Comments
+// are not tokens — they are collected separately with line numbers so the
+// suppression layer (`// dss-lint: allow(<rule>) <reason>`) can be applied
+// to the token stream without the parser tripping over prose. Preprocessor
+// directives are likewise side-channelled: `#include` targets feed the
+// include graph, everything else is skipped to end-of-line.
+//
+// This is deliberately NOT a conforming C++ lexer (no trigraphs, no
+// universal-character-names); it is exact for the code style this repo
+// enforces, which is all dss_lint analyzes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dss::lint {
+
+enum class TokKind : u8 {
+  kIdent,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  u32 line = 0;
+};
+
+/// A comment, kept out-of-band for the suppression layer.
+struct Comment {
+  std::string text;  ///< body without the // or /* */ delimiters
+  u32 line = 0;      ///< line the comment starts on
+  bool line_comment = false;
+};
+
+/// An #include directive.
+struct Include {
+  std::string target;  ///< path between the quotes/brackets
+  u32 line = 0;
+  bool quoted = false;  ///< "..." (project include) vs <...> (system)
+};
+
+/// Result of lexing one file.
+struct LexedFile {
+  std::vector<Token> tokens;  ///< terminated by a kEof token
+  std::vector<Comment> comments;
+  std::vector<Include> includes;
+};
+
+/// Lex `source`. Never throws on malformed input: an unterminated literal
+/// or comment is closed at end-of-file (linting must degrade gracefully on
+/// code the compiler would reject — fixtures exercise this).
+[[nodiscard]] LexedFile lex(const std::string& source);
+
+}  // namespace dss::lint

@@ -1,0 +1,110 @@
+// dss_lint — project-specific static analyzer enforcing the determinism
+// and shard-safety contracts (DESIGN.md §11).
+//
+//   dss_lint src tools bench              lint these trees
+//   dss_lint --json src                   machine-readable report
+//   dss_lint --list-rules                 print every rule id + summary
+//   dss_lint --rule unordered-iter src    restrict to one rule
+//   dss_lint --root /path/to/repo src     make reported paths repo-relative
+//   dss_lint --follow-includes f.cpp      close over quoted #includes
+//   dss_lint --strict-suppressions src    stale allow() comments are findings
+//   dss_lint --expect-findings f.cpp      invert exit code (fixture tests)
+//
+// Exit codes match tools/dss_report: 0 clean, 1 findings, 2 usage/IO
+// error — CI gates on "1 means the code violates a contract, 2 means the
+// tooling is broken".
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dss_lint/analyzer.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--list-rules] [--rule ID]... "
+               "[--root DIR] [--follow-includes] [--strict-suppressions] "
+               "[--expect-findings] <file-or-dir>...\n",
+               argv0);
+  return 2;
+}
+
+int list_rules(bool json) {
+  if (json) {
+    std::printf("{\n  \"tool\": \"dss_lint\",\n  \"rules\": [");
+    bool first = true;
+    for (const dss::lint::Rule& r : dss::lint::all_rules()) {
+      std::printf("%s\n    {\"id\": \"%s\", \"summary\": \"%s\"}",
+                  first ? "" : ",", r.id.c_str(), r.summary.c_str());
+      first = false;
+    }
+    std::printf("\n  ]\n}\n");
+  } else {
+    for (const dss::lint::Rule& r : dss::lint::all_rules()) {
+      std::printf("%-20s %s\n", r.id.c_str(), r.summary.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dss::lint::DriverOptions opts;
+  bool json = false;
+  bool want_list = false;
+  bool expect_findings = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      want_list = true;
+    } else if (arg == "--rule") {
+      if (++i >= argc) return usage(argv[0]);
+      if (!dss::lint::known_rule(argv[i])) {
+        std::fprintf(stderr, "dss_lint: unknown rule `%s`\n", argv[i]);
+        return 2;
+      }
+      opts.analysis.only_rules.emplace_back(argv[i]);
+    } else if (arg == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      opts.root = argv[i];
+    } else if (arg == "--follow-includes") {
+      opts.follow_includes = true;
+    } else if (arg == "--strict-suppressions") {
+      opts.analysis.strict_suppressions = true;
+    } else if (arg == "--expect-findings") {
+      expect_findings = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "dss_lint: unknown flag %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      opts.inputs.push_back(arg);
+    }
+  }
+  if (want_list) return list_rules(json);
+  if (opts.inputs.empty()) return usage(argv[0]);
+
+  dss::lint::AnalysisResult result;
+  try {
+    result = dss::lint::run_driver(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dss_lint: %s\n", e.what());
+    return 2;
+  }
+  std::fputs((json ? dss::lint::format_json(result)
+                   : dss::lint::format_text(result))
+                 .c_str(),
+             stdout);
+  const bool clean = result.findings.empty();
+  if (expect_findings) return clean ? 1 : 0;
+  return clean ? 0 : 1;
+}

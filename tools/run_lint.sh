@@ -1,0 +1,81 @@
+#!/bin/sh
+# run_lint.sh — the repo's whole static-analysis gate in one command:
+# clang-tidy (when installed) over the compilation database, then dss_lint
+# over src/, tools/ and bench/.
+#
+#   tools/run_lint.sh                 lint the tree (exit 1 on any finding)
+#   tools/run_lint.sh --strict        also fail on stale allow() comments
+#   tools/run_lint.sh --selfcheck     prove the gate catches a seeded
+#                                     determinism violation (used by CI)
+#
+# Builds into build-lint/ by default; set DSS_LINT_BUILD_DIR to reuse an
+# existing configured build tree (it must have CMAKE_EXPORT_COMPILE_COMMANDS,
+# which the top-level CMakeLists.txt always sets).
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${DSS_LINT_BUILD_DIR:-"$repo/build-lint"}
+strict=""
+selfcheck=0
+for arg in "$@"; do
+  case "$arg" in
+    --strict) strict="--strict-suppressions" ;;
+    --selfcheck) selfcheck=1 ;;
+    *) echo "usage: $0 [--strict] [--selfcheck]" >&2; exit 2 ;;
+  esac
+done
+
+if [ ! -f "$build/CMakeCache.txt" ]; then
+  cmake -B "$build" -S "$repo" >/dev/null
+fi
+cmake --build "$build" --target dss_lint -j"$(nproc)" >/dev/null
+lint="$build/tools/dss_lint"
+
+if [ "$selfcheck" = 1 ]; then
+  # Seed an unordered-iteration-feeding-output violation into a copy of one
+  # source file and require dss_lint to catch it — the lint-layer analogue
+  # of protocol_mc's --inject self-upgrade --expect-violation test. Guards
+  # against the gate rotting into a silent pass.
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  cat > "$tmp/seeded.cpp" <<'EOF'
+#include <unordered_map>
+class Exporter {
+  std::unordered_map<int, double> cells_;
+  void dump() {
+    for (const auto& [k, v] : cells_) emit(k, v);
+  }
+  void emit(int k, double v);
+};
+EOF
+  if "$lint" --root "$repo" "$tmp/seeded.cpp" >/dev/null 2>&1; then
+    echo "run_lint.sh: SELFCHECK FAILED — seeded violation not detected" >&2
+    exit 1
+  fi
+  # And the same file with the violation removed must pass.
+  sed 's/unordered_map/map/; s/<unordered_map>/<map>/' \
+    "$tmp/seeded.cpp" > "$tmp/clean.cpp"
+  if ! "$lint" --root "$repo" "$tmp/clean.cpp" >/dev/null 2>&1; then
+    echo "run_lint.sh: SELFCHECK FAILED — clean file reported findings" >&2
+    exit 1
+  fi
+  echo "run_lint.sh: selfcheck ok (seeded violation detected, clean pass clean)"
+fi
+
+status=0
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy =="
+  run-clang-tidy -p "$build" -quiet \
+    "$repo/src/.*\.cpp" "$repo/tools/.*\.cpp" \
+    "$repo/bench/.*\.cpp" "$repo/tests/.*\.cpp" || status=1
+else
+  echo "== clang-tidy: not installed, skipped (CI runs it) =="
+fi
+
+echo "== dss_lint =="
+# shellcheck disable=SC2086  # $strict is intentionally word-split
+"$lint" --root "$repo" $strict "$repo/src" "$repo/tools" "$repo/bench" \
+  || status=1
+
+exit $status
