@@ -16,7 +16,9 @@
 // --jobs. The record count per stream is fixed (not a flag) so runs are
 // comparable across invocations by construction.
 #include <chrono>
+#include <cmath>
 #include <iostream>
+#include <limits>
 
 #include "bench_common.hpp"
 #include "core/run_export.hpp"
@@ -24,6 +26,7 @@
 #include "sim/batch.hpp"
 #include "sim/machine_configs.hpp"
 #include "sim/refstream.hpp"
+#include "sim/sample/sample.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -41,27 +44,31 @@ struct Cell {
   u32 shards;
   double refs_per_sec = 0;
   std::vector<perf::Counters> counters;  ///< merged per-proc result
+  sim::SampleReplayStats sample;         ///< sampled mode only
 };
 
-double time_replay(const sim::MachineConfig& cfg,
-                   const std::vector<sim::TraceRecord>& recs,
-                   const sim::ReplayOptions& opts, u32 trials,
-                   std::vector<perf::Counters>& out) {
-  double best = 0;
+/// Time `trials` invocations of `run` (each returning the merged counters),
+/// keep the fastest, and return records/second for it. When even the best
+/// time is at or below the host timer floor the rate is unknowable, not
+/// infinite: NaN, which the export writes as JSON null and diffs skip.
+template <typename RunFn>
+double time_replay(u64 records, u32 trials, std::vector<perf::Counters>& out,
+                   RunFn&& run) {
+  double best_dt = std::numeric_limits<double>::infinity();
   for (u32 t = 0; t < trials; ++t) {
     // dss-lint: allow(nondet-clock) wall-clock throughput is this benchmark's product
     const auto t0 = std::chrono::steady_clock::now();
-    auto ctr = sim::replay_batched(cfg, recs, opts);
+    auto ctr = run();
     const std::chrono::duration<double> dt =
         // dss-lint: allow(nondet-clock) wall-clock throughput is this benchmark's product
         std::chrono::steady_clock::now() - t0;
-    const double rate = static_cast<double>(recs.size()) / dt.count();
-    if (rate > best) {
-      best = rate;
+    if (dt.count() < best_dt) {
+      best_dt = dt.count();
       out = std::move(ctr);
     }
   }
-  return best;
+  if (best_dt <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(records) / best_dt;
 }
 
 }  // namespace
@@ -79,10 +86,31 @@ int main(int argc, char** argv) {
   std::unique_ptr<dss::ThreadPool> pool;
   if (jobs > 1) pool = std::make_unique<dss::ThreadPool>(jobs);
 
+  const sim::SampleSchedule sched = opts.sample_schedule();
+  if (sched.enabled()) {
+    std::cout << "(sampled replay: N=" << sched.unit_records << " K="
+              << sched.detail_every << " W=" << sched.warmup_records
+              << ", detail fraction "
+              << Table::num(100.0 * sched.detail_fraction(), 2) << "%"
+              << (opts.live_points.empty()
+                      ? ""
+                      : (", live points in " + opts.live_points).c_str())
+              << ")\n";
+  } else if (!opts.live_points.empty()) {
+    std::cerr << opts.bench_name
+              << ": warning: --live-points needs an enabled sampling "
+                 "schedule (--sample-units/--sample-detail); ignored\n";
+  }
+
   const std::vector<std::pair<perf::Platform, sim::MachineConfig>> machines = {
       {perf::Platform::VClass, sim::vclass().scaled(opts.scale_denom)},
       {perf::Platform::Origin2000,
        sim::origin2000().scaled(opts.scale_denom)}};
+
+  // One compile cache across every (pattern, shard-count, trial) replay of
+  // a machine: each stream compiles once per machine instead of once per
+  // variant per trial.
+  sim::TraceCompileCache compile_cache;
 
   std::vector<Cell> cells;
   for (const auto& [platform, cfg] : machines) {
@@ -97,11 +125,25 @@ int main(int argc, char** argv) {
         cell.platform = platform;
         cell.pattern = rc.pattern;
         cell.shards = shards;
-        sim::ReplayOptions ro;
-        ro.shards = shards;
-        ro.pool = pool.get();
-        cell.refs_per_sec =
-            time_replay(cfg, recs, ro, trials, cell.counters);
+        if (sched.enabled()) {
+          sim::SampleReplayOptions so;
+          so.shards = shards;
+          so.pool = pool.get();
+          so.compile_cache = &compile_cache;
+          so.live_point_dir = opts.live_points;
+          cell.refs_per_sec =
+              time_replay(kRecords, trials, cell.counters, [&] {
+                return sim::sample_replay(cfg, recs, sched, so, &cell.sample);
+              });
+        } else {
+          sim::ReplayOptions ro;
+          ro.shards = shards;
+          ro.pool = pool.get();
+          ro.compile_cache = &compile_cache;
+          cell.refs_per_sec =
+              time_replay(kRecords, trials, cell.counters,
+                          [&] { return sim::replay_batched(cfg, recs, ro); });
+        }
         cells.push_back(std::move(cell));
       }
     }
@@ -129,6 +171,22 @@ int main(int argc, char** argv) {
   for (const Cell& c : cells) rates.push_back(c.refs_per_sec);
   std::cout << "geomean refs/s: "
             << Table::num(dss::geomean_of(rates), 0) << "\n\n";
+  if (sched.enabled() && !cells.empty()) {
+    u64 total = 0, detailed = 0, restored = 0;
+    for (const Cell& c : cells) {
+      total += c.sample.total_refs;
+      detailed += c.sample.detailed_refs;
+      restored += c.sample.live_point_restored ? 1 : 0;
+    }
+    std::cout << "sampled: " << detailed << " of " << total
+              << " refs detailed ("
+              << Table::num(detailed > 0 ? static_cast<double>(total) /
+                                               static_cast<double>(detailed)
+                                         : 0.0,
+                            1)
+              << "x fewer), " << restored << "/" << cells.size()
+              << " cells restored from live points\n\n";
+  }
 
   if (!opts.metrics_path.empty()) {
     core::MetricsDoc doc;
@@ -153,6 +211,29 @@ int main(int argc, char** argv) {
       ec.result.l2d_per_minstr = m.l2d_per_minstr();
       ec.result.avg_mem_latency = m.avg_mem_latency();
       ec.result.refs_per_sec = c.refs_per_sec;
+      if (sched.enabled()) {
+        ec.result.sampled = true;
+        ec.result.sample_unit_records = sched.unit_records;
+        ec.result.sample_detail_every = sched.detail_every;
+        ec.result.sample_warmup_records = sched.warmup_records;
+        ec.result.sample_total_refs = c.sample.total_refs;
+        ec.result.sample_detailed_refs = c.sample.detailed_refs;
+        ec.result.sample_measured_refs = c.sample.measured_refs;
+        ec.result.sample_windows = c.sample.windows;
+        const double refs = static_cast<double>(c.sample.total_refs);
+        const double instr = static_cast<double>(m.instructions);
+        ec.result.ci_thread_time_cycles =
+            c.sample.stall_per_ref.ci_half * refs;
+        ec.result.ci_cpi = c.sample.cpi.ci_half;
+        ec.result.ci_cycles_per_minstr = c.sample.cpi.ci_half * 1e6;
+        ec.result.ci_l1d_misses = c.sample.l1_per_ref.ci_half * refs;
+        ec.result.ci_l2d_misses = c.sample.l2_per_ref.ci_half * refs;
+        ec.result.ci_l1d_per_minstr =
+            c.sample.l1_per_ref.ci_half * refs / (instr / 1e6);
+        ec.result.ci_l2d_per_minstr =
+            c.sample.l2_per_ref.ci_half * refs / (instr / 1e6);
+        ec.result.ci_avg_mem_latency = c.sample.lat_per_req.ci_half;
+      }
       doc.cells.push_back(std::move(ec));
     }
     core::write_metrics_file(opts.metrics_path, doc);

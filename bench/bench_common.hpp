@@ -53,6 +53,24 @@ inline core::ExperimentRunner make_runner(const core::BenchOptions& o) {
     runner.set_metrics_export(o.bench_name, o.metrics_path);
     std::cout << "(exporting run metrics to " << o.metrics_path << ")\n";
   }
+  const sim::SampleSchedule sched = o.sample_schedule();
+  if (sched.enabled()) {
+    runner.set_sampling(sched);
+    std::printf(
+        "(sampled simulation: N=%llu K=%u W=%llu — %.2f%% of references "
+        "detailed; metrics become estimates with 95%% CIs)\n",
+        static_cast<unsigned long long>(sched.unit_records),
+        sched.detail_every,
+        static_cast<unsigned long long>(sched.warmup_records),
+        100.0 * sched.detail_fraction());
+  }
+  if (!o.live_points.empty()) {
+    // Live points checkpoint a *replay* stream; the fig/abl binaries are
+    // execution-driven and have none. BENCH_refstream handles the flag.
+    std::cerr << o.bench_name
+              << ": warning: --live-points applies to replay-driven benches "
+                 "only; ignored here\n";
+  }
   return runner;
 }
 

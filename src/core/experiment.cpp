@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 
 #include <optional>
@@ -98,6 +99,15 @@ ExperimentRunner::TrialResult ExperimentRunner::run_trial(
   // observation-only; `access()` results do not change.
   std::optional<sim::check::InvariantChecker> checker;
   if (cfg.check) checker.emplace(machine);
+  // Sampled trial: the machine consults the sampler per reference and runs
+  // the functional-warming path outside detailed windows. Exclusive with
+  // the checker, whose identities do not hold across warmed references.
+  std::optional<sim::RefSampler> sampler;
+  if (cfg.sample.enabled()) {
+    assert(!cfg.check);
+    sampler.emplace(cfg.sample, cfg.nproc);
+    machine.set_sampler(&*sampler);
+  }
 
   db::RuntimeConfig rc;
   rc.pool_frames = cfg.scale.pool_frames();
@@ -138,6 +148,26 @@ ExperimentRunner::TrialResult ExperimentRunner::run_trial(
   if (checker) checker->full_sweep();
 
   TrialResult tr;
+  if (sampler) {
+    // Replace each process's machine-event counters with measured-window
+    // deltas scaled to whole-stream estimates BEFORE the reduction below,
+    // so the rest of the pipeline sees a sampled trial as an ordinary one.
+    std::vector<perf::Counters*> procs;
+    procs.reserve(sched.job_count());
+    for (std::size_t i = 0; i < sched.job_count(); ++i) {
+      procs.push_back(&sched.process(i).counters());
+    }
+    tr.sample = sampler->finalize(machine, procs);
+    tr.sampled = true;
+    // Per-trial 95% half-widths on the trial's machine-wide totals. Stall
+    // cycles are the only estimated component of `cycles` (compute and spin
+    // are exact), so the CI on summed cycles is the CI on summed stalls.
+    const double refs = static_cast<double>(tr.sample.total_refs);
+    tr.ci_cycles_total = tr.sample.stall_per_ref.ci_half * refs;
+    tr.ci_l1d_total = tr.sample.l1_per_ref.ci_half * refs;
+    tr.ci_l2d_total = tr.sample.l2_per_ref.ci_half * refs;
+    tr.ci_mem_latency = tr.sample.lat_per_req.ci_half;
+  }
   tr.proc_mem_lat.reserve(sched.job_count());
   for (std::size_t i = 0; i < sched.job_count(); ++i) {
     tr.total += sched.process(i).counters();
@@ -150,7 +180,17 @@ ExperimentRunner::TrialResult ExperimentRunner::run_trial(
 }
 
 std::vector<RunResult> ExperimentRunner::run_cells(
-    std::span<const ExperimentConfig> cfgs) {
+    std::span<const ExperimentConfig> in_cfgs) {
+  // Apply the runner-wide sampling default to cells that do not carry their
+  // own schedule (see set_sampling()). A cell with an explicit schedule —
+  // e.g. a test comparing rates — keeps it.
+  std::vector<ExperimentConfig> cfgs(in_cfgs.begin(), in_cfgs.end());
+  if (sample_.enabled()) {
+    for (auto& cfg : cfgs) {
+      if (!cfg.sample.enabled()) cfg.sample = sample_;
+    }
+  }
+
   struct Task {
     u32 cell;
     u32 trial;
@@ -159,6 +199,7 @@ std::vector<RunResult> ExperimentRunner::run_cells(
   std::vector<std::vector<TrialResult>> trials(cfgs.size());
   for (u32 c = 0; c < cfgs.size(); ++c) {
     assert(cfgs[c].nproc >= 1 && cfgs[c].trials >= 1);
+    assert(!(cfgs[c].check && cfgs[c].sample.enabled()));
     trials[c].resize(cfgs[c].trials);
     for (u32 t = 0; t < cfgs[c].trials; ++t) tasks.push_back({c, t});
   }
@@ -205,6 +246,44 @@ std::vector<RunResult> ExperimentRunner::run_cells(
     r.vol_ctx_per_minstr = grand.vol_ctx_per_minstr();
     r.invol_ctx_per_minstr = grand.invol_ctx_per_minstr();
     r.wall_seconds = wall_sum / cfgs[c].trials;
+
+    if (cfgs[c].sample.enabled()) {
+      // Trials are independent runs, so half-widths on summed totals
+      // combine in quadrature: h = sqrt(sum h_t^2). Each exported metric
+      // divides a total (cycles, misses) by an exactly-known denominator
+      // (instructions, samples), so its half-width divides the same way.
+      r.sampled = true;
+      r.sample_unit_records = cfgs[c].sample.unit_records;
+      r.sample_detail_every = cfgs[c].sample.detail_every;
+      r.sample_warmup_records = cfgs[c].sample.warmup_records;
+      double sq_cycles = 0, sq_l1 = 0, sq_l2 = 0, sq_lat = 0;
+      for (const auto& tr : trials[c]) {
+        r.sample_total_refs += tr.sample.total_refs;
+        r.sample_detailed_refs += tr.sample.detailed_refs;
+        r.sample_measured_refs += tr.sample.measured_refs;
+        r.sample_windows += tr.sample.windows;
+        sq_cycles += tr.ci_cycles_total * tr.ci_cycles_total;
+        sq_l1 += tr.ci_l1d_total * tr.ci_l1d_total;
+        sq_l2 += tr.ci_l2d_total * tr.ci_l2d_total;
+        sq_lat += tr.ci_mem_latency * tr.ci_mem_latency;
+      }
+      const double h_cycles = std::sqrt(sq_cycles);
+      const double h_l1 = std::sqrt(sq_l1);
+      const double h_l2 = std::sqrt(sq_l2);
+      const double instr = static_cast<double>(grand.instructions);
+      const double nsamp = static_cast<double>(samples);
+      r.ci_thread_time_cycles = h_cycles / nsamp;
+      r.ci_cpi = h_cycles / instr;
+      r.ci_cycles_per_minstr = r.ci_cpi * 1e6;
+      r.ci_l1d_misses = h_l1 / nsamp;
+      r.ci_l2d_misses = h_l2 / nsamp;
+      r.ci_l1d_per_minstr = h_l1 / (instr / 1e6);
+      r.ci_l2d_per_minstr = h_l2 / (instr / 1e6);
+      // Latency is already a per-request average; averaging T independent
+      // trial estimates shrinks the half-width by 1/T in quadrature.
+      r.ci_avg_mem_latency =
+          std::sqrt(sq_lat) / static_cast<double>(cfgs[c].trials);
+    }
     out.push_back(std::move(r));
   }
   if (export_ != nullptr) {
@@ -240,6 +319,7 @@ std::vector<RunResult> ExperimentRunner::run_mix(
     std::vector<double> lat;
     std::vector<double> wall;
     std::vector<std::vector<tpch::ResultRow>> results;  ///< trial 0 only
+    sim::ExecSampleSummary sample;  ///< sampled runs only (set_sampling)
   };
   std::vector<MixTrial> per_trial(trials);
 
@@ -247,6 +327,11 @@ std::vector<RunResult> ExperimentRunner::run_mix(
     sim::MachineConfig mc = sim::config_for(platform).scaled(scale_.denom);
     assert(n <= mc.num_processors);
     sim::MachineSim machine(mc);
+    std::optional<sim::RefSampler> sampler;
+    if (sample_.enabled()) {
+      sampler.emplace(sample_, static_cast<u32>(n));
+      machine.set_sampler(&*sampler);
+    }
     db::RuntimeConfig rc;
     rc.pool_frames = scale_.pool_frames();
     rc.workmem_arena_bytes = scale_.arena_bytes();
@@ -273,6 +358,12 @@ std::vector<RunResult> ExperimentRunner::run_mix(
     sched.run_all();
 
     MixTrial& mt = per_trial[trial];
+    if (sampler) {
+      std::vector<perf::Counters*> procs;
+      procs.reserve(n);
+      for (u32 i = 0; i < n; ++i) procs.push_back(&sched.process(i).counters());
+      mt.sample = sampler->finalize(machine, procs);
+    }
     mt.proc.resize(n);
     mt.lat.resize(n);
     mt.wall.resize(n);
@@ -318,6 +409,46 @@ std::vector<RunResult> ExperimentRunner::run_mix(
     r.invol_ctx_per_minstr = grand[i].invol_ctx_per_minstr();
     r.wall_seconds = wall[i] / trials;
     r.query_result = std::move(per_trial[0].results[i]);
+
+    if (sample_.enabled()) {
+      // The sampler's spread is machine-wide; a heterogeneous mix has no
+      // per-process window samples to separate it. Assign each process the
+      // machine-wide half-width on estimated totals — conservative, since
+      // any one process contributes at most the machine-wide stall/misses.
+      r.sampled = true;
+      r.sample_unit_records = sample_.unit_records;
+      r.sample_detail_every = sample_.detail_every;
+      r.sample_warmup_records = sample_.warmup_records;
+      double sq_cycles = 0, sq_l1 = 0, sq_l2 = 0, sq_lat = 0;
+      for (const MixTrial& mt : per_trial) {
+        r.sample_total_refs += mt.sample.total_refs;
+        r.sample_detailed_refs += mt.sample.detailed_refs;
+        r.sample_measured_refs += mt.sample.measured_refs;
+        r.sample_windows += mt.sample.windows;
+        const double refs = static_cast<double>(mt.sample.total_refs);
+        const double hc = mt.sample.stall_per_ref.ci_half * refs;
+        const double h1 = mt.sample.l1_per_ref.ci_half * refs;
+        const double h2 = mt.sample.l2_per_ref.ci_half * refs;
+        sq_cycles += hc * hc;
+        sq_l1 += h1 * h1;
+        sq_l2 += h2 * h2;
+        sq_lat += mt.sample.lat_per_req.ci_half *
+                  mt.sample.lat_per_req.ci_half;
+      }
+      const double h_cycles = std::sqrt(sq_cycles);
+      const double h_l1 = std::sqrt(sq_l1);
+      const double h_l2 = std::sqrt(sq_l2);
+      const double instr = static_cast<double>(grand[i].instructions);
+      const double tn = static_cast<double>(trials);
+      r.ci_thread_time_cycles = h_cycles / tn;
+      r.ci_cpi = h_cycles / instr;
+      r.ci_cycles_per_minstr = r.ci_cpi * 1e6;
+      r.ci_l1d_misses = h_l1 / tn;
+      r.ci_l2d_misses = h_l2 / tn;
+      r.ci_l1d_per_minstr = h_l1 / (instr / 1e6);
+      r.ci_l2d_per_minstr = h_l2 / (instr / 1e6);
+      r.ci_avg_mem_latency = std::sqrt(sq_lat) / tn;
+    }
   }
   if (export_ != nullptr) {
     for (u32 i = 0; i < n; ++i) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/sample/sampler.hpp"
 
 #include "perf/platform_events.hpp"
 #include "tpch/gen.hpp"
@@ -63,7 +64,13 @@ struct ExperimentConfig {
   /// Attach the runtime coherence-invariant checker (sim/check) to every
   /// trial's machine. Observation-only: metrics are bit-identical to an
   /// unchecked run; an invariant violation throws sim::ProtocolViolation.
+  /// Mutually exclusive with an enabled `sample` schedule.
   bool check = false;
+  /// Sampled simulation (DESIGN.md §12): when enabled(), every trial runs
+  /// under a RefSampler — functional warming between deterministic detailed
+  /// measurement windows — and the cell's metrics become estimates with
+  /// 95% confidence half-widths (RunResult's ci_* fields).
+  sim::SampleSchedule sample;
 };
 
 /// Averages (over processes, then over trials) of the measured counters,
@@ -83,9 +90,34 @@ struct RunResult {
   double wall_seconds = 0;        ///< scheduler span (response time)
   /// Host replay throughput in references per second (BENCH_refstream
   /// cells; 0 everywhere else). The one host-dependent metric in the
-  /// export — schema v2, written only when nonzero.
+  /// export — written only when nonzero, and written as JSON `null` when
+  /// the host timer floor made the rate unmeasurable (NaN here).
   double refs_per_sec = 0;
   std::vector<tpch::ResultRow> query_result;  ///< from process 0, trial 0
+
+  /// Sampled-run provenance and accounting (all zero on full-detail runs).
+  /// The schedule is echoed so a metrics document is self-describing;
+  /// detailed_refs / total_refs is the measured speedup lever.
+  bool sampled = false;
+  u64 sample_unit_records = 0;
+  u32 sample_detail_every = 0;
+  u64 sample_warmup_records = 0;
+  u64 sample_total_refs = 0;
+  u64 sample_detailed_refs = 0;
+  u64 sample_measured_refs = 0;
+  u64 sample_windows = 0;
+
+  /// 95% confidence half-widths on the corresponding metrics above,
+  /// derived from the per-window spread (util/stats). Zero on full-detail
+  /// runs; exported as the cell's "metric_ci" object when sampled.
+  double ci_thread_time_cycles = 0;
+  double ci_cpi = 0;
+  double ci_cycles_per_minstr = 0;
+  double ci_l1d_misses = 0;
+  double ci_l2d_misses = 0;
+  double ci_l1d_per_minstr = 0;
+  double ci_l2d_per_minstr = 0;
+  double ci_avg_mem_latency = 0;
 };
 
 /// Builds the TPC-H database once per scale and runs experiment
@@ -111,6 +143,14 @@ class ExperimentRunner {
   /// independent of this setting by construction.
   void set_jobs(u32 jobs);
   [[nodiscard]] u32 jobs() const { return jobs_; }
+
+  /// Runner-wide sampling default: any run_cells/run_mix configuration that
+  /// does not carry its own enabled schedule inherits this one. This is how
+  /// `--sample-*` flags reach every cell a bench binary builds, including
+  /// the convenience run() overload and the ablation binaries' hand-rolled
+  /// configs, without each call site threading the schedule through.
+  void set_sampling(const sim::SampleSchedule& sched) { sample_ = sched; }
+  [[nodiscard]] const sim::SampleSchedule& sampling() const { return sample_; }
 
   [[nodiscard]] RunResult run(const ExperimentConfig& cfg);
 
@@ -154,6 +194,14 @@ class ExperimentRunner {
     std::vector<double> proc_mem_lat;  ///< avg_mem_latency() per process
     double wall = 0;                   ///< max process span, seconds
     std::vector<tpch::ResultRow> query_result;  ///< trial 0 only
+    /// Sampled trials only: reference accounting plus per-metric 95% CI
+    /// half-widths derived from the sampler's per-window estimates.
+    sim::ExecSampleSummary sample;
+    bool sampled = false;
+    double ci_cycles_total = 0;   ///< on the trial's summed cycles
+    double ci_l1d_total = 0;      ///< on the trial's summed L1 data misses
+    double ci_l2d_total = 0;      ///< on the trial's summed LLC misses
+    double ci_mem_latency = 0;    ///< on avg memory latency (cycles/request)
   };
 
   /// One independent simulation. Const: shares only the frozen database.
@@ -165,6 +213,7 @@ class ExperimentRunner {
   ScaleConfig scale_;
   u64 seed_;
   u32 jobs_;
+  sim::SampleSchedule sample_;  ///< runner-wide default, see set_sampling()
   std::unique_ptr<db::Database> dbase_;
   std::unique_ptr<ThreadPool> pool_;  ///< lazily created, sized to jobs_
   std::unique_ptr<MetricsDoc> export_;  ///< set by set_metrics_export

@@ -49,9 +49,29 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       o.check = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       o.metrics_path = need_value("--metrics");
+    } else if (std::strcmp(argv[i], "--sample-units") == 0) {
+      o.sample_units = std::stoull(need_value("--sample-units"));
+    } else if (std::strcmp(argv[i], "--sample-detail") == 0) {
+      o.sample_detail =
+          static_cast<u32>(std::stoul(need_value("--sample-detail")));
+    } else if (std::strcmp(argv[i], "--sample-warmup") == 0) {
+      o.sample_warmup = std::stoull(need_value("--sample-warmup"));
+    } else if (std::strcmp(argv[i], "--live-points") == 0) {
+      o.live_points = need_value("--live-points");
     } else {
       throw std::invalid_argument(std::string("unknown option: ") + argv[i]);
     }
+  }
+  if (o.sample_units > 0 && o.sample_detail < 2) {
+    throw std::invalid_argument(
+        "--sample-units requires --sample-detail >= 2 (every K-th unit is "
+        "measured; K = 1 is just a full-detail run)");
+  }
+  if (o.sample_units > 0 && o.check) {
+    throw std::invalid_argument(
+        "--check cannot be combined with sampling: the invariant checker's "
+        "counter-conservation identities do not hold across the "
+        "functional-warming path");
   }
   // Clamp thread-ish counts with a warning rather than erroring or silently
   // oversubscribing. Warnings go to stderr so stdout tables and --metrics

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "sim/sample/sampler.hpp"
 #include "util/table.hpp"
 
 namespace dss::core {
@@ -32,6 +33,16 @@ void print_figure(std::ostream& os, const std::string& title,
 /// --metrics PATH (write every cell the binary runs as one schema-versioned
 /// JSON document; see core/run_export.hpp and tools/dss_report).
 ///
+/// Sampled simulation (DESIGN.md §12): --sample-units N (references per
+/// sampling unit; 0, the default, keeps every reference detailed),
+/// --sample-detail K (every K-th unit is a detailed measurement window;
+/// K >= 2 when sampling), --sample-warmup W (detailed-unmeasured references
+/// before each window), --live-points DIR (replay-driven benches only:
+/// checkpoint the warmed state at each window; exec-driven binaries warn
+/// and ignore it). Sampling is mutually exclusive with --check — the
+/// checker's counter-conservation identities do not hold across the
+/// functional-warming path.
+///
 /// An explicit `--jobs 0` or `--shards 0`, or a value above the host's
 /// hardware concurrency, is clamped with a warning on stderr (stdout and
 /// any --metrics JSON stay byte-identical). Unrecognized options and flags
@@ -45,6 +56,20 @@ struct BenchOptions {
   bool check = false;  ///< run trials under the invariant checker
   std::string metrics_path;  ///< empty = no export
   std::string bench_name;    ///< argv[0] basename, labels the export
+  u64 sample_units = 0;      ///< N: refs per sampling unit (0 = full detail)
+  u32 sample_detail = 0;     ///< K: every K-th unit measured in detail
+  u64 sample_warmup = 0;     ///< W: detailed-unmeasured refs before a window
+  std::string live_points;   ///< checkpoint dir (replay-driven benches)
+
+  /// The sampling schedule these options describe (disabled when
+  /// --sample-units was not given).
+  [[nodiscard]] sim::SampleSchedule sample_schedule() const {
+    sim::SampleSchedule s;
+    s.unit_records = sample_units;
+    s.detail_every = sample_detail;
+    s.warmup_records = sample_warmup;
+    return s;
+  }
 };
 [[nodiscard]] BenchOptions parse_bench_options(int argc, char** argv);
 

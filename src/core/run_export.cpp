@@ -1,5 +1,6 @@
 #include "core/run_export.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -138,11 +139,43 @@ void write_cell(std::ostream& os, int indent, const ExportCell& cell) {
     m.num("invol_ctx_per_minstr", cell.result.invol_ctx_per_minstr);
     m.num("wall_seconds", cell.result.wall_seconds);
     // Optional since schema v2; omitted when zero so figure exports stay
-    // byte-identical to v1 output (modulo the version number).
-    if (cell.result.refs_per_sec != 0.0) {
+    // byte-identical to v1 output (modulo the version number). NaN means
+    // the host timer floor made the rate unmeasurable (schema v3): the
+    // cell ran, the rate is unknown — distinct from "not a replay cell".
+    if (std::isnan(cell.result.refs_per_sec)) {
+      m.key("refs_per_sec");
+      os << "null";
+    } else if (cell.result.refs_per_sec != 0.0) {
       m.num("refs_per_sec", cell.result.refs_per_sec);
     }
     m.close();
+  }
+  if (cell.result.sampled) {
+    w.key("sample");
+    {
+      ObjWriter s(os, indent + 2);
+      s.num("unit_records", cell.result.sample_unit_records);
+      s.num("detail_every", cell.result.sample_detail_every);
+      s.num("warmup_records", cell.result.sample_warmup_records);
+      s.num("total_refs", cell.result.sample_total_refs);
+      s.num("detailed_refs", cell.result.sample_detailed_refs);
+      s.num("measured_refs", cell.result.sample_measured_refs);
+      s.num("windows", cell.result.sample_windows);
+      s.close();
+    }
+    w.key("metric_ci");
+    {
+      ObjWriter s(os, indent + 2);
+      s.num("thread_time_cycles", cell.result.ci_thread_time_cycles);
+      s.num("cpi", cell.result.ci_cpi);
+      s.num("cycles_per_minstr", cell.result.ci_cycles_per_minstr);
+      s.num("l1d_misses", cell.result.ci_l1d_misses);
+      s.num("l2d_misses", cell.result.ci_l2d_misses);
+      s.num("l1d_per_minstr", cell.result.ci_l1d_per_minstr);
+      s.num("l2d_per_minstr", cell.result.ci_l2d_per_minstr);
+      s.num("avg_mem_latency", cell.result.ci_avg_mem_latency);
+      s.close();
+    }
   }
   w.key("counters");
   write_counters(os, indent + 2, c);
@@ -231,8 +264,10 @@ const util::Json* get_typed(std::vector<std::string>& problems,
 }
 
 void check_all_numbers(std::vector<std::string>& problems,
-                       const util::Json& obj, const std::string& ctx) {
+                       const util::Json& obj, const std::string& ctx,
+                       const char* nullable_key = nullptr) {
   for (const auto& [k, v] : obj.as_object()) {
+    if (nullable_key != nullptr && k == nullable_key && v.is_null()) continue;
     if (!v.is_number()) {
       problems.push_back(ctx + ": \"" + k + "\" is not a number");
     }
@@ -277,7 +312,19 @@ std::vector<std::string> check_metrics_schema(const util::Json& doc) {
     get_typed(problems, cell, "variant", util::Json::Type::String, ctx);
     if (const util::Json* m = get_typed(problems, cell, "metrics",
                                         util::Json::Type::Object, ctx)) {
-      check_all_numbers(problems, *m, ctx + ".metrics");
+      // refs_per_sec alone may be null (v3): rate unmeasurable on this host.
+      check_all_numbers(problems, *m, ctx + ".metrics", "refs_per_sec");
+    }
+    // Optional v3 members, present only on sampled cells.
+    for (const char* opt : {"sample", "metric_ci"}) {
+      if (const util::Json* m = cell.get(opt)) {
+        if (!m->is_object()) {
+          problems.push_back(ctx + ": \"" + std::string(opt) +
+                             "\" has the wrong type");
+        } else {
+          check_all_numbers(problems, *m, ctx + "." + std::string(opt));
+        }
+      }
     }
     if (const util::Json* m = get_typed(problems, cell, "counters",
                                         util::Json::Type::Object, ctx)) {
@@ -351,13 +398,23 @@ DiffReport diff_metrics(const util::Json& before, const util::Json& after,
     }
     const util::Json& am = *a_cell->get("metrics");
     const util::Json& bm = *it->second->get("metrics");
+    const util::Json* aci = a_cell->get("metric_ci");
+    const util::Json* bci = it->second->get("metric_ci");
     for (const auto& [metric, av] : am.as_object()) {
+      if (!opts.only_metrics.empty() &&
+          std::find(opts.only_metrics.begin(), opts.only_metrics.end(),
+                    metric) == opts.only_metrics.end()) {
+        continue;
+      }
       const util::Json* bv = bm.get(metric);
       if (bv == nullptr) {
         rep.errors.push_back("cell " + label + ": metric " + metric +
                              " missing from the after run");
         continue;
       }
+      // A null rate (v3) means the host timer floor was hit: the value is
+      // unknown, not zero, so the pair is incomparable — skip, don't gate.
+      if (av.is_null() || bv->is_null()) continue;
       MetricDelta d;
       d.cell = label;
       d.metric = metric;
@@ -368,10 +425,29 @@ DiffReport diff_metrics(const util::Json& before, const util::Json& after,
       } else if (d.after != 0.0) {
         d.rel = std::numeric_limits<double>::infinity();
       }
-      // Every exported metric is higher-is-worse (times, misses, latency,
-      // switch rates) except throughput, which gates on downward movement
-      // with its own (looser, host-noise-tolerant) threshold.
-      if (metric == "refs_per_sec") {
+      auto half = [&](const util::Json* ci) {
+        const util::Json* h = ci == nullptr ? nullptr : ci->get(metric);
+        return h != nullptr && h->is_number() ? h->as_number() : 0.0;
+      };
+      const double ha = half(aci);
+      const double hb = half(bci);
+      d.combined_ci = std::sqrt(ha * ha + hb * hb);
+      if (opts.ci_gate) {
+        // Sampled-vs-golden mode: gate only CI-bearing metrics, and only
+        // when the worse-direction move clears both the statistical noise
+        // floor and the plain relative threshold.
+        if (ha > 0.0 || hb > 0.0) {
+          const double worse = metric == "refs_per_sec"
+                                   ? d.before - d.after
+                                   : d.after - d.before;
+          d.regression =
+              worse > std::max(d.combined_ci,
+                               opts.rel_threshold * std::fabs(d.before));
+        }
+      } else if (metric == "refs_per_sec") {
+        // Every exported metric is higher-is-worse (times, misses, latency,
+        // switch rates) except throughput, which gates on downward movement
+        // with its own (looser, host-noise-tolerant) threshold.
         d.regression = d.rel < -opts.perf_threshold;
       } else {
         d.regression = d.rel > opts.rel_threshold;

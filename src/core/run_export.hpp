@@ -22,7 +22,12 @@ namespace dss::core {
 ///   2 — adds the optional "refs_per_sec" metric (replay throughput,
 ///       BENCH_refstream); omitted when zero, so v1 documents parse
 ///       unchanged and readers accept both versions.
-inline constexpr u32 kMetricsSchemaVersion = 2;
+///   3 — sampled runs (DESIGN.md §12) add two optional per-cell objects:
+///       "sample" (the sampling schedule plus reference accounting) and
+///       "metric_ci" (95% confidence half-widths keyed like "metrics");
+///       "refs_per_sec" may be JSON null when the host timer floor made
+///       the rate unmeasurable. Full-detail documents are unchanged.
+inline constexpr u32 kMetricsSchemaVersion = 3;
 /// Oldest schema version readers still accept.
 inline constexpr u32 kMetricsSchemaMinVersion = 1;
 
@@ -68,6 +73,19 @@ struct DiffOptions {
   /// `rel_threshold` because host timing is noisy where simulated metrics
   /// are exact (the CI perf-smoke job gates at 15%).
   double perf_threshold = 0.15;
+  /// Confidence-interval-aware gating for sampled runs. When set, ONLY
+  /// metrics that carry a CI (in either document's "metric_ci") gate: a
+  /// regression needs the worse-direction move to exceed both the combined
+  /// 95% half-width sqrt(ha^2 + hb^2) and rel_threshold * |before|.
+  /// Metrics with no CI are informational — sampling legitimately shifts
+  /// wall_seconds and context-switch rates, which must not trip the gate
+  /// when comparing a sampled run against a full-detail golden.
+  bool ci_gate = false;
+  /// When non-empty, compare only these metric keys (the CI
+  /// sampled-accuracy job gates "cpi" alone: that is the estimator's
+  /// accuracy contract; contention-coupled latencies shift with the
+  /// interleaving and are judged by their own CIs, not a hard gate).
+  std::vector<std::string> only_metrics;
 };
 
 /// One compared metric across the two runs.
@@ -77,6 +95,9 @@ struct MetricDelta {
   double before = 0.0;
   double after = 0.0;
   double rel = 0.0;  ///< (after - before) / before; 0 when before == 0
+  /// Combined 95% half-width sqrt(ha^2 + hb^2) from the two cells'
+  /// "metric_ci" entries; 0 when neither side has one.
+  double combined_ci = 0.0;
   bool regression = false;
 };
 

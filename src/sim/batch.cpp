@@ -32,63 +32,103 @@ u32 max_shards(const MachineConfig& cfg) {
 
 namespace {
 
-/// Per-shard work list: each element is a per-unit segment of one input
-/// record, routed to the owning shard (BatchRef is the machine's batched
-/// reference format — the replay loop hands slices straight to
-/// MachineSim::access_batch).
+/// One shard's slice of a compiled trace. At S == 1 the slice aliases the
+/// CompiledTrace refs directly (no copy — the single-shard stream IS the
+/// compiled stream); at S > 1 the routing scan copies each shard's refs
+/// into `storage` in stream order.
 struct ShardPlan {
-  std::vector<BatchRef> refs;
-  /// refs.size() snapshot at the end of each epoch (one entry per epoch).
+  const BatchRef* base = nullptr;
+  /// Ref-count snapshot at the end of each epoch (one entry per epoch).
   std::vector<std::size_t> epoch_end;
+  std::vector<BatchRef> storage;
 };
 
-/// Everything the serial pre-pass extracts from the stream: the per-shard
-/// work lists plus all per-processor accounting that does not depend on
-/// cache or directory state (instruction gaps and the TLB model).
-struct Prepass {
-  std::vector<ShardPlan> plans;
-  u64 epochs = 1;
-  /// Cumulative serial clock (gap cycles + TLB stalls) per processor at the
-  /// end of each epoch, row-major [epoch][proc]; feeds the epoch-span
-  /// computation at each barrier.
-  std::vector<u64> serial_cum;
-  // Per-processor totals, folded into the merged counters at the end.
-  std::vector<u64> instr_total;
-  std::vector<u64> gap_cycles_total;
-  std::vector<u64> tlb_stall_total;
-  std::vector<u64> tlb_miss_total;
-};
+/// Route a compiled trace to S shards: a single scan assigning each ref to
+/// `(addr >> unit_shift) & (S - 1)`, preserving stream order within a shard
+/// and snapshotting per-shard sizes at the compiled epoch boundaries. This
+/// is exactly the partition the old fused pre-pass produced, factored out
+/// so the expensive compile half can be memoized across shard counts.
+std::vector<ShardPlan> route_shards(const CompiledTrace& ct, u32 S) {
+  std::vector<ShardPlan> plans(S);
+  if (S == 1) {
+    plans[0].base = ct.refs.data();
+    plans[0].epoch_end = ct.epoch_ref_end;
+    return plans;
+  }
+  const u64 est = ct.refs.size() / S + ct.refs.size() / (8 * S) + 16;
+  for (ShardPlan& plan : plans) {
+    plan.storage.reserve(est);
+    plan.epoch_end.reserve(ct.epochs);
+  }
+  std::size_t lo = 0;
+  for (u64 e = 0; e < ct.epochs; ++e) {
+    const std::size_t hi = ct.epoch_ref_end[e];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const BatchRef& r = ct.refs[i];
+      plans[(r.addr >> ct.unit_shift) & (S - 1)].storage.push_back(r);
+    }
+    for (ShardPlan& plan : plans) plan.epoch_end.push_back(plan.storage.size());
+    lo = hi;
+  }
+  for (ShardPlan& plan : plans) plan.base = plan.storage.data();
+  return plans;
+}
 
-Prepass build_prepass(const MachineConfig& cfg,
-                      const std::vector<TraceRecord>& records, u32 shards,
-                      u64 epoch_records) {
+[[nodiscard]] u64 mix64(u64 h, u64 v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h * 0x100000001b3ULL;
+}
+
+/// Cache key: every input compile_trace reads. Records are hashed field by
+/// field (TraceRecord has padding, so byte-hashing would read indeterminate
+/// bytes); the machine side hashes only the translation/CPI parameters the
+/// compile depends on, so machines differing in cache geometry above the
+/// unit size or in protocol knobs share compiled traces.
+u64 compile_key(const MachineConfig& cfg,
+                const std::vector<TraceRecord>& records, u64 epoch_records) {
+  u64 h = 0x243f6a8885a308d3ULL;
+  h = mix64(h, records.size());
+  h = mix64(h, epoch_records);
+  h = mix64(h, cfg.num_processors);
+  h = mix64(h, std::bit_cast<u64>(cfg.base_cpi));
+  h = mix64(h, cfg.tlb_entries);
+  h = mix64(h, cfg.tlb_miss_penalty);
+  h = mix64(h, cfg.dcache.back().line_bytes);
+  for (const TraceRecord& r : records) {
+    h = mix64(h, r.addr);
+    h = mix64(h, r.instr_gap);
+    h = mix64(h, (static_cast<u64>(r.proc) << 40) |
+                     (static_cast<u64>(r.kind) << 32) | r.len);
+  }
+  return h;
+}
+
+}  // namespace
+
+CompiledTrace compile_trace(const MachineConfig& cfg,
+                            const std::vector<TraceRecord>& records,
+                            u64 epoch_records) {
   const u32 nproc = cfg.num_processors;
   const u64 n = records.size();
-  Prepass pp;
-  pp.epochs = epoch_records == 0 ? 1 : (n + epoch_records - 1) / epoch_records;
-  if (pp.epochs == 0) pp.epochs = 1;
-  pp.plans.resize(shards);
-  const u64 est = n / shards + n / (8 * shards) + 16;
-  for (ShardPlan& plan : pp.plans) {
-    plan.refs.reserve(est);
-    plan.epoch_end.reserve(pp.epochs);
-  }
-  // Single-shard plans are exactly one BatchRef per record: write by index
-  // into a pre-sized array instead of paying a capacity check per record.
-  BatchRef* out1 = nullptr;
-  if (shards == 1) {
-    pp.plans[0].refs.resize(n);
-    out1 = pp.plans[0].refs.data();
-  }
-  pp.serial_cum.assign(pp.epochs * nproc, 0);
-  pp.instr_total.assign(nproc, 0);
-  pp.gap_cycles_total.assign(nproc, 0);
-  pp.tlb_stall_total.assign(nproc, 0);
-  pp.tlb_miss_total.assign(nproc, 0);
+  CompiledTrace ct;
+  ct.records = n;
+  ct.epochs = epoch_records == 0 ? 1 : (n + epoch_records - 1) / epoch_records;
+  if (ct.epochs == 0) ct.epochs = 1;
+  ct.unit_shift =
+      static_cast<u32>(std::countr_zero(cfg.dcache.back().line_bytes));
+  // Unit-straddling records are rare in every generated pattern; reserve a
+  // modest slack over one ref per record.
+  ct.refs.reserve(n + n / 8 + 16);
+  ct.epoch_ref_end.reserve(ct.epochs);
+  ct.serial_cum.assign(ct.epochs * nproc, 0);
+  ct.instr_total.assign(nproc, 0);
+  ct.gap_cycles_total.assign(nproc, 0);
+  ct.tlb_stall_total.assign(nproc, 0);
+  ct.tlb_miss_total.assign(nproc, 0);
 
   // The TLB is per-processor state keyed by page, not by coherence unit, so
   // it cannot be partitioned across shards — but its outcomes depend only on
-  // each processor's page sequence, never on cache state, so the pre-pass
+  // each processor's page sequence, never on cache state, so the compile
   // replays it here exactly as MachineSim::translate would (same geometry,
   // same lookup/insert order over each record's pages; see machine.cpp for
   // why the L1-hit fast path touches the same page sequence).
@@ -102,8 +142,6 @@ Prepass build_prepass(const MachineConfig& cfg,
   }
 
   const double cpi = cfg.base_cpi;
-  const u32 unit_shift =
-      static_cast<u32>(std::countr_zero(cfg.dcache.back().line_bytes));
   std::vector<u64> serial(nproc, 0);
   // Small instruction gaps dominate every stream; memoize the fp multiply
   // (identical double math, computed once per distinct small gap).
@@ -113,7 +151,7 @@ Prepass build_prepass(const MachineConfig& cfg,
     gap_memo[g] = static_cast<u64>(static_cast<double>(g) * cpi);
   }
   // Per-processor MRU page: a lookup of the page that is already MRU in a
-  // proc's TLB is a guaranteed hit whose touch is a no-op, so the pre-pass
+  // proc's TLB is a guaranteed hit whose touch is a no-op, so the compile
   // can skip the associative probe entirely (bit-identical; the steady
   // state of every pattern is a run of references to one page).
   constexpr u64 kNoPage = ~u64{0};
@@ -138,33 +176,35 @@ Prepass build_prepass(const MachineConfig& cfg,
           mru_page[p] = page;
           continue;
         }
-        ++pp.tlb_miss_total[p];
+        ++ct.tlb_miss_total[p];
         tlb_stall += cfg.tlb_miss_penalty;
         (void)tlbs[p].insert(page, LineState::E);
         mru_page[p] = page;
       }
     }
-    pp.instr_total[p] += r.instr_gap;
-    pp.gap_cycles_total[p] += gap_cycles;
-    pp.tlb_stall_total[p] += tlb_stall;
+    ct.instr_total[p] += r.instr_gap;
+    ct.gap_cycles_total[p] += gap_cycles;
+    ct.tlb_stall_total[p] += tlb_stall;
     serial[p] += gap_cycles + tlb_stall;
 
-    // Route the record to its unit's shard, splitting records that straddle
-    // coherence-unit boundaries into per-unit segments (each segment's L1
-    // lines are exactly the serial per-line loop's lines for that unit).
+    // Split records that straddle coherence-unit boundaries into per-unit
+    // segments (each segment's L1 lines are exactly the serial per-line
+    // loop's lines for that unit, and the machine counts per L1 line at
+    // now = 0, so replaying segments is bit-identical to replaying the
+    // whole record — the same equivalence the shard partition rests on).
     const u8 kind = r.kind;
-    if (shards == 1) {
-      out1[i] = BatchRef{r.addr, p, (r.len << 2) | kind};
+    const u64 last_addr = r.addr + r.len - 1;
+    const u64 first_unit = r.addr >> ct.unit_shift;
+    const u64 last_unit = last_addr >> ct.unit_shift;
+    if (first_unit == last_unit) {
+      ct.refs.push_back(BatchRef{r.addr, p, (r.len << 2) | kind});
     } else {
-      const u64 last_addr = r.addr + r.len - 1;
-      const u64 first_unit = r.addr >> unit_shift;
-      const u64 last_unit = last_addr >> unit_shift;
       for (u64 unit = first_unit; unit <= last_unit; ++unit) {
-        const u64 seg_lo = std::max(r.addr, unit << unit_shift);
-        const u64 seg_hi = std::min(last_addr, ((unit + 1) << unit_shift) - 1);
+        const u64 seg_lo = std::max(r.addr, unit << ct.unit_shift);
+        const u64 seg_hi =
+            std::min(last_addr, ((unit + 1) << ct.unit_shift) - 1);
         const u32 seg_len = static_cast<u32>(seg_hi - seg_lo + 1);
-        pp.plans[unit & (shards - 1)].refs.push_back(
-            BatchRef{seg_lo, p, (seg_len << 2) | kind});
+        ct.refs.push_back(BatchRef{seg_lo, p, (seg_len << 2) | kind});
       }
     }
 
@@ -172,31 +212,48 @@ Prepass build_prepass(const MachineConfig& cfg,
         epoch_records != 0 ? ((i + 1) % epoch_records == 0) : false;
     if (boundary || i + 1 == n) {
       for (u32 q = 0; q < nproc; ++q) {
-        pp.serial_cum[epoch * nproc + q] = serial[q];
+        ct.serial_cum[epoch * nproc + q] = serial[q];
       }
-      if (shards == 1) {
-        // The plan was pre-sized, so "refs emitted so far" is the record
-        // index, not the vector size.
-        pp.plans[0].epoch_end.push_back(i + 1);
-      } else {
-        for (ShardPlan& plan : pp.plans) {
-          plan.epoch_end.push_back(plan.refs.size());
-        }
-      }
+      ct.epoch_ref_end.push_back(ct.refs.size());
       ++epoch;
     }
   }
-  if (n == 0) {
-    for (ShardPlan& plan : pp.plans) plan.epoch_end.push_back(0);
-  }
+  if (n == 0) ct.epoch_ref_end.push_back(0);
   // A boundary exactly at the last record already closed the final epoch.
-  for (ShardPlan& plan : pp.plans) {
-    plan.epoch_end.resize(pp.epochs, plan.refs.size());
-  }
-  return pp;
+  ct.epoch_ref_end.resize(ct.epochs, ct.refs.size());
+  return ct;
 }
 
-}  // namespace
+std::shared_ptr<const CompiledTrace> TraceCompileCache::get(
+    const MachineConfig& cfg, const std::vector<TraceRecord>& records,
+    u64 epoch_records) {
+  const u64 key = compile_key(cfg, records, epoch_records);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Compile outside the lock; a concurrent identical call may compile too,
+  // but both produce bit-identical traces and the first insert wins.
+  auto compiled = std::make_shared<const CompiledTrace>(
+      compile_trace(cfg, records, epoch_records));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(key, std::move(compiled));
+  return it->second;
+}
+
+std::size_t TraceCompileCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+u64 TraceCompileCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
 
 std::vector<perf::Counters> replay_batched(
     const MachineConfig& cfg, const std::vector<TraceRecord>& records,
@@ -205,11 +262,19 @@ std::vector<perf::Counters> replay_batched(
   const u32 shards = std::min(std::max(opts.shards, 1u), max_shards(cfg));
   const u32 S = static_cast<u32>(std::bit_floor(shards));
 
-  const Prepass pp = build_prepass(cfg, records, S, opts.epoch_records);
+  std::shared_ptr<const CompiledTrace> cached;
+  CompiledTrace local;
+  if (opts.compile_cache != nullptr) {
+    cached = opts.compile_cache->get(cfg, records, opts.epoch_records);
+  } else {
+    local = compile_trace(cfg, records, opts.epoch_records);
+  }
+  const CompiledTrace& ct = cached != nullptr ? *cached : local;
+  const std::vector<ShardPlan> plans = route_shards(ct, S);
 
   // Shard machines run with the TLB disabled: translation was fully handled
-  // by the pre-pass, and the per-processor TLB is the one structure a unit
-  // partition cannot split.
+  // by the compile pass, and the per-processor TLB is the one structure a
+  // unit partition cannot split.
   MachineConfig shard_cfg = cfg;
   shard_cfg.tlb_entries = 0;
   std::vector<std::unique_ptr<MachineSim>> machines;
@@ -228,20 +293,20 @@ std::vector<perf::Counters> replay_batched(
   ThreadPool* pool = S > 1 ? opts.pool : nullptr;
   const bool epochs_on = opts.epoch_records != 0;
   u64 prev_clock_max = 0;
-  for (u64 e = 0; e < pp.epochs; ++e) {
+  for (u64 e = 0; e < ct.epochs; ++e) {
     parallel_for_index(pool, S, [&](u64 s) {
       MachineSim& m = *machines[s];
-      const ShardPlan& plan = pp.plans[s];
+      const ShardPlan& plan = plans[s];
       const std::size_t lo = e == 0 ? 0 : plan.epoch_end[e - 1];
       const std::size_t hi = plan.epoch_end[e];
       // The machine folds each reference's stall (and, under attribution,
       // its CPI-stack parts) into the attached shard counters.
-      m.access_batch(plan.refs.data() + lo, hi - lo);
-      if (e + 1 == pp.epochs && opts.on_shard_done) {
+      m.access_batch(plan.base + lo, hi - lo);
+      if (e + 1 == ct.epochs && opts.on_shard_done) {
         opts.on_shard_done(static_cast<u32>(s), m);
       }
     });
-    if (epochs_on && e + 1 < pp.epochs) {
+    if (epochs_on && e + 1 < ct.epochs) {
       // Deterministic epoch merge: sum every shard's per-home request tally,
       // measure the finished epoch's span off the merged clocks, and install
       // the same totals into every shard. All sums run in fixed index order
@@ -254,7 +319,7 @@ std::vector<perf::Counters> replay_batched(
       }
       u64 clock_max = 0;
       for (u32 p = 0; p < nproc; ++p) {
-        u64 clk = pp.serial_cum[e * nproc + p];
+        u64 clk = ct.serial_cum[e * nproc + p];
         for (u32 s = 0; s < S; ++s) clk += shard_ctr[s][p].cycles;
         clock_max = std::max(clock_max, clk);
       }
@@ -269,17 +334,17 @@ std::vector<perf::Counters> replay_batched(
 
   // Merge: per-processor counters are sums of per-reference contributions,
   // so summing the shards (fixed order, exact u64 arithmetic) reproduces the
-  // serial accumulation bit-for-bit; the pre-pass totals add the serial
+  // serial accumulation bit-for-bit; the compile totals add the serial
   // clock side (instructions, gap cycles, TLB) that no shard owns.
   std::vector<perf::Counters> result(nproc);
   for (u32 p = 0; p < nproc; ++p) {
     for (u32 s = 0; s < S; ++s) result[p] += shard_ctr[s][p];
-    result[p].instructions += pp.instr_total[p];
-    result[p].cycles += pp.gap_cycles_total[p] + pp.tlb_stall_total[p];
-    result[p].tlb_misses += pp.tlb_miss_total[p];
+    result[p].instructions += ct.instr_total[p];
+    result[p].cycles += ct.gap_cycles_total[p] + ct.tlb_stall_total[p];
+    result[p].tlb_misses += ct.tlb_miss_total[p];
     if (opts.attribution) {
-      result[p].stack.compute += pp.gap_cycles_total[p];
-      result[p].stack.tlb += pp.tlb_stall_total[p];
+      result[p].stack.compute += ct.gap_cycles_total[p];
+      result[p].stack.tlb += ct.tlb_stall_total[p];
     }
   }
   for (u32 s = 0; s < S; ++s) {
@@ -291,7 +356,7 @@ std::vector<perf::Counters> replay_batched(
     for (const perf::Counters& c : result) {
       stats->line_refs += c.loads + c.stores + c.atomics;
     }
-    stats->epochs = epochs_on ? pp.epochs : 0;
+    stats->epochs = epochs_on ? ct.epochs : 0;
     stats->shards_used = S;
   }
   return result;

@@ -40,6 +40,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "perf/counters.hpp"
@@ -49,6 +52,63 @@
 #include "util/threadpool.hpp"
 
 namespace dss::sim {
+
+/// A trace compiled for batched replay: the unit-split BatchRef stream in
+/// input order plus all serial-side accounting that depends only on the
+/// stream and the machine's translation/CPI parameters — never on cache or
+/// directory state. Compilation is shard-count independent; routing a
+/// compiled trace to S shards is a single cheap scan (`replay_batched` does
+/// it internally), which is what lets a TraceCompileCache share one compile
+/// across every shard-count variant of the same (trace, machine) pair.
+struct CompiledTrace {
+  /// Per-unit segments of the input records, in stream order. Replaying
+  /// these through access_batch is bit-identical to replaying the raw
+  /// records (per-L1-line counting; `now` is never read on the replay
+  /// path), which the cross-shard golden tests enforce.
+  std::vector<BatchRef> refs;
+  /// refs emitted at the end of each epoch (one entry per epoch).
+  std::vector<std::size_t> epoch_ref_end;
+  u64 epochs = 1;
+  u64 records = 0;    ///< input records compiled
+  u32 unit_shift = 0; ///< log2(coherence-unit bytes); shard routing key
+  /// Cumulative serial clock (gap cycles + TLB stalls) per processor at the
+  /// end of each epoch, row-major [epoch][proc].
+  std::vector<u64> serial_cum;
+  // Per-processor totals, folded into the merged counters at the end.
+  std::vector<u64> instr_total;
+  std::vector<u64> gap_cycles_total;
+  std::vector<u64> tlb_stall_total;
+  std::vector<u64> tlb_miss_total;
+};
+
+/// Serial compile pass: instruction-gap accounting, the per-processor TLB
+/// replay, and unit-splitting. Exactly the stream `replay_batched` replays.
+[[nodiscard]] CompiledTrace compile_trace(
+    const MachineConfig& cfg, const std::vector<TraceRecord>& records,
+    u64 epoch_records = 0);
+
+/// Process-wide memoization of compile_trace keyed by (trace contents,
+/// machine translation/CPI parameters, epoch_records). BENCH_refstream used
+/// to recompile the identical stream for every shard-count variant of a
+/// cell; one cache shared across variants compiles each stream once.
+/// Thread-safe; deliberately an explicit object, never a global (the
+/// determinism contract bans mutable statics in src/sim).
+class TraceCompileCache {
+ public:
+  /// Compile `records` for `cfg`, or return the cached result of an
+  /// earlier identical call. The returned trace is immutable and shared.
+  std::shared_ptr<const CompiledTrace> get(
+      const MachineConfig& cfg, const std::vector<TraceRecord>& records,
+      u64 epoch_records = 0);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] u64 hits() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<u64, std::shared_ptr<const CompiledTrace>> cache_;
+  u64 hits_ = 0;
+};
 
 struct ReplayOptions {
   /// Worker partitions; clamped to [1, max_shards(cfg)] (and rounded down
@@ -64,6 +124,10 @@ struct ReplayOptions {
   /// Pool for shard execution; nullptr (or a single-thread pool) runs
   /// shards serially in index order. Results never depend on this.
   ThreadPool* pool = nullptr;
+  /// Optional compile memoization shared across calls (sweeps replaying one
+  /// stream at several shard counts compile it once). nullptr compiles
+  /// privately. Results are bit-identical either way.
+  TraceCompileCache* compile_cache = nullptr;
   /// Called serially for each shard machine before replay begins; the seam
   /// sim/check uses to attach one invariant checker per shard (the observer
   /// seam is per-machine). Must only observe, never mutate.

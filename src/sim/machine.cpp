@@ -3,6 +3,7 @@
 #include <bit>
 #include <cassert>
 
+#include "sim/sample/sampler.hpp"
 #include "util/log.hpp"
 
 namespace dss::sim {
@@ -54,17 +55,20 @@ MachineSim::MachineSim(const MachineConfig& cfg)
   }
 }
 
+template <bool kTimed>
 u64 MachineSim::translate(u32 proc, SimAddr addr, u32 len) {
   if (tlbs_.empty()) return 0;
   SetAssocCache& tlb = tlbs_[proc];
-  perf::Counters& c = ctr(proc);
+  [[maybe_unused]] perf::Counters& c = ctr(proc);
   u64 exposed = 0;
   const u64 first = addr / kPlacementPageBytes;
   const u64 last = (addr + len - 1) / kPlacementPageBytes;
   for (u64 page = first; page <= last; ++page) {
     if (tlb.lookup(page).has_value()) continue;
-    ++c.tlb_misses;
-    exposed += cfg_.tlb_miss_penalty;
+    if constexpr (kTimed) {
+      ++c.tlb_misses;
+      exposed += cfg_.tlb_miss_penalty;
+    }
     (void)tlb.insert(page, LineState::E);  // state unused; E = valid
   }
   return exposed;
@@ -140,6 +144,20 @@ u32 MachineSim::home_of(SimAddr addr) const {
 
 u64 MachineSim::access(u32 proc, AccessKind kind, SimAddr addr, u32 len,
                        u64 now) {
+  // Sampled trial: the schedule decides per reference whether to run the
+  // detailed timing model or only warm the state. Warm references return 0
+  // stall and leave every counter untouched; parts_ is cleared so a caller
+  // folding stall_parts unconditionally adds an all-zero stack.
+  if (sampler_ != nullptr && !sampler_->on_access(*this, proc)) {
+    warm_access(proc, kind, addr, len);
+    if (attrib_) parts_[proc] = perf::CpiStack{};
+    return 0;
+  }
+  return access_detailed(proc, kind, addr, len, now);
+}
+
+u64 MachineSim::access_detailed(u32 proc, AccessKind kind, SimAddr addr,
+                                u32 len, u64 now) {
   assert(proc < cfg_.num_processors);
   assert(len > 0);
   if (trace_hook_) trace_hook_(proc, kind, addr, len);
@@ -182,7 +200,7 @@ u64 MachineSim::access(u32 proc, AccessKind kind, SimAddr addr, u32 len,
     }
   }
 
-  u64 exposed = translate(proc, addr, len);
+  u64 exposed = translate<true>(proc, addr, len);
   if (attrib_) parts_[proc].tlb = exposed;
   for (u64 line = first; line <= last; ++line) {
     switch (kind) {
@@ -190,10 +208,79 @@ u64 MachineSim::access(u32 proc, AccessKind kind, SimAddr addr, u32 len,
       case AccessKind::Write: ++c.stores; break;
       case AccessKind::Atomic: ++c.atomics; break;
     }
-    exposed += access_line(proc, kind, line, now + exposed);
+    exposed += access_line<true>(proc, kind, line, now + exposed);
   }
   if (obs_ != nullptr) obs_->on_access(proc, kind, addr, len);
   return exposed;
+}
+
+void MachineSim::warm_access(u32 proc, AccessKind kind, SimAddr addr,
+                             u32 len) {
+  assert(proc < cfg_.num_processors);
+  assert(len > 0);
+  // Always the general (slow) path: the detailed fast path is a pure short
+  // circuit of these same transitions, so skipping it keeps the state
+  // bit-identical while avoiding a second probe.
+  (void)translate<false>(proc, addr, len);
+  const u32 l1_shift = caches_[proc][0].line_shift();
+  const u64 first = addr >> l1_shift;
+  const u64 last = (addr + len - 1) >> l1_shift;
+  for (u64 line = first; line <= last; ++line) {
+    (void)access_line<false>(proc, kind, line, 0);
+  }
+}
+
+void MachineSim::warm_batch(const BatchRef* refs, std::size_t n) {
+  if (!tlbs_.empty()) {
+    // TLB model active (execution-driven use): per-reference warming so the
+    // TLB state stays in sync. The replay machines run with the TLB handled
+    // in the compile pre-pass and take the unrolled loop below.
+    for (std::size_t i = 0; i < n; ++i) {
+      const BatchRef& r = refs[i];
+      warm_access(r.proc, static_cast<AccessKind>(r.len_kind & 3), r.addr,
+                  r.len_kind >> 2);
+    }
+    return;
+  }
+  switch (caches_[0][0].config().assoc) {
+    case 1: warm_plain<1>(refs, n); break;
+    case 2: warm_plain<2>(refs, n); break;
+    default: warm_plain<0>(refs, n); break;
+  }
+}
+
+template <u32 kAssoc>
+void MachineSim::warm_plain(const BatchRef* refs, std::size_t n) {
+  // The stripped access_batch: same L1-hit fast loop as batch_plain, but a
+  // hit updates nothing beyond the LRU touch the probe itself performs, and
+  // the miss path runs the untimed protocol. No counter is read or written
+  // anywhere below.
+  const u32 l1_shift = caches_[0][0].line_shift();
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchRef& r = refs[i];
+    const auto kind = static_cast<AccessKind>(r.len_kind & 3);
+    const u32 len = r.len_kind >> 2;
+    const u64 first = r.addr >> l1_shift;
+    if (((r.addr + len - 1) >> l1_shift) == first) {
+      SetAssocCache& l1 = caches_[r.proc][0];
+      std::optional<LineState> st;
+      if constexpr (kAssoc == 0) {
+        st = l1.lookup(first);
+      } else {
+        st = l1.lookup_fixed<kAssoc>(first);
+      }
+      if (st.has_value() &&
+          (kind == AccessKind::Read || *st == LineState::M)) {
+        continue;
+      }
+      (void)access_line<false>(r.proc, kind, first, 0);
+      continue;
+    }
+    const u64 last = (r.addr + len - 1) >> l1_shift;
+    for (u64 line = first; line <= last; ++line) {
+      (void)access_line<false>(r.proc, kind, line, 0);
+    }
+  }
 }
 
 void MachineSim::access_batch(const BatchRef* refs, std::size_t n) {
@@ -270,18 +357,20 @@ void MachineSim::batch_plain(const BatchRef* refs, std::size_t n) {
   }
 }
 
+template <bool kTimed>
 u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
-  perf::Counters& c = ctr(proc);
+  [[maybe_unused]] perf::Counters& c = ctr(proc);
   const bool want_excl = kind != AccessKind::Read;
-  const u64 extra_atomic = kind == AccessKind::Atomic ? cfg_.atomic_penalty : 0;
+  const u64 extra_atomic =
+      kTimed && kind == AccessKind::Atomic ? cfg_.atomic_penalty : 0;
   auto& levels = caches_[proc];
   SetAssocCache& l1 = levels[0];
   const bool two_level = levels.size() > 1;
   SetAssocCache& ll = levels.back();
   const u64 unit = unit_of_l1_line(l1_line);
   // Every return path below charges `extra_atomic`, so attribute it once.
-  perf::CpiStack& parts = parts_[proc];
-  if (attrib_) parts.atomics += extra_atomic;
+  [[maybe_unused]] perf::CpiStack& parts = parts_[proc];
+  if (kTimed && attrib_) parts.atomics += extra_atomic;
 
   // ---- L1 ----
   if (auto st = l1.lookup(l1_line)) {
@@ -306,11 +395,13 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
       }
     }
     // Otherwise upgrade at the coherence level.
-    ++c.upgrades;
-    const GlobalResult g =
-        global_op(proc, /*want_excl=*/true, /*had_shared_copy=*/true, unit, now);
+    if constexpr (kTimed) ++c.upgrades;
+    const GlobalResult g = global_op<kTimed>(proc, /*want_excl=*/true,
+                                             /*had_shared_copy=*/true, unit,
+                                             now);
     l1.set_state(l1_line, LineState::M);
     if (two_level) ll.set_state(unit, LineState::M);
+    if constexpr (!kTimed) return 0;
     ++c.mem_requests;
     c.mem_latency_cycles += g.latency;
     const u64 mem_exposed = static_cast<u64>(static_cast<double>(g.latency) *
@@ -319,12 +410,13 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
     return mem_exposed + extra_atomic;
   }
 
-  ++c.l1d_misses;
+  if constexpr (kTimed) ++c.l1d_misses;
   // Classify against pre-fill residency history and record the fill in the
   // same probe (every path below fills l1_line; nothing observes this
   // processor's history in between, since invalidations never target the
   // requester). A later coherence result (served by a remote cache)
-  // overrides the local classification.
+  // overrides the local classification. The untimed path discards the
+  // cause but must still record the fill — the history is warm state.
   const perf::MissCause l1_hist_cause =
       attrib_ ? hist_[proc][0].classify_and_fill(l1_line)
               : perf::MissCause::kCold;
@@ -332,9 +424,12 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
   // ---- L2 (Origin only) ----
   if (two_level) {
     if (auto st2 = ll.lookup(unit)) {
-      const u64 l2_exposed = static_cast<u64>(
-          static_cast<double>(ll.config().hit_latency) * cfg_.exposed_l2_frac);
-      if (attrib_) {
+      const u64 l2_exposed =
+          kTimed ? static_cast<u64>(
+                       static_cast<double>(ll.config().hit_latency) *
+                       cfg_.exposed_l2_frac)
+                 : 0;
+      if (kTimed && attrib_) {
         // L1 miss served from the local L2: the local history is the cause
         // (the fill itself was recorded by classify_and_fill above).
         ++c.l1_miss_causes[l1_hist_cause];
@@ -354,14 +449,15 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
         return l2_exposed + extra_atomic;
       }
       // Write to an S line resident in L2: upgrade.
-      ++c.upgrades;
-      const GlobalResult g = global_op(proc, true, true, unit, now);
+      if constexpr (kTimed) ++c.upgrades;
+      const GlobalResult g = global_op<kTimed>(proc, true, true, unit, now);
       ll.set_state(unit, LineState::M);
       if (auto ev = l1.insert(l1_line, LineState::M)) {
         if (ev->state == LineState::M) {
           ll.set_state(unit_of_l1_line(ev->line_addr), LineState::M);
         }
       }
+      if constexpr (!kTimed) return 0;
       ++c.mem_requests;
       c.mem_latency_cycles += g.latency;
       const u64 mem_exposed = static_cast<u64>(static_cast<double>(g.latency) *
@@ -369,33 +465,37 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
       if (attrib_) bucket_part(parts, g.bucket) += mem_exposed;
       return l2_exposed + mem_exposed + extra_atomic;
     }
-    ++c.l2d_misses;
+    if constexpr (kTimed) ++c.l2d_misses;
   }
 
   // ---- Coherence-unit transaction ----
   const perf::MissCause ll_hist_cause =
       attrib_ && two_level ? hist_[proc][1].classify_and_fill(unit)
                            : l1_hist_cause;
-  const GlobalResult g = global_op(proc, want_excl, false, unit, now);
-  ++c.mem_requests;
-  c.mem_latency_cycles += g.latency;
-  if (attrib_) {
-    perf::MissCause l1_cause = l1_hist_cause;
-    perf::MissCause ll_cause = ll_hist_cause;
-    if (g.remote_cache) {
-      // Served through another cache's copy: a communication miss at every
-      // level regardless of local residency history.
-      l1_cause = ll_cause =
-          g.dirty ? perf::MissCause::kCohDirty : perf::MissCause::kCohClean;
+  const GlobalResult g = global_op<kTimed>(proc, want_excl, false, unit, now);
+  if constexpr (kTimed) {
+    ++c.mem_requests;
+    c.mem_latency_cycles += g.latency;
+    if (attrib_) {
+      perf::MissCause l1_cause = l1_hist_cause;
+      perf::MissCause ll_cause = ll_hist_cause;
+      if (g.remote_cache) {
+        // Served through another cache's copy: a communication miss at every
+        // level regardless of local residency history.
+        l1_cause = ll_cause =
+            g.dirty ? perf::MissCause::kCohDirty : perf::MissCause::kCohClean;
+      }
+      // Fills for l1_line / unit were recorded by classify_and_fill above.
+      ++c.l1_miss_causes[l1_cause];
+      if (two_level) ++c.l2_miss_causes[ll_cause];
+      record_ll_miss(c, ll_cause, unit << ll.line_shift());
     }
-    // Fills for l1_line / unit were recorded by classify_and_fill above.
-    ++c.l1_miss_causes[l1_cause];
-    if (two_level) ++c.l2_miss_causes[ll_cause];
-    record_ll_miss(c, ll_cause, unit << ll.line_shift());
   }
 
   if (two_level) {
-    if (auto ev = ll.insert(unit, g.fill)) last_level_eviction(proc, *ev, now);
+    if (auto ev = ll.insert(unit, g.fill)) {
+      last_level_eviction<kTimed>(proc, *ev, now);
+    }
     // Maintain inclusion: drop any stale L1 sublines of a (re)filled unit.
     // (None should exist — checked by invariants — but inserting fresh is
     // what the hardware does.)
@@ -406,46 +506,56 @@ u64 MachineSim::access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now) {
       }
     }
   } else {
-    if (auto ev = l1.insert(l1_line, g.fill)) last_level_eviction(proc, *ev, now);
+    if (auto ev = l1.insert(l1_line, g.fill)) {
+      last_level_eviction<kTimed>(proc, *ev, now);
+    }
   }
+  if constexpr (!kTimed) return 0;
   const u64 mem_exposed =
       static_cast<u64>(static_cast<double>(g.latency) * cfg_.exposed_mem_frac);
   if (attrib_) bucket_part(parts, g.bucket) += mem_exposed;
   return mem_exposed + extra_atomic;
 }
 
+template <bool kTimed>
 MachineSim::GlobalResult MachineSim::global_op(u32 proc, bool want_excl,
                                                bool had_shared_copy,
                                                u64 unit_line, u64 now) {
-  perf::Counters& c = ctr(proc);
+  [[maybe_unused]] perf::Counters& c = ctr(proc);
   const u32 ll_shift = caches_[proc].back().line_shift();
   const SimAddr byte_addr = unit_line << ll_shift;
   const u32 pnode = node_of_proc(proc);
   const u32 home = home_of(byte_addr);
-  if (!cfg_.uma && home != pnode) ++c.remote_accesses;
+  if constexpr (kTimed) {
+    if (!cfg_.uma && home != pnode) ++c.remote_accesses;
+  }
 
   DirEntry& e = dir_.entry(unit_line);
   GlobalResult r;
 
-  const u64 req_leg = net_.oneway(pnode, home);
-  const u64 data_leg = net_.oneway_data(home, pnode);
+  const u64 req_leg = kTimed ? net_.oneway(pnode, home) : 0;
+  const u64 data_leg = kTimed ? net_.oneway_data(home, pnode) : 0;
 
   switch (e.state) {
     case DirState::Uncached: {
-      const u64 queue = mc_.request(home, now + req_leg);
-      r.latency = req_leg + queue + cfg_.mem_access + data_leg;
+      if constexpr (kTimed) {
+        const u64 queue = mc_.request(home, now + req_leg);
+        r.latency = req_leg + queue + cfg_.mem_access + data_leg;
+        r.bucket = home_bucket(pnode, home);
+      }
       r.fill = want_excl ? LineState::M : LineState::E;
-      r.bucket = home_bucket(pnode, home);
       e.state = DirState::Owned;
       e.owner = proc;
       e.sharers = 0;
       break;
     }
     case DirState::Shared: {
-      r.bucket = home_bucket(pnode, home);
+      if constexpr (kTimed) r.bucket = home_bucket(pnode, home);
       if (!want_excl) {
-        const u64 queue = mc_.request(home, now + req_leg);
-        r.latency = req_leg + queue + cfg_.mem_access + data_leg;
+        if constexpr (kTimed) {
+          const u64 queue = mc_.request(home, now + req_leg);
+          r.latency = req_leg + queue + cfg_.mem_access + data_leg;
+        }
         r.fill = LineState::S;
         e.add_sharer(proc);
       } else {
@@ -455,13 +565,17 @@ MachineSim::GlobalResult MachineSim::global_op(u32 proc, bool want_excl,
         for (u32 q = 0; q < cfg_.num_processors; ++q) {
           if (q == proc || !e.is_sharer(q)) continue;
           if (obs_ != nullptr) obs_->on_invalidation(proc, q, unit_line);
-          invalidate_unit_at(q, unit_line);
+          invalidate_unit_at<kTimed>(q, unit_line);
           ++invalidated;
         }
-        const u64 queue = mc_.request(home, now + req_leg);
-        r.latency = req_leg + queue + cfg_.dir_lookup +
-                    (had_shared_copy ? 0 : cfg_.mem_access) + data_leg +
-                    static_cast<u64>(6) * invalidated;
+        if constexpr (kTimed) {
+          const u64 queue = mc_.request(home, now + req_leg);
+          r.latency = req_leg + queue + cfg_.dir_lookup +
+                      (had_shared_copy ? 0 : cfg_.mem_access) + data_leg +
+                      static_cast<u64>(6) * invalidated;
+        } else {
+          (void)invalidated;
+        }
         r.fill = LineState::M;
         // Migratory detection: this write completes a read-from-dirty ->
         // write pattern by the same processor.
@@ -484,42 +598,46 @@ MachineSim::GlobalResult MachineSim::global_op(u32 proc, bool want_excl,
                   "of sync)",
                   unit_line, proc);
       const u32 q = e.owner;
-      const u32 qnode = node_of_proc(q);
+      [[maybe_unused]] const u32 qnode = node_of_proc(q);
       if (obs_ != nullptr) obs_->on_intervention(proc, q, unit_line);
-      ++ctr(q).cache_interventions;
+      if constexpr (kTimed) ++ctr(q).cache_interventions;
       const auto q_state = caches_[q].back().probe(unit_line);
       proto_check(q_state.has_value(),
                   "owner lost the line without notifying the directory",
                   unit_line, q);
       const bool dirty = q_state == LineState::M;
-      if (dirty) ++c.dirty_misses;
-      // Any transaction through an exclusive remote copy is intervention
-      // wait for the requester (the speculative-reply case included: the
-      // stall is still bounded by confirming the owner).
-      r.bucket = MemBucket::kIntervention;
-      r.remote_cache = true;
-      r.dirty = dirty;
+      if constexpr (kTimed) {
+        if (dirty) ++c.dirty_misses;
+        // Any transaction through an exclusive remote copy is intervention
+        // wait for the requester (the speculative-reply case included: the
+        // stall is still bounded by confirming the owner).
+        r.bucket = MemBucket::kIntervention;
+        r.remote_cache = true;
+        r.dirty = dirty;
+      }
 
       const bool migratory_handoff =
           !want_excl && cfg_.migratory_opt && e.migratory;
       // The directory lives in home memory: every transaction occupies the
       // home controller exactly once.
-      const u64 queue = mc_.request(home, now + req_leg);
-      const u64 three_hop = req_leg + cfg_.dir_lookup + queue +
-                            net_.oneway(home, qnode) + cfg_.cache_penalty +
-                            net_.oneway_data(qnode, pnode);
+      const u64 queue = kTimed ? mc_.request(home, now + req_leg) : 0;
+      const u64 three_hop =
+          kTimed ? req_leg + cfg_.dir_lookup + queue +
+                       net_.oneway(home, qnode) + cfg_.cache_penalty +
+                       net_.oneway_data(qnode, pnode)
+                 : 0;
       if (want_excl || migratory_handoff) {
         if (obs_ != nullptr) {
           if (migratory_handoff) obs_->on_migratory_handoff(proc, q, unit_line);
           obs_->on_invalidation(proc, q, unit_line);
         }
-        invalidate_unit_at(q, unit_line);
+        invalidate_unit_at<kTimed>(q, unit_line);
         e.owner = proc;
         e.sharers = 0;
         r.fill = LineState::M;
         r.latency = three_hop;
         if (migratory_handoff) {
-          ++c.migratory_transfers;
+          if constexpr (kTimed) ++c.migratory_transfers;
         } else if (e.has_dirty_reader && e.last_dirty_reader == proc) {
           e.migratory = true;
           e.has_dirty_reader = false;
@@ -529,19 +647,21 @@ MachineSim::GlobalResult MachineSim::global_op(u32 proc, bool want_excl,
         if (obs_ != nullptr) obs_->on_downgrade(proc, q, unit_line);
         if (downgrade_unit_at(q, unit_line)) {
           // Dirty data returns to the home in the same transaction.
-          mc_.post(home, now + req_leg);
+          if constexpr (kTimed) mc_.post(home, now + req_leg);
         }
         if (dirty) {
           e.has_dirty_reader = true;
           e.last_dirty_reader = proc;
         }
-        if (!dirty && cfg_.speculative_reply) {
-          // Origin speculative memory reply: home sends the memory copy in
-          // parallel with confirming the clean owner, hiding the third hop.
-          r.latency = req_leg + queue + cfg_.mem_access + data_leg +
-                      cfg_.dir_lookup;
-        } else {
-          r.latency = three_hop;
+        if constexpr (kTimed) {
+          if (!dirty && cfg_.speculative_reply) {
+            // Origin speculative memory reply: home sends the memory copy in
+            // parallel with confirming the clean owner, hiding the third hop.
+            r.latency = req_leg + queue + cfg_.mem_access + data_leg +
+                        cfg_.dir_lookup;
+          } else {
+            r.latency = three_hop;
+          }
         }
         r.fill = LineState::S;
         e.state = DirState::Shared;
@@ -555,6 +675,7 @@ MachineSim::GlobalResult MachineSim::global_op(u32 proc, bool want_excl,
   return r;
 }
 
+template <bool kTimed>
 bool MachineSim::invalidate_unit_at(u32 q, u64 unit_line) {
   auto& levels = caches_[q];
   bool dirty = false;
@@ -572,7 +693,7 @@ bool MachineSim::invalidate_unit_at(u32 q, u64 unit_line) {
     dirty = dirty || (*st == LineState::M);
     if (attrib_) hist_[q][levels.size() > 1 ? 1 : 0].note_inval(unit_line);
   }
-  ++ctr(q).invalidations_recv;
+  if constexpr (kTimed) ++ctr(q).invalidations_recv;
   return dirty;
 }
 
@@ -596,11 +717,12 @@ bool MachineSim::downgrade_unit_at(u32 q, u64 unit_line) {
   return dirty;
 }
 
+template <bool kTimed>
 void MachineSim::last_level_eviction(u32 proc, const Eviction& ev, u64 now) {
-  perf::Counters& c = ctr(proc);
-  const u32 ll_shift = caches_[proc].back().line_shift();
-  const SimAddr byte_addr = ev.line_addr << ll_shift;
-  const u32 home = home_of(byte_addr);
+  [[maybe_unused]] perf::Counters& c = ctr(proc);
+  [[maybe_unused]] const u32 ll_shift = caches_[proc].back().line_shift();
+  [[maybe_unused]] const SimAddr byte_addr = ev.line_addr << ll_shift;
+  [[maybe_unused]] const u32 home = kTimed ? home_of(byte_addr) : 0;
 
   // Back-invalidate L1 sublines (multilevel inclusion).
   bool l1_dirty = false;
@@ -630,10 +752,12 @@ void MachineSim::last_level_eviction(u32 proc, const Eviction& ev, u64 now) {
     e.state = DirState::Uncached;
     e.sharers = 0;
     if (dirty) {
-      ++c.writebacks;
-      // Writebacks are posted through the write buffer; the processor does
-      // not stall, but the home controller is occupied.
-      mc_.post(home, now + net_.oneway(node_of_proc(proc), home));
+      if constexpr (kTimed) {
+        ++c.writebacks;
+        // Writebacks are posted through the write buffer; the processor does
+        // not stall, but the home controller is occupied.
+        mc_.post(home, now + net_.oneway(node_of_proc(proc), home));
+      }
     }
   }
   e.migratory = false;

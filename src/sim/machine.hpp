@@ -157,6 +157,7 @@ class LineHist {
   }
 
  private:
+  friend class LivePointAccess;
   /// [0] = seen bits, [1] = last-removal-was-invalidation bits.
   DSS_SHARD_PARTITIONED util::FlatMap<std::array<u64, 2>> blocks_;
 };
@@ -169,6 +170,9 @@ struct BatchRef {
   u32 proc;
   u32 len_kind;  ///< (len << 2) | AccessKind
 };
+
+class RefSampler;       // sim/sample/sampler.hpp
+class LivePointAccess;  // sim/sample/livepoint.cpp (serializer backdoor)
 
 class MachineSim {
  public:
@@ -198,6 +202,28 @@ class MachineSim {
   /// observer, trace hook, or TLB model active every reference takes the
   /// general path (identical results, every hook still fires).
   void access_batch(const BatchRef* refs, std::size_t n);
+
+  /// Functional warming (DESIGN.md §12): apply a batch of references to the
+  /// cache/directory/LRU/miss-history state with *no* cycle accounting — no
+  /// counters, no interconnect or memory-controller traffic, no stall. The
+  /// resulting simulator state is bit-identical to what access_batch would
+  /// have produced (state transitions never depend on computed latencies),
+  /// at a fraction of the cost: the sampling driver interleaves this with
+  /// detailed measurement windows.
+  void warm_batch(const BatchRef* refs, std::size_t n);
+
+  /// Single-reference functional warming (the execution-driven analogue of
+  /// warm_batch; used for the non-detailed phases of a sampled trial).
+  /// Updates TLB state but charges no TLB miss.
+  void warm_access(u32 proc, AccessKind kind, SimAddr addr, u32 len);
+
+  /// Attach a systematic-sampling schedule (nullptr detaches). While
+  /// attached, `access()` consults the sampler for each reference: warm
+  /// phases take the functional path above (0 stall), detailed phases run
+  /// the full timing model, and the sampler snapshots attached counters at
+  /// measurement-window boundaries. Requires attribution and no observer.
+  void set_sampler(RefSampler* s) { sampler_ = s; }
+  [[nodiscard]] RefSampler* sampler() const { return sampler_; }
 
   /// Roll the memory-controller contention estimate; the scheduler calls
   /// this once per lockstep window.
@@ -278,14 +304,23 @@ class MachineSim {
     bool dirty = false;         ///< that copy was Modified
   };
 
+  // The protocol internals are templated on kTimed: <true> is the detailed
+  // timing model, <false> the functional-warming variant that performs the
+  // *same* state transitions (tags, MESI, directory, LRU, miss history —
+  // none of which ever read a computed latency) while skipping counters,
+  // latency math, and memory-controller traffic. One body keeps the two
+  // paths from drifting; warm-state identity is asserted by sample_test.
+
   /// Coherence-unit transaction. `had_shared_copy` marks an upgrade (the
   /// requester already holds S data; no data transfer needed).
+  template <bool kTimed>
   GlobalResult global_op(u32 proc, bool want_excl, bool had_shared_copy,
                          u64 unit_line, u64 now);
 
   /// Invalidate every copy of a coherence unit at processor q, counting the
   /// external invalidation at q. Returns true if a dirty copy was destroyed
   /// (the protocol forwards its data, so no separate writeback is charged).
+  template <bool kTimed>
   bool invalidate_unit_at(u32 q, u64 unit_line);
 
   /// Downgrade processor q's copy of a unit from E/M to S. Returns true if
@@ -293,9 +328,12 @@ class MachineSim {
   bool downgrade_unit_at(u32 q, u64 unit_line);
 
   /// Handle a victim evicted from the last (coherence) level at `proc`.
+  template <bool kTimed>
   void last_level_eviction(u32 proc, const Eviction& ev, u64 now);
 
-  /// Per-L1-line reference; returns exposed stall cycles.
+  /// Per-L1-line reference; returns exposed stall cycles (always 0 when
+  /// !kTimed).
+  template <bool kTimed>
   u64 access_line(u32 proc, AccessKind kind, u64 l1_line, u64 now);
 
   /// Hook-free body of access_batch(), dispatched once per batch on the L1
@@ -303,6 +341,14 @@ class MachineSim {
   /// fully unrolled for the two hardware geometries.
   template <u32 kAssoc>
   void batch_plain(const BatchRef* refs, std::size_t n);
+
+  /// Hook-free body of warm_batch(), same dispatch scheme.
+  template <u32 kAssoc>
+  void warm_plain(const BatchRef* refs, std::size_t n);
+
+  /// Body of access() past the sampler dispatch (the detailed path).
+  u64 access_detailed(u32 proc, AccessKind kind, SimAddr addr, u32 len,
+                      u64 now);
 
   [[nodiscard]] perf::Counters& ctr(u32 proc) {
     return counters_[proc] != nullptr ? *counters_[proc] : scratch_;
@@ -321,7 +367,9 @@ class MachineSim {
   [[noreturn]] void proto_fail(const char* what, u64 unit, u32 proc) const;
 
   /// Translate an access's pages through proc's data TLB; returns exposed
-  /// refill cycles (0 when the TLB model is disabled).
+  /// refill cycles (0 when the TLB model is disabled). The untimed variant
+  /// still refills the TLB (warm state) but charges nothing.
+  template <bool kTimed>
   u64 translate(u32 proc, SimAddr addr, u32 len);
 
   /// MemBucket -> CpiStack component of `s`.
@@ -331,6 +379,8 @@ class MachineSim {
   /// Record one last-level miss's cause + object class into `c`.
   void record_ll_miss(perf::Counters& c, perf::MissCause cause,
                       SimAddr byte_addr);
+
+  friend class LivePointAccess;
 
   DSS_REPLAY_SAFE MachineConfig cfg_;
   DSS_REPLAY_SAFE Interconnect net_;  ///< immutable topology + latencies
@@ -352,6 +402,8 @@ class MachineSim {
   DSS_REPLAY_SAFE ProtocolObserver* obs_ = nullptr;
   DSS_REPLAY_SAFE CheckFault fault_ = CheckFault::kNone;
   DSS_REPLAY_SAFE bool attrib_ = true;
+  /// Attached sampling schedule (nullptr: every reference is detailed).
+  DSS_REPLAY_SAFE RefSampler* sampler_ = nullptr;
   DSS_REPLAY_SAFE const AddrClassRegistry* classes_ = nullptr;
   /// [proc][level: 0=L1, 1=last level] residency history (attribution).
   DSS_SHARD_PARTITIONED std::vector<std::array<LineHist, 2>> hist_;

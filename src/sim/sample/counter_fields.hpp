@@ -1,0 +1,65 @@
+// Internal to sim/sample: a single traversal of the machine-event counter
+// fields, shared by the execution-driven sampler and the replay sampling
+// driver so delta accumulation and estimate scaling can never drift apart.
+#pragma once
+
+#include "perf/counters.hpp"
+
+namespace dss::sim {
+
+/// The machine-event counter fields: everything MachineSim increments on the
+/// detailed path, i.e. exactly what a measurement window samples and what a
+/// sampled run replaces with scaled estimates. Process-side fields (cycles,
+/// instructions, spin, context switches, DBMS software counters) stay exact
+/// and are deliberately absent. `f` receives the matching field of all three
+/// structs.
+template <class F>
+void for_each_machine_field(perf::Counters& a, const perf::Counters& b,
+                            const perf::Counters& c, F&& f) {
+  f(a.loads, b.loads, c.loads);
+  f(a.stores, b.stores, c.stores);
+  f(a.atomics, b.atomics, c.atomics);
+  f(a.l1d_misses, b.l1d_misses, c.l1d_misses);
+  f(a.l2d_misses, b.l2d_misses, c.l2d_misses);
+  f(a.dirty_misses, b.dirty_misses, c.dirty_misses);
+  f(a.cache_interventions, b.cache_interventions, c.cache_interventions);
+  f(a.invalidations_recv, b.invalidations_recv, c.invalidations_recv);
+  f(a.upgrades, b.upgrades, c.upgrades);
+  f(a.writebacks, b.writebacks, c.writebacks);
+  f(a.migratory_transfers, b.migratory_transfers, c.migratory_transfers);
+  f(a.tlb_misses, b.tlb_misses, c.tlb_misses);
+  f(a.mem_requests, b.mem_requests, c.mem_requests);
+  f(a.mem_latency_cycles, b.mem_latency_cycles, c.mem_latency_cycles);
+  f(a.remote_accesses, b.remote_accesses, c.remote_accesses);
+  for (u32 i = 0; i < perf::kNumMissCauses; ++i) {
+    f(a.l1_miss_causes.by_cause[i], b.l1_miss_causes.by_cause[i],
+      c.l1_miss_causes.by_cause[i]);
+    f(a.l2_miss_causes.by_cause[i], b.l2_miss_causes.by_cause[i],
+      c.l2_miss_causes.by_cause[i]);
+  }
+  for (u32 i = 0; i < perf::kNumObjClasses; ++i) {
+    f(a.obj_misses[i], b.obj_misses[i], c.obj_misses[i]);
+    f(a.obj_comm_misses[i], b.obj_comm_misses[i], c.obj_comm_misses[i]);
+  }
+  f(a.stack.tlb, b.stack.tlb, c.stack.tlb);
+  f(a.stack.atomics, b.stack.atomics, c.stack.atomics);
+  f(a.stack.l2_hit, b.stack.l2_hit, c.stack.l2_hit);
+  f(a.stack.mem_local, b.stack.mem_local, c.stack.mem_local);
+  f(a.stack.mem_remote_near, b.stack.mem_remote_near,
+    c.stack.mem_remote_near);
+  f(a.stack.mem_remote_mid, b.stack.mem_remote_mid, c.stack.mem_remote_mid);
+  f(a.stack.mem_remote_far, b.stack.mem_remote_far, c.stack.mem_remote_far);
+  f(a.stack.intervention, b.stack.intervention, c.stack.intervention);
+}
+
+/// dst.X += cur.X - base.X over the machine-event fields.
+inline void accumulate_machine_delta(perf::Counters& dst,
+                                     const perf::Counters& cur,
+                                     const perf::Counters& base) {
+  for_each_machine_field(dst, cur, base,
+                         [](u64& d, const u64& c, const u64& b) {
+                           d += c - b;
+                         });
+}
+
+}  // namespace dss::sim

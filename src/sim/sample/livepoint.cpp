@@ -1,0 +1,480 @@
+#include "sim/sample/livepoint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "sim/cache.hpp"
+#include "sim/directory.hpp"
+#include "sim/machine.hpp"
+#include "sim/memctrl.hpp"
+
+namespace dss::sim {
+
+namespace {
+
+constexpr char kMagic[6] = {'D', 'S', 'S', 'L', 'P', '\0'};
+constexpr u32 kEndianMarker = 0x01020304;
+
+[[nodiscard]] u64 mix64(u64 h, u64 v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h * 0x100000001b3ULL;
+}
+
+/// In-memory form of the file payload: the canonical shard-count-free union
+/// of one replay's warm state.
+struct Image {
+  u64 nproc = 0;
+  u64 levels = 0;
+  /// [proc * levels + level]: SetAssocCache::append_canonical encoding.
+  std::vector<std::vector<u64>> caches;
+  /// [proc * levels + level]: (block key, seen bits, inval bits), sorted.
+  std::vector<std::vector<std::array<u64, 3>>> hist;
+  /// (unit, sharers, owner | last_dirty_reader << 32,
+  ///  state | migratory << 8 | has_dirty_reader << 9), sorted by unit.
+  std::vector<std::array<u64, 4>> dir;
+  u64 epoch_cycles = 0;
+  std::vector<u64> mc_cur;
+  std::vector<u64> mc_prev;
+  std::vector<u64> mc_requests;
+  std::vector<u64> mc_queued;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::ofstream& out) : out_(out) {}
+  void u64v(u64 v) { out_.write(reinterpret_cast<const char*>(&v), 8); }
+  void span(const std::vector<u64>& xs) {
+    u64v(xs.size());
+    for (u64 x : xs) u64v(x);
+  }
+
+ private:
+  std::ofstream& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::ifstream& in) : in_(in) {}
+  [[nodiscard]] bool u64v(u64& v) {
+    in_.read(reinterpret_cast<char*>(&v), 8);
+    return in_.good();
+  }
+  [[nodiscard]] bool span(std::vector<u64>& xs) {
+    u64 n = 0;
+    if (!u64v(n)) return false;
+    if (n > (u64{1} << 32)) return false;  // corrupt length
+    xs.resize(n);
+    for (u64& x : xs) {
+      if (!u64v(x)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::ifstream& in_;
+};
+
+}  // namespace
+
+/// Serializer backdoor (friend of MachineSim, LineHist, MemCtrl): collects
+/// the canonical warm-state union of a replay's shard machines and installs
+/// it back into fresh machines at any shard count.
+// dss-lint: checkpoint-serializer(MachineSim, SetAssocCache, Directory, LineHist, MemCtrl)
+class LivePointAccess {
+ public:
+  /// Build the canonical image of `shards` (shard index order). Shard s owns
+  /// disjoint cache sets / directory units, so per-set and per-unit merges
+  /// are unions of at-most-one contributor; only the residency-history
+  /// bitmaps genuinely interleave (a 64-line block spans units) and OR-merge.
+  static Image collect(const std::vector<MachineSim*>& shards) {
+    assert(!shards.empty());
+    const MachineSim& m0 = *shards[0];
+    Image img;
+    img.nproc = m0.cfg_.num_processors;
+    img.levels = m0.cfg_.dcache.size();
+
+    // Caches: decode each shard's canonical stream in per-set lockstep and
+    // concatenate — a set's lines live wholly in its owning shard, so every
+    // other shard contributes an empty set there. The merged stream is the
+    // append_canonical encoding of the equivalent unsharded cache.
+    for (u64 p = 0; p < img.nproc; ++p) {
+      for (u64 lvl = 0; lvl < img.levels; ++lvl) {
+        std::vector<std::vector<u64>> enc(shards.size());
+        for (std::size_t s = 0; s < shards.size(); ++s) {
+          shards[s]->caches_[p][lvl].append_canonical(enc[s]);
+        }
+        const u32 sets = m0.caches_[p][lvl].config().num_sets();
+        std::vector<u64> merged;
+        merged.reserve(enc[0].size());
+        std::vector<std::size_t> cur(shards.size(), 0);
+        for (u32 set = 0; set < sets; ++set) {
+          u64 total = 0;
+          for (std::size_t s = 0; s < shards.size(); ++s) {
+            total += enc[s][cur[s]];
+          }
+          merged.push_back(total);
+          for (std::size_t s = 0; s < shards.size(); ++s) {
+            const u64 count = enc[s][cur[s]++];
+            for (u64 i = 0; i < count; ++i) merged.push_back(enc[s][cur[s]++]);
+          }
+        }
+        img.caches.push_back(std::move(merged));
+
+        // Residency history (LineHist::blocks_): OR-merge across shards,
+        // canonical order by block key.
+        std::map<u64, std::array<u64, 2>> blocks;
+        for (MachineSim* ms : shards) {
+          ms->hist_[p][lvl].blocks_.for_each(
+              [&blocks](u64 key, const std::array<u64, 2>& b) {
+                std::array<u64, 2>& dst = blocks[key];
+                dst[0] |= b[0];
+                dst[1] |= b[1];
+              });
+        }
+        std::vector<std::array<u64, 3>> flat;
+        flat.reserve(blocks.size());
+        for (const auto& [key, b] : blocks) {
+          flat.push_back({key, b[0], b[1]});
+        }
+        img.hist.push_back(std::move(flat));
+      }
+    }
+
+    // Directory (Directory::entries_): units are disjoint across shards;
+    // sort the union by unit address.
+    std::map<u64, DirEntry> entries;
+    for (MachineSim* ms : shards) {
+      ms->dir_.for_each([&entries](u64 unit, const DirEntry& e) {
+        assert(entries.find(unit) == entries.end() &&
+               "directory unit owned by two shards");
+        entries[unit] = e;
+      });
+    }
+    img.dir.reserve(entries.size());
+    for (const auto& [unit, e] : entries) {
+      const u64 packed = static_cast<u64>(e.state) |
+                         (static_cast<u64>(e.migratory) << 8) |
+                         (static_cast<u64>(e.has_dirty_reader) << 9);
+      img.dir.push_back({unit, e.sharers,
+                         static_cast<u64>(e.owner) |
+                             (static_cast<u64>(e.last_dirty_reader) << 32),
+                         packed});
+    }
+
+    // Memory controller (MemCtrl epoch state). A live point is reached via
+    // the functional warm path, which never issues controller traffic, so
+    // every tally must still be zero — asserted here, serialized anyway so
+    // the format (and the checkpoint-field lint rule) covers the epoch
+    // state; `delay_memo_` is derived and recomputed on restore.
+    const u32 homes = m0.mc_.num_homes();
+    img.epoch_cycles = m0.mc_.epoch_cycles_;
+    img.mc_cur.assign(homes, 0);
+    img.mc_prev.assign(homes, 0);
+    img.mc_requests.assign(homes, 0);
+    img.mc_queued.assign(homes, 0);
+    for (MachineSim* ms : shards) {
+      for (u32 h = 0; h < homes; ++h) {
+        img.mc_cur[h] += ms->mc_.cur_count_[h];
+        img.mc_prev[h] += ms->mc_.prev_count_[h];
+        img.mc_requests[h] += ms->mc_.requests_[h];
+        img.mc_queued[h] += ms->mc_.queued_[h];
+        assert(ms->mc_.cur_count_[h] == 0 && ms->mc_.requests_[h] == 0 &&
+               "live point saved past detailed traffic");
+      }
+      // Warm machines also have pristine counter plumbing: nothing attached,
+      // nothing spilled into the scratch sink, no TLB state (replay shards
+      // run with the TLB model compiled out of the stream).
+      assert(ms->tlbs_.empty());
+      assert(ms->scratch_.cycles == 0);
+      for (u32 q = 0; q < img.nproc; ++q) assert(ms->counters_[q] == nullptr);
+      assert(ms->parts_.size() == img.nproc);
+    }
+    return img;
+  }
+
+  /// Install `img` into freshly constructed shard machines, routing each
+  /// piece to its owning shard. Inverse of collect() at any shard count.
+  static bool install(const std::vector<MachineSim*>& shards, const Image& img,
+                      std::string* error) {
+    const std::size_t S = shards.size();
+    assert(S != 0 && (S & (S - 1)) == 0);
+    const MachineSim& m0 = *shards[0];
+    if (img.nproc != m0.cfg_.num_processors ||
+        img.levels != m0.cfg_.dcache.size()) {
+      if (error != nullptr) *error = "machine shape mismatch";
+      return false;
+    }
+    const u32 ll_shift = static_cast<u32>(
+        std::countr_zero(static_cast<u64>(m0.cfg_.dcache.back().line_bytes)));
+
+    for (u64 p = 0; p < img.nproc; ++p) {
+      for (u64 lvl = 0; lvl < img.levels; ++lvl) {
+        // Route a level-lvl line to its owning shard: the coherence unit is
+        // the line address shifted down by the line-size difference.
+        const u32 lvl_shift = static_cast<u32>(std::countr_zero(
+            static_cast<u64>(m0.cfg_.dcache[lvl].line_bytes)));
+        const u32 unit_shift = ll_shift - lvl_shift;
+        const std::vector<u64>& enc = img.caches[p * img.levels + lvl];
+        const u32 sets = m0.caches_[p][lvl].config().num_sets();
+        std::size_t i = 0;
+        for (u32 set = 0; set < sets; ++set) {
+          if (i >= enc.size()) {
+            if (error != nullptr) *error = "truncated cache section";
+            return false;
+          }
+          const u64 count = enc[i++];
+          if (i + count > enc.size()) {
+            if (error != nullptr) *error = "truncated cache set";
+            return false;
+          }
+          // Entries are MRU -> LRU; insert LRU -> MRU so each insert's
+          // recency touch rebuilds the original order (physical way indices
+          // may differ — no protocol decision reads them).
+          for (u64 k = count; k > 0; --k) {
+            const u64 word = enc[i + k - 1];
+            const u64 line = word >> 2;
+            const auto st = static_cast<LineState>((word & 3) + 1);
+            MachineSim& ms = *shards[(line >> unit_shift) & (S - 1)];
+            const std::optional<Eviction> ev =
+                ms.caches_[p][lvl].insert(line, st);
+            assert(!ev.has_value() && "restore into non-empty cache");
+            (void)ev;
+          }
+          i += count;
+        }
+
+        // History blocks are restored into every shard: a 64-line block can
+        // span shard boundaries, and a shard only ever queries bits of lines
+        // it owns, so the foreign bits are unobservable.
+        for (const std::array<u64, 3>& b : img.hist[p * img.levels + lvl]) {
+          for (MachineSim* ms : shards) {
+            ms->hist_[p][lvl].blocks_.get_or_insert(b[0]) = {b[1], b[2]};
+          }
+        }
+      }
+    }
+
+    for (MachineSim* ms : shards) ms->dir_.reserve(img.dir.size());
+    for (const std::array<u64, 4>& rec : img.dir) {
+      const u64 unit = rec[0];
+      DirEntry& e = shards[unit & (S - 1)]->dir_.entry(unit);
+      e.sharers = rec[1];
+      e.owner = static_cast<u32>(rec[2] & 0xFFFFFFFFu);
+      e.last_dirty_reader = static_cast<u32>(rec[2] >> 32);
+      e.state = static_cast<DirState>(rec[3] & 0xFF);
+      e.migratory = ((rec[3] >> 8) & 1) != 0;
+      e.has_dirty_reader = ((rec[3] >> 9) & 1) != 0;
+    }
+
+    const u32 homes = m0.mc_.num_homes();
+    if (img.mc_cur.size() != homes) {
+      if (error != nullptr) *error = "memory-controller home count mismatch";
+      return false;
+    }
+    for (std::size_t s = 0; s < S; ++s) {
+      MemCtrl& mc = shards[s]->mc_;
+      mc.epoch_cycles_ = img.epoch_cycles;
+      for (u32 h = 0; h < homes; ++h) {
+        // Tallies are sums over shards; shard 0 carries them (they are all
+        // zero for any live point collect() accepts — see the save-side
+        // assert — so this is exact at any shard count).
+        mc.cur_count_[h] = s == 0 ? static_cast<u32>(img.mc_cur[h]) : 0;
+        mc.prev_count_[h] = s == 0 ? static_cast<u32>(img.mc_prev[h]) : 0;
+        mc.requests_[h] = s == 0 ? img.mc_requests[h] : 0;
+        mc.queued_[h] = s == 0 ? img.mc_queued[h] : 0;
+      }
+      mc.recompute_delays();  // refresh delay_memo_ from the restored rates
+    }
+    return true;
+  }
+};
+
+u64 trace_content_hash(const std::vector<TraceRecord>& records) {
+  u64 h = 0x5bf03635f0a5c6f1ULL;
+  h = mix64(h, records.size());
+  for (const TraceRecord& r : records) {
+    h = mix64(h, r.addr);
+    h = mix64(h, r.instr_gap);
+    h = mix64(h, (static_cast<u64>(r.proc) << 40) |
+                     (static_cast<u64>(r.kind) << 32) | r.len);
+  }
+  return h;
+}
+
+u64 livepoint_digest(const MachineConfig& cfg, u64 trace_hash, u64 position) {
+  // Functional parameters only: anything that changes tag/MESI/directory/
+  // LRU/history transitions. Latencies, speculative_reply, base_cpi, and
+  // the controller occupancy are timing-only and deliberately absent, so a
+  // protocol-timing sweep shares one warm prefix per (machine, trace).
+  u64 h = 0x9d2c5680u;
+  h = mix64(h, kLivePointVersion);
+  h = mix64(h, cfg.num_processors);
+  h = mix64(h, static_cast<u64>(cfg.migratory_opt));
+  h = mix64(h, cfg.dcache.size());
+  for (const CacheConfig& c : cfg.dcache) {
+    h = mix64(h, c.size_bytes);
+    h = mix64(h, c.line_bytes);
+    h = mix64(h, c.assoc);
+  }
+  h = mix64(h, trace_hash);
+  h = mix64(h, position);
+  return h;
+}
+
+std::string live_point_path(const std::string& dir, u64 digest) {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.dsslp",
+                static_cast<unsigned long long>(digest));
+  return dir + "/" + name;
+}
+
+bool save_live_point(const std::string& path,
+                     const std::vector<MachineSim*>& shards, u64 digest,
+                     u64 position) {
+  const Image img = LivePointAccess::collect(shards);
+
+  // Write to a sibling temp file and rename: a crashed or concurrent run
+  // never leaves a torn file where a digest match would trust it.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(kMagic, sizeof kMagic);
+    const u16 version = kLivePointVersion;
+    out.write(reinterpret_cast<const char*>(&version), 2);
+    out.write(reinterpret_cast<const char*>(&kEndianMarker), 4);
+    Writer w(out);
+    w.u64v(digest);
+    w.u64v(position);
+    w.u64v(img.nproc);
+    w.u64v(img.levels);
+    for (const std::vector<u64>& enc : img.caches) w.span(enc);
+    for (const std::vector<std::array<u64, 3>>& blocks : img.hist) {
+      w.u64v(blocks.size());
+      for (const std::array<u64, 3>& b : blocks) {
+        w.u64v(b[0]);
+        w.u64v(b[1]);
+        w.u64v(b[2]);
+      }
+    }
+    w.u64v(img.dir.size());
+    for (const std::array<u64, 4>& rec : img.dir) {
+      for (u64 x : rec) w.u64v(x);
+    }
+    w.u64v(img.epoch_cycles);
+    w.span(img.mc_cur);
+    w.span(img.mc_prev);
+    w.span(img.mc_requests);
+    w.span(img.mc_queued);
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool restore_live_point(const std::string& path,
+                        const std::vector<MachineSim*>& shards, u64 digest,
+                        u64 position, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "no live point file";
+    return false;
+  }
+  char magic[6];
+  in.read(magic, sizeof magic);
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    if (error != nullptr) *error = "bad magic";
+    return false;
+  }
+  u16 version = 0;
+  u32 endian = 0;
+  in.read(reinterpret_cast<char*>(&version), 2);
+  in.read(reinterpret_cast<char*>(&endian), 4);
+  if (!in.good() || version != kLivePointVersion) {
+    if (error != nullptr) *error = "unsupported version";
+    return false;
+  }
+  if (endian != kEndianMarker) {
+    if (error != nullptr) *error = "foreign endianness";
+    return false;
+  }
+  Reader r(in);
+  u64 file_digest = 0;
+  u64 file_position = 0;
+  if (!r.u64v(file_digest) || !r.u64v(file_position)) {
+    if (error != nullptr) *error = "truncated header";
+    return false;
+  }
+  if (file_digest != digest || file_position != position) {
+    if (error != nullptr) *error = "digest/position mismatch";
+    return false;
+  }
+  Image img;
+  if (!r.u64v(img.nproc) || !r.u64v(img.levels)) {
+    if (error != nullptr) *error = "truncated header";
+    return false;
+  }
+  const u64 pairs = img.nproc * img.levels;
+  if (pairs == 0 || pairs > 4096) {
+    if (error != nullptr) *error = "implausible machine shape";
+    return false;
+  }
+  img.caches.resize(pairs);
+  img.hist.resize(pairs);
+  for (std::vector<u64>& enc : img.caches) {
+    if (!r.span(enc)) {
+      if (error != nullptr) *error = "truncated cache section";
+      return false;
+    }
+  }
+  for (std::vector<std::array<u64, 3>>& blocks : img.hist) {
+    u64 n = 0;
+    if (!r.u64v(n) || n > (u64{1} << 32)) {
+      if (error != nullptr) *error = "truncated history section";
+      return false;
+    }
+    blocks.resize(n);
+    for (std::array<u64, 3>& b : blocks) {
+      if (!r.u64v(b[0]) || !r.u64v(b[1]) || !r.u64v(b[2])) {
+        if (error != nullptr) *error = "truncated history section";
+        return false;
+      }
+    }
+  }
+  u64 dir_n = 0;
+  if (!r.u64v(dir_n) || dir_n > (u64{1} << 32)) {
+    if (error != nullptr) *error = "truncated directory section";
+    return false;
+  }
+  img.dir.resize(dir_n);
+  for (std::array<u64, 4>& rec : img.dir) {
+    for (u64& x : rec) {
+      if (!r.u64v(x)) {
+        if (error != nullptr) *error = "truncated directory section";
+        return false;
+      }
+    }
+  }
+  if (!r.u64v(img.epoch_cycles) || !r.span(img.mc_cur) ||
+      !r.span(img.mc_prev) || !r.span(img.mc_requests) ||
+      !r.span(img.mc_queued)) {
+    if (error != nullptr) *error = "truncated controller section";
+    return false;
+  }
+  return LivePointAccess::install(shards, img, error);
+}
+
+}  // namespace dss::sim

@@ -1,0 +1,94 @@
+// Live-point checkpoints (DESIGN.md §12).
+//
+// A live point captures the *functional* warm state of a replay — cache
+// tags/MESI/LRU, directory entries, line-residency history, memory-
+// controller epoch state — at a schedule-determined position in the
+// compiled stream, in a canonical shard-count-independent binary format.
+// Sweep cells that share a warmup prefix (same machine functional
+// configuration, same trace, different timing-only protocol knob) restore
+// the warm state in O(state) instead of re-warming in O(prefix).
+//
+// Canonicality: shard s of an S-way replay owns a disjoint set of cache
+// sets, directory units, and history lines (the unit partition of
+// sim/batch.hpp), so the union of per-shard state is well-defined and the
+// file never records S. Restore routes each piece back to its owning shard
+// for any shard count, and a restored machine is *behaviourally* identical
+// to the warmed-through one: resident lines, MESI/directory state, and
+// per-set recency order all match (physical way indices may differ, which
+// no protocol decision observes — see SetAssocCache::append_canonical).
+//
+// File format (version 1): all integers are little-endian u64 unless noted.
+//   magic   "DSSLP\0"            6 bytes
+//   version u16                  format version (1)
+//   endian  u32                  0x01020304 as written by the producer; a
+//                                reader seeing 0x04030201 must byte-swap
+//                                (rejected as unsupported in version 1)
+//   digest  u64                  livepoint_digest() of the producing run;
+//                                restore refuses a mismatch
+//   position u64                 compiled refs warmed before the save
+//   nproc, levels                machine shape (cross-checked on restore)
+//   per (proc, level): cache     length-prefixed SetAssocCache canonical
+//                                encoding (per set: resident count, then
+//                                (line << 2 | state) MRU -> LRU)
+//   per (proc, level): history   length-prefixed sorted (block key, seen
+//                                bits, inval bits) triples
+//   directory                    length-prefixed sorted (unit, packed
+//                                entry) records
+//   memctrl                      epoch state (epoch length, per-home
+//                                current/previous/total/queued tallies)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/trace.hpp"
+#include "util/types.hpp"
+
+namespace dss::sim {
+
+class MachineSim;
+
+inline constexpr u16 kLivePointVersion = 1;
+
+/// Outcome of a save/restore attempt, for reporting.
+struct LivePointInfo {
+  bool restored = false;  ///< state came from disk
+  bool saved = false;     ///< state was written to disk this run
+  u64 digest = 0;
+  u64 position = 0;  ///< compiled refs covered by the warm state
+  std::string path;
+};
+
+/// Content hash of a trace (field-wise: TraceRecord has padding bytes).
+[[nodiscard]] u64 trace_content_hash(const std::vector<TraceRecord>& records);
+
+/// Digest of everything that determines functional warm state: cache
+/// geometry, processor count, the migratory-sharing option (it changes
+/// directory state), the trace contents, and the warm position. Timing-only
+/// parameters — latencies, speculative_reply, base_cpi, occupancy — are
+/// deliberately excluded, so protocol-knob sweep cells share live points.
+[[nodiscard]] u64 livepoint_digest(const MachineConfig& cfg, u64 trace_hash,
+                                   u64 position);
+
+/// File name for a digest inside a live-point directory.
+[[nodiscard]] std::string live_point_path(const std::string& dir, u64 digest);
+
+/// Serialize the canonical union of `shards` (the per-shard machines of one
+/// replay, in shard index order) to `path`. The machines must be at a pure
+/// warm point: counters detached and never attached, no observer. Returns
+/// false (leaving no file behind) on I/O failure.
+[[nodiscard]] bool save_live_point(const std::string& path,
+                                   const std::vector<MachineSim*>& shards,
+                                   u64 digest, u64 position);
+
+/// Restore a live point into freshly constructed shard machines (any shard
+/// count). Verifies magic, version, endianness, digest, position, and
+/// machine shape; on any mismatch returns false with `error` set and the
+/// machines untouched (a mismatched file is a cache miss, not a failure).
+[[nodiscard]] bool restore_live_point(const std::string& path,
+                                      const std::vector<MachineSim*>& shards,
+                                      u64 digest, u64 position,
+                                      std::string* error);
+
+}  // namespace dss::sim

@@ -1,0 +1,81 @@
+// Sampled batched replay (DESIGN.md §12).
+//
+// `sample_replay` is the SMARTS-style sampling layer over the shard-parallel
+// replay core (sim/batch.hpp): the compiled BatchRef stream is divided into
+// units of N refs, every K-th unit is a measurement window replayed with the
+// detailed timing model, the W refs before each window warm in detail but
+// unmeasured, and everything else runs MachineSim's functional-warming path
+// (bit-identical state, no cycle accounting). Per-window counter deltas are
+// scaled to whole-stream estimates with 95% confidence intervals from the
+// per-window spread.
+//
+// Determinism: the schedule is a pure function of the compiled ref index and
+// phases partition each shard's sub-stream in stream order, so sampled
+// results are bit-identical at every shard count and on every pool — the
+// same contract as replay_batched. The memory-controller contention model is
+// forced off (epoch accounting needs the full detailed stream; sampled runs
+// trade it away, which full-detail goldens quantify).
+//
+// Live points: with `live_point_dir` set, the pure-warm prefix before the
+// first detailed ref is checkpointed (sim/sample/livepoint.hpp) — the first
+// run warms and saves, subsequent runs with a matching functional digest
+// restore in O(state) and produce bit-identical results to warming through.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/counters.hpp"
+#include "sim/batch.hpp"
+#include "sim/sample/sampler.hpp"
+#include "util/stats.hpp"
+
+namespace dss::sim {
+
+struct SampleReplayOptions {
+  /// As ReplayOptions::shards (clamped, power of two, bit-identical).
+  u32 shards = 1;
+  /// As ReplayOptions::attribution.
+  bool attribution = true;
+  /// As ReplayOptions::pool.
+  ThreadPool* pool = nullptr;
+  /// As ReplayOptions::compile_cache.
+  TraceCompileCache* compile_cache = nullptr;
+  /// Directory for live-point checkpoints; empty disables them. The
+  /// directory must exist; an unreadable or mismatched file falls back to
+  /// warming through (and re-saving).
+  std::string live_point_dir;
+};
+
+/// Reference accounting and per-metric estimates of one sampled replay.
+struct SampleReplayStats {
+  u64 records = 0;        ///< input trace records
+  u64 total_refs = 0;     ///< compiled BatchRefs in the stream
+  u64 detailed_refs = 0;  ///< refs run through the detailed timing model
+  u64 measured_refs = 0;  ///< subset inside measurement windows
+  u64 windows = 0;        ///< measurement windows
+  u32 shards_used = 1;
+  bool live_point_restored = false;  ///< warm prefix came from a checkpoint
+  bool live_point_saved = false;     ///< warm prefix was checkpointed
+  u64 live_point_refs = 0;           ///< refs covered by the live point
+
+  Estimate stall_per_ref;  ///< memory stall cycles per compiled ref
+  Estimate l1_per_ref;     ///< L1 data misses per compiled ref
+  Estimate l2_per_ref;     ///< last-level misses per compiled ref
+  Estimate lat_per_req;    ///< memory latency cycles per memory request
+  Estimate cpi;            ///< machine-wide cycles per instruction
+};
+
+/// Sampled replay of `records` under `sched`. Returns merged per-processor
+/// counters shaped exactly like replay_batched's: process-side accounting
+/// (instructions, gap cycles, TLB) is exact from the compile pass, machine-
+/// event counters are measured-window deltas scaled to whole-stream
+/// estimates, and `cycles` is recomputed so invariant I9 holds under
+/// attribution. A disabled schedule degrades to full-detail replay_batched
+/// (zero-width intervals, detailed_refs == total_refs).
+[[nodiscard]] std::vector<perf::Counters> sample_replay(
+    const MachineConfig& cfg, const std::vector<TraceRecord>& records,
+    const SampleSchedule& sched, const SampleReplayOptions& opts = {},
+    SampleReplayStats* stats = nullptr);
+
+}  // namespace dss::sim

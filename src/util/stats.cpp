@@ -29,6 +29,92 @@ double mean_of(const std::vector<double>& xs) {
   return s / static_cast<double>(xs.size());
 }
 
+Estimate Estimate::scaled(double f) const {
+  Estimate e = *this;
+  e.mean *= f;
+  e.variance *= f * f;
+  e.ci_half *= std::fabs(f);
+  return e;  // cov is scale-invariant
+}
+
+double t_critical_95(std::size_t df) {
+  // Two-sided 95% (i.e. 97.5% one-sided) quantiles of Student's t.
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  // Conservative bracket values: t_40, t_60, t_120 rounded up to the value
+  // at the *low* end of each range so the interval never understates.
+  if (df <= 40) return 2.042;
+  if (df <= 60) return 2.021;
+  if (df <= 120) return 2.000;
+  return 1.960;
+}
+
+namespace {
+
+Estimate finish_estimate(double mean, double variance, std::size_t n) {
+  Estimate e;
+  e.mean = mean;
+  e.variance = variance;
+  e.n = n;
+  if (n >= 2 && variance > 0.0) {
+    const double sd = std::sqrt(variance);
+    e.ci_half = t_critical_95(n - 1) * sd / std::sqrt(static_cast<double>(n));
+    if (mean != 0.0) e.cov = sd / std::fabs(mean);
+  }
+  return e;
+}
+
+}  // namespace
+
+Estimate estimate_mean(const std::vector<double>& xs) {
+  const std::size_t n = xs.size();
+  if (n == 0) return Estimate{};
+  // Two deterministic left-to-right passes; the second pass around the mean
+  // keeps the variance non-negative even for adversarial magnitudes.
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - mean;
+    ss += d * d;
+  }
+  const double variance = n >= 2 ? ss / static_cast<double>(n - 1) : 0.0;
+  return finish_estimate(mean, variance, n);
+}
+
+Estimate stratified_mean(const std::vector<double>& means,
+                         const std::vector<double>& weights) {
+  const std::size_t n = std::min(means.size(), weights.size());
+  double wsum = 0.0;
+  double acc = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] <= 0.0) continue;
+    wsum += weights[i];
+    acc += weights[i] * means[i];
+    ++used;
+  }
+  if (used == 0 || wsum <= 0.0) return Estimate{};
+  const double mean = acc / wsum;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] <= 0.0) continue;
+    const double d = means[i] - mean;
+    ss += weights[i] * d * d;
+  }
+  const double variance =
+      used >= 2
+          ? (ss / wsum) * (static_cast<double>(used) /
+                           static_cast<double>(used - 1))
+          : 0.0;
+  return finish_estimate(mean, variance, used);
+}
+
 double geomean_of(const std::vector<double>& xs) {
   // Non-positive samples have no geometric mean; skip them explicitly
   // (an assert here would compile out under NDEBUG and let log(0)/log(-x)

@@ -34,6 +34,51 @@ class RunningStat {
 /// Arithmetic mean of a vector (0 for empty input).
 [[nodiscard]] double mean_of(const std::vector<double>& xs);
 
+/// Point estimate of a population mean from sampled observations, with the
+/// spread statistics the sampling driver reports (DESIGN.md §12).
+///
+/// `ci_half` is the 95% confidence half-width on `mean` under the usual
+/// i.i.d. approximation (systematic samples over a long reference stream
+/// behave close enough to independent draws for this purpose — SMARTS makes
+/// the same approximation). `cov` is the coefficient of variation of the
+/// per-sample values, the knob users watch to decide whether to raise the
+/// sampling rate.
+struct Estimate {
+  double mean = 0.0;
+  double variance = 0.0;  ///< sample variance (n-1) of the observations
+  double ci_half = 0.0;   ///< 95% CI half-width on the mean
+  double cov = 0.0;       ///< stddev / |mean| (0 when mean is 0)
+  std::size_t n = 0;      ///< number of observations
+
+  /// Does the interval [mean - ci_half, mean + ci_half] contain v?
+  [[nodiscard]] bool covers(double v) const {
+    return std::fabs(v - mean) <= ci_half;
+  }
+  /// The same estimate with mean and interval scaled by a constant factor
+  /// (variance scales by f^2). Used to inflate per-window rates to stream
+  /// totals.
+  [[nodiscard]] Estimate scaled(double f) const;
+};
+
+/// Two-sided 95% critical value of Student's t with `df` degrees of
+/// freedom. Exact table for df <= 30, conservative brackets above (the
+/// value for the lower end of each bracket), 1.96 asymptotically.
+/// df == 0 returns 0 (no interval can be formed from one observation).
+[[nodiscard]] double t_critical_95(std::size_t df);
+
+/// Mean estimate over equally-weighted observations. Deterministic
+/// left-to-right accumulation; n < 2 yields a zero-width interval.
+[[nodiscard]] Estimate estimate_mean(const std::vector<double>& xs);
+
+/// Stratified (weighted) mean over per-stratum means, e.g. per-window
+/// averages weighted by window record counts. Weights must be >= 0; strata
+/// with zero weight are ignored. The variance is the weighted sample
+/// variance of the stratum means around the weighted mean with an n/(n-1)
+/// correction, and the CI treats the strata as n draws — conservative for
+/// proportional allocation.
+[[nodiscard]] Estimate stratified_mean(const std::vector<double>& means,
+                                       const std::vector<double>& weights);
+
 /// Geometric mean over the positive samples; non-positive samples are
 /// skipped (they have no geometric mean), and 0.0 is returned when no
 /// positive sample remains. Identical behaviour in Debug and Release.

@@ -1,0 +1,27 @@
+// Fixture: the live-point serializer declares coverage of MiniSim but never
+// touches `stamps_` — neither directly nor through anything it calls — so
+// that state would silently vanish from checkpoints.
+#define DSS_SHARD_PARTITIONED
+#define DSS_EPOCH_MERGED
+#define DSS_REPLAY_SAFE
+
+class MiniSim {
+ public:
+  void append_lines(long* out) const { *out = resident_; }
+
+ private:
+  friend class MiniAccess;
+  DSS_REPLAY_SAFE long geometry_ = 4;
+  DSS_SHARD_PARTITIONED long resident_ = 0;
+  DSS_SHARD_PARTITIONED long stamps_ = 0;  // never serialized
+  DSS_EPOCH_MERGED long requests_ = 0;
+};
+
+// dss-lint: checkpoint-serializer(MiniSim)
+class MiniAccess {
+ public:
+  static void collect(MiniSim& m, long* out) {
+    m.append_lines(out);  // covers resident_ via the call graph
+    out[1] = m.requests_;
+  }
+};

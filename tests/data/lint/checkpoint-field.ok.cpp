@@ -1,0 +1,31 @@
+// Fixture: every replay-mutable member of the serialized class is reached —
+// `requests_` as a qualified friend access, `resident_` and `stamps_`
+// through a method the serializer calls. Config (DSS_REPLAY_SAFE) members
+// need not round-trip.
+#define DSS_SHARD_PARTITIONED
+#define DSS_EPOCH_MERGED
+#define DSS_REPLAY_SAFE
+
+class MiniSim {
+ public:
+  void append_lines(long* out) const {
+    out[0] = resident_;
+    out[1] = stamps_;
+  }
+
+ private:
+  friend class MiniAccess;
+  DSS_REPLAY_SAFE long geometry_ = 4;
+  DSS_SHARD_PARTITIONED long resident_ = 0;
+  DSS_SHARD_PARTITIONED long stamps_ = 0;
+  DSS_EPOCH_MERGED long requests_ = 0;
+};
+
+// dss-lint: checkpoint-serializer(MiniSim)
+class MiniAccess {
+ public:
+  static void collect(MiniSim& m, long* out) {
+    m.append_lines(out);
+    out[2] = m.requests_;
+  }
+};

@@ -2,6 +2,7 @@
 // run-to-run diffing (the machinery behind `--metrics` and dss_report).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "core/run_export.hpp"
@@ -135,6 +136,109 @@ TEST(RunExport, MismatchedCellsReportErrors) {
   b.cells[1].query = "Q12";  // Q21 vanished, Q12 appeared
   const DiffReport rep = diff_metrics(round_trip(a), round_trip(b));
   EXPECT_EQ(rep.errors.size(), 2u);
+}
+
+TEST(RunExport, SampledCellRoundTripsWithCiObjects) {
+  MetricsDoc doc = make_doc(1e6, 2e6);
+  ExportCell& c = doc.cells[0];
+  c.result.sampled = true;
+  c.result.sample_unit_records = 500;
+  c.result.sample_detail_every = 40;
+  c.result.sample_warmup_records = 500;
+  c.result.sample_total_refs = 200'000;
+  c.result.sample_detailed_refs = 10'000;
+  c.result.sample_measured_refs = 5'000;
+  c.result.sample_windows = 10;
+  c.result.ci_cpi = 0.02;
+  c.result.ci_avg_mem_latency = 1.5;
+
+  const util::Json j = round_trip(doc);
+  EXPECT_TRUE(check_metrics_schema(j).empty());
+  const util::Json& cell = j.get("cells")->as_array()[0];
+  ASSERT_NE(cell.get("sample"), nullptr);
+  EXPECT_DOUBLE_EQ(cell.get("sample")->get("detail_every")->as_number(), 40.0);
+  EXPECT_DOUBLE_EQ(cell.get("sample")->get("total_refs")->as_number(), 2e5);
+  ASSERT_NE(cell.get("metric_ci"), nullptr);
+  EXPECT_DOUBLE_EQ(cell.get("metric_ci")->get("cpi")->as_number(), 0.02);
+  // The full-detail cell has neither object.
+  EXPECT_EQ(j.get("cells")->as_array()[1].get("sample"), nullptr);
+  EXPECT_EQ(j.get("cells")->as_array()[1].get("metric_ci"), nullptr);
+}
+
+TEST(RunExport, NullRefsPerSecValidatesAndIsSkippedByDiff) {
+  MetricsDoc doc = make_doc(1e6, 2e6);
+  doc.cells[0].result.refs_per_sec =
+      std::numeric_limits<double>::quiet_NaN();
+  doc.cells[1].result.refs_per_sec = 5e6;
+  const util::Json a = round_trip(doc);
+  EXPECT_TRUE(check_metrics_schema(a).empty());
+  ASSERT_NE(a.get("cells")->as_array()[0].get("metrics")->get("refs_per_sec"),
+            nullptr);
+  EXPECT_TRUE(a.get("cells")->as_array()[0]
+                  .get("metrics")
+                  ->get("refs_per_sec")
+                  ->is_null());
+
+  // Against a run where the same cell measured a real rate: the null pair
+  // is skipped, not treated as a 100% regression.
+  MetricsDoc after_doc = make_doc(1e6, 2e6);
+  after_doc.cells[0].result.refs_per_sec = 4e6;
+  after_doc.cells[1].result.refs_per_sec = 5e6;
+  const DiffReport rep = diff_metrics(a, round_trip(after_doc), {});
+  EXPECT_TRUE(rep.errors.empty());
+  EXPECT_FALSE(rep.has_regressions());
+  for (const MetricDelta& d : rep.deltas) {
+    EXPECT_FALSE(d.cell.find("Q6") != std::string::npos &&
+                 d.metric == "refs_per_sec")
+        << "null-rate pair must not be compared";
+  }
+}
+
+TEST(RunExport, CiGateUsesCombinedHalfWidths) {
+  MetricsDoc before = make_doc(1e6, 2e6);   // cpi 1.5 everywhere
+  MetricsDoc after = make_doc(1e6, 2e6);
+  after.cells[0].result.cpi = 1.6;          // +6.7%
+  after.cells[0].result.sampled = true;
+  after.cells[0].result.ci_cpi = 0.2;       // CI covers the move
+  after.cells[1].result.cpi = 1.9;          // +26.7%
+  after.cells[1].result.sampled = true;
+  after.cells[1].result.ci_cpi = 0.05;      // CI does not
+
+  DiffOptions opts;
+  opts.ci_gate = true;
+  opts.rel_threshold = 0.03;
+  const DiffReport rep =
+      diff_metrics(round_trip(before), round_trip(after), opts);
+  EXPECT_TRUE(rep.errors.empty());
+  int regressions = 0;
+  for (const MetricDelta& d : rep.deltas) {
+    if (d.metric != "cpi") {
+      // Metrics without a CI never gate in ci-gate mode.
+      EXPECT_FALSE(d.regression) << d.cell << " " << d.metric;
+      continue;
+    }
+    if (d.cell.find("Q21") != std::string::npos) {
+      EXPECT_TRUE(d.regression);
+      EXPECT_DOUBLE_EQ(d.combined_ci, 0.05);
+      ++regressions;
+    } else {
+      EXPECT_FALSE(d.regression);
+    }
+  }
+  EXPECT_EQ(regressions, 1);
+  EXPECT_TRUE(rep.has_regressions());
+}
+
+TEST(RunExport, OnlyMetricsFiltersComparison) {
+  const util::Json a = round_trip(make_doc(1e6, 2e6));
+  const util::Json b = round_trip(make_doc(3e6, 2e6));  // big move
+  DiffOptions opts;
+  opts.only_metrics = {"cpi"};
+  const DiffReport rep = diff_metrics(a, b, opts);
+  EXPECT_TRUE(rep.errors.empty());
+  EXPECT_FALSE(rep.has_regressions());
+  for (const MetricDelta& d : rep.deltas) EXPECT_EQ(d.metric, "cpi");
+  EXPECT_EQ(rep.deltas.size(), 2u);  // one cpi entry per cell
 }
 
 TEST(RunExport, VariantDistinguishesCells) {

@@ -1,0 +1,228 @@
+// Sampled simulation (DESIGN.md §12): the sampled replay driver, live-point
+// checkpoints, and the execution-driven sampling path through the
+// experiment runner.
+//
+// Contracts under test:
+//   - a disabled schedule degrades sample_replay to exact replay_batched;
+//   - sampled results are bit-identical across shard counts and pools;
+//   - sampled estimates land near full-detail truth at a large reduction
+//     in detailed references;
+//   - restoring a live point then continuing is bit-identical to warming
+//     through from the start;
+//   - the runner's sampled trials produce estimates, CIs and accounting.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "perf/counters.hpp"
+#include "sim/batch.hpp"
+#include "sim/machine_configs.hpp"
+#include "sim/refstream.hpp"
+#include "sim/sample/sample.hpp"
+#include "util/threadpool.hpp"
+
+namespace dss::sim {
+namespace {
+
+std::vector<TraceRecord> test_stream(RefPattern pattern, u64 records,
+                                     u64 seed = 7) {
+  RefStreamConfig rc;
+  rc.pattern = pattern;
+  rc.records = records;
+  rc.seed = seed;
+  return make_refstream(rc);
+}
+
+void expect_counters_identical(const std::vector<perf::Counters>& a,
+                               const std::vector<perf::Counters>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a[p].cycles, b[p].cycles) << "proc " << p;
+    EXPECT_EQ(a[p].instructions, b[p].instructions) << "proc " << p;
+    EXPECT_EQ(a[p].l1d_misses, b[p].l1d_misses) << "proc " << p;
+    EXPECT_EQ(a[p].l2d_misses, b[p].l2d_misses) << "proc " << p;
+    EXPECT_EQ(a[p].mem_requests, b[p].mem_requests) << "proc " << p;
+    EXPECT_EQ(a[p].mem_latency_cycles, b[p].mem_latency_cycles)
+        << "proc " << p;
+    EXPECT_EQ(a[p].tlb_misses, b[p].tlb_misses) << "proc " << p;
+    EXPECT_DOUBLE_EQ(a[p].stack.total(), b[p].stack.total()) << "proc " << p;
+  }
+}
+
+TEST(SampleReplay, DisabledScheduleMatchesReplayBatched) {
+  const auto recs = test_stream(RefPattern::kMixed, 30'000);
+  const MachineConfig cfg = origin2000().scaled(64);
+
+  ReplayOptions ro;
+  const auto full = replay_batched(cfg, recs, ro);
+
+  SampleSchedule off;  // unit_records == 0
+  SampleReplayStats st;
+  const auto sampled = sample_replay(cfg, recs, off, {}, &st);
+
+  expect_counters_identical(full, sampled);
+  EXPECT_EQ(st.detailed_refs, st.total_refs);
+  EXPECT_EQ(st.windows, 0u);
+  EXPECT_DOUBLE_EQ(st.stall_per_ref.ci_half, 0.0);
+}
+
+TEST(SampleReplay, BitIdenticalAcrossShardsAndPools) {
+  const auto recs = test_stream(RefPattern::kPointerChase, 40'000);
+  const MachineConfig cfg = origin2000().scaled(64);
+  SampleSchedule sched;
+  sched.unit_records = 1000;
+  sched.detail_every = 5;
+  sched.warmup_records = 500;
+
+  SampleReplayOptions base;
+  base.shards = 1;
+  SampleReplayStats st1;
+  const auto s1 = sample_replay(cfg, recs, sched, base, &st1);
+
+  ThreadPool pool(4);
+  SampleReplayOptions wide;
+  wide.shards = 4;
+  wide.pool = &pool;
+  SampleReplayStats st4;
+  const auto s4 = sample_replay(cfg, recs, sched, wide, &st4);
+
+  expect_counters_identical(s1, s4);
+  EXPECT_EQ(st1.detailed_refs, st4.detailed_refs);
+  EXPECT_EQ(st1.windows, st4.windows);
+  EXPECT_DOUBLE_EQ(st1.cpi.mean, st4.cpi.mean);
+  EXPECT_DOUBLE_EQ(st1.cpi.ci_half, st4.cpi.ci_half);
+}
+
+TEST(SampleReplay, EstimatesNearFullDetailAtLargeReduction) {
+  const auto recs = test_stream(RefPattern::kSeqScan, 120'000);
+  const MachineConfig cfg = vclass().scaled(64);
+
+  const auto full = replay_batched(cfg, recs, {});
+  u64 full_cycles = 0, full_instr = 0;
+  for (const auto& c : full) {
+    full_cycles += c.cycles;
+    full_instr += c.instructions;
+  }
+  const double full_cpi =
+      static_cast<double>(full_cycles) / static_cast<double>(full_instr);
+
+  SampleSchedule sched;
+  sched.unit_records = 500;
+  sched.detail_every = 40;
+  sched.warmup_records = 500;
+  SampleReplayStats st;
+  const auto sampled = sample_replay(cfg, recs, sched, {}, &st);
+
+  // >= 20x fewer detailed references, CPI estimate within 3% of truth.
+  EXPECT_GE(static_cast<double>(st.total_refs),
+            20.0 * static_cast<double>(st.detailed_refs));
+  EXPECT_GT(st.windows, 2u);
+  EXPECT_NEAR(st.cpi.mean, full_cpi, 0.03 * full_cpi);
+
+  // Instructions are exact (compile-pass accounting), never estimated.
+  u64 sampled_instr = 0;
+  for (const auto& c : sampled) sampled_instr += c.instructions;
+  EXPECT_EQ(sampled_instr, full_instr);
+}
+
+TEST(SampleReplay, LivePointRestoreBitIdenticalToWarmThrough) {
+  const auto recs = test_stream(RefPattern::kHotProbe, 60'000);
+  const MachineConfig cfg = origin2000().scaled(64);
+  SampleSchedule sched;
+  sched.unit_records = 1000;
+  sched.detail_every = 10;
+  sched.warmup_records = 1000;
+
+  const auto dir = std::filesystem::path(testing::TempDir()) / "dss_lp_test";
+  std::filesystem::create_directories(dir);
+
+  SampleReplayOptions lp;
+  lp.live_point_dir = dir.string();
+  SampleReplayStats first;
+  const auto warmed = sample_replay(cfg, recs, sched, lp, &first);
+  EXPECT_FALSE(first.live_point_restored);
+  EXPECT_TRUE(first.live_point_saved);
+  EXPECT_GT(first.live_point_refs, 0u);
+
+  SampleReplayStats second;
+  const auto restored = sample_replay(cfg, recs, sched, lp, &second);
+  EXPECT_TRUE(second.live_point_restored);
+
+  expect_counters_identical(warmed, restored);
+  EXPECT_EQ(first.detailed_refs, second.detailed_refs);
+  EXPECT_DOUBLE_EQ(first.cpi.mean, second.cpi.mean);
+
+  // And both match a run that never touched a checkpoint.
+  SampleReplayStats plain;
+  const auto through = sample_replay(cfg, recs, sched, {}, &plain);
+  expect_counters_identical(warmed, through);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dss::sim
+
+namespace dss::core {
+namespace {
+
+TEST(ExecSampling, RunnerProducesEstimatesAndAccounting) {
+  ExperimentRunner runner(ScaleConfig{256}, 42, 1);
+
+  ExperimentConfig cfg;
+  cfg.platform = perf::Platform::Origin2000;
+  cfg.query = tpch::QueryId::Q6;
+  cfg.nproc = 2;
+  cfg.trials = 1;
+  cfg.scale = runner.scale();
+
+  const RunResult full = runner.run(cfg);
+  ASSERT_FALSE(full.sampled);
+  EXPECT_DOUBLE_EQ(full.ci_cpi, 0.0);
+
+  cfg.sample.unit_records = 1000;
+  cfg.sample.detail_every = 10;
+  cfg.sample.warmup_records = 1000;
+  const RunResult sampled = runner.run(cfg);
+
+  ASSERT_TRUE(sampled.sampled);
+  EXPECT_EQ(sampled.sample_unit_records, 1000u);
+  EXPECT_EQ(sampled.sample_detail_every, 10u);
+  EXPECT_GT(sampled.sample_total_refs, 0u);
+  EXPECT_GT(sampled.sample_windows, 0u);
+  EXPECT_LT(sampled.sample_detailed_refs, sampled.sample_total_refs);
+  EXPECT_GE(sampled.ci_cpi, 0.0);
+  EXPECT_GE(sampled.ci_avg_mem_latency, 0.0);
+
+  // The sampled CPI estimate tracks the full-detail run. The query and its
+  // instruction stream are identical; only memory-event counters are
+  // estimated. 5% is loose — the accuracy gate proper lives in CI against
+  // the fig3/fig6 goldens at tuned schedules.
+  EXPECT_NEAR(sampled.cpi, full.cpi, 0.05 * full.cpi);
+
+  // Identical sampled runs are deterministic.
+  const RunResult again = runner.run(cfg);
+  EXPECT_DOUBLE_EQ(sampled.cpi, again.cpi);
+  EXPECT_DOUBLE_EQ(sampled.ci_cpi, again.ci_cpi);
+  EXPECT_EQ(sampled.sample_detailed_refs, again.sample_detailed_refs);
+}
+
+TEST(ExecSampling, RunnerDefaultScheduleAppliesToCells) {
+  ExperimentRunner runner(ScaleConfig{256}, 42, 1);
+  sim::SampleSchedule sched;
+  sched.unit_records = 1000;
+  sched.detail_every = 10;
+  sched.warmup_records = 500;
+  runner.set_sampling(sched);
+
+  const RunResult r = runner.run(perf::Platform::VClass, tpch::QueryId::Q6,
+                                 /*nproc=*/1, /*trials=*/1);
+  EXPECT_TRUE(r.sampled);
+  EXPECT_EQ(r.sample_unit_records, 1000u);
+  EXPECT_GT(r.sample_windows, 0u);
+}
+
+}  // namespace
+}  // namespace dss::core

@@ -9,6 +9,11 @@
 //   dss_report --perf-threshold 0.15 a.json b.json
 //                                          gate for the higher-is-better
 //                                          refs_per_sec throughput metric
+//   dss_report --ci-gate a.json b.json     CI-aware diff for sampled runs:
+//                                          only metrics carrying a 95%
+//                                          half-width ("metric_ci") gate,
+//                                          and a regression must clear both
+//                                          the combined CI and --threshold
 //
 // Exit codes: 0 clean, 1 regression past threshold, 2 usage/parse/schema
 // error — so CI can gate on "1 means the change is slower, 2 means the
@@ -34,9 +39,9 @@ using dss::util::Json;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--threshold F] [--perf-threshold F] "
-               "[--check-schema] [--expect-regression] <run.json> "
-               "[after.json]\n",
+               "usage: %s [--threshold F] [--perf-threshold F] [--ci-gate] "
+               "[--metric NAME]... [--check-schema] [--expect-regression] "
+               "<run.json> [after.json]\n",
                argv0);
   return 2;
 }
@@ -82,9 +87,32 @@ void print_run(const Json& doc) {
                 static_cast<int>(cell.get("trials")->as_number()),
                 variant.empty() ? "" : (" variant=" + variant).c_str(),
                 checked != nullptr && checked->as_bool() ? " [checked]" : "");
+    if (const Json* s = cell.get("sample")) {
+      const double total = s->get("total_refs")->as_number();
+      const double detailed = s->get("detailed_refs")->as_number();
+      std::printf(
+          "  sampled: N=%g K=%g W=%g, %g windows, %.3g of %.3g refs "
+          "detailed (%.1fx fewer)\n",
+          s->get("unit_records")->as_number(),
+          s->get("detail_every")->as_number(),
+          s->get("warmup_records")->as_number(),
+          s->get("windows")->as_number(), detailed, total,
+          detailed > 0 ? total / detailed : 0.0);
+    }
     const Json& m = *cell.get("metrics");
+    const Json* ci = cell.get("metric_ci");
     for (const auto& [k, v] : m.as_object()) {
-      std::printf("  %-22s %.6g\n", k.c_str(), v.as_number());
+      if (v.is_null()) {
+        std::printf("  %-22s null (timer floor)\n", k.c_str());
+        continue;
+      }
+      const Json* h = ci == nullptr ? nullptr : ci->get(k);
+      if (h != nullptr && h->is_number()) {
+        std::printf("  %-22s %.6g ±%.3g\n", k.c_str(), v.as_number(),
+                    h->as_number());
+      } else {
+        std::printf("  %-22s %.6g\n", k.c_str(), v.as_number());
+      }
     }
     if (const Json* causes = cell.get("miss_causes")) {
       for (const char* level : {"l1", "l2"}) {
@@ -129,11 +157,22 @@ int print_diff(const DiffReport& rep, const DiffOptions& opts) {
   for (const MetricDelta& d : rep.deltas) {
     const double gate = d.metric == "refs_per_sec" ? opts.perf_threshold
                                                    : opts.rel_threshold;
-    if (std::fabs(d.rel) <= gate) continue;
+    if (std::fabs(d.rel) <= gate && !d.regression) continue;
     ++moved;
-    std::printf("%-11s %s %s: %.6g -> %.6g (%+.1f%%)\n",
-                d.regression ? "REGRESSION" : "improvement", d.cell.c_str(),
-                d.metric.c_str(), d.before, d.after, 100.0 * d.rel);
+    // Under --ci-gate a big move in a metric with no CI is informational
+    // (sampling legitimately shifts wall time), not an improvement claim.
+    const char* tag = d.regression         ? "REGRESSION"
+                      : opts.ci_gate       ? "info"
+                                           : "improvement";
+    if (d.combined_ci > 0.0) {
+      std::printf("%-11s %s %s: %.6g -> %.6g (%+.1f%%, ci ±%.3g)\n", tag,
+                  d.cell.c_str(), d.metric.c_str(), d.before, d.after,
+                  100.0 * d.rel, d.combined_ci);
+    } else {
+      std::printf("%-11s %s %s: %.6g -> %.6g (%+.1f%%)\n", tag,
+                  d.cell.c_str(), d.metric.c_str(), d.before, d.after,
+                  100.0 * d.rel);
+    }
   }
   std::printf("%zu metrics compared, %zu moved past threshold, "
               "%zu regressions\n",
@@ -163,6 +202,11 @@ int main(int argc, char** argv) {
       } catch (const std::exception&) {
         return usage(argv[0]);
       }
+    } else if (std::strcmp(argv[i], "--ci-gate") == 0) {
+      opts.ci_gate = true;
+    } else if (std::strcmp(argv[i], "--metric") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      opts.only_metrics.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--check-schema") == 0) {
       schema_only = true;
     } else if (std::strcmp(argv[i], "--expect-regression") == 0) {
