@@ -1,0 +1,174 @@
+// BENCH_serving — multi-stream serving capacity scoreboard (DESIGN.md §13).
+//
+// For each machine and each simulated CPU count (--cpus, default 8,16,32)
+// the bench calibrates the per-query service-time ladder once, then drives
+// the admission/queueing layer through an open-loop offered-load sweep plus
+// one closed-loop client population, reporting TPC-H-throughput-style
+// achieved QphH and per-session end-to-end latency percentiles. The
+// load-vs-p99 table makes the capacity knee visible; the exported machine
+// metrics at each operating point explain it (which memory-system component
+// saturated).
+//
+// Everything here is simulated and deterministic: the latency distribution
+// is a pure function of (--scale, --seed, --sessions, --arrival, ...) and
+// is bit-identical at every --jobs and --shards value. That is what lets
+// `bench/BENCH_serving.json` be a committed baseline that CI diffs exactly
+// (`dss_report --ci-gate --metric serving.p99_ms`).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/run_export.hpp"
+#include "core/serving.hpp"
+
+namespace {
+
+using namespace dss;
+
+/// The offered-load sweep when --target-load is not given: well below the
+/// knee, approaching it, and just under saturation.
+const std::vector<double> kLoadSweep = {0.3, 0.6, 0.8, 0.9, 0.95};
+
+std::string fmt2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+struct ServeCell {
+  perf::Platform platform;
+  u32 cpus;
+  std::string variant;
+  core::ServingResult result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = core::parse_bench_options(argc, argv);
+  const u32 trials = std::max(1u, opts.trials);
+  std::cout << "(serving scoreboard: scale 1/" << opts.scale_denom << ", seed "
+            << opts.seed << ", calibration trials " << trials << ", "
+            << opts.sessions << " sessions, jobs "
+            << (opts.jobs == 0 ? dss::ThreadPool::default_jobs() : opts.jobs)
+            << ")\n";
+
+  // The runner is constructed directly — not via make_runner — because the
+  // automatic metrics export would record every calibration-ladder cell;
+  // the serving export below carries only the serving cells.
+  core::ExperimentRunner runner(core::ScaleConfig{opts.scale_denom}, opts.seed,
+                                opts.jobs);
+
+  const std::vector<double> loads = opts.target_load > 0.0
+                                        ? std::vector<double>{opts.target_load}
+                                        : kLoadSweep;
+  const bool run_open = opts.arrival != "closed";
+  const bool run_closed = opts.arrival != "open";
+
+  std::vector<ServeCell> cells;
+  for (perf::Platform platform :
+       {perf::Platform::VClass, perf::Platform::Origin2000}) {
+    for (u32 cpus : opts.cpus) {
+      const core::ServingCalibration calib = core::calibrate_serving(
+          runner, platform, tpch::QueryId::Q6, cpus, trials, opts.seed);
+
+      core::ServingConfig cfg;
+      cfg.platform = platform;
+      cfg.cpus = cpus;
+      cfg.sessions = opts.sessions;
+      cfg.think_time_ms = opts.think_time_ms;
+      cfg.trials = trials;
+      cfg.seed = opts.seed;
+
+      // Open-loop offered-load sweep: the knee table.
+      if (run_open) {
+        for (double load : loads) {
+          cfg.arrival = db::ArrivalMode::kOpen;
+          cfg.target_load = load;
+          ServeCell cell;
+          cell.platform = platform;
+          cell.cpus = cpus;
+          cell.variant = "serve:open:load=" + fmt2(load);
+          cell.result = core::serve(calib, cfg);
+          cells.push_back(std::move(cell));
+        }
+      }
+
+      // One closed-loop population: load is self-limiting, so this is the
+      // "N clients with think time" view of the same capacity.
+      if (run_closed) {
+        cfg.arrival = db::ArrivalMode::kClosed;
+        cfg.target_load = 0.0;
+        ServeCell cell;
+        cell.platform = platform;
+        cell.cpus = cpus;
+        cell.variant =
+            "serve:closed:sessions=" + std::to_string(opts.sessions);
+        cell.result = core::serve(calib, cfg);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  Table t({"machine", "cpus", "mode", "load", "QphH", "conc", "p50 ms",
+           "p95 ms", "p99 ms", "max queue"});
+  for (const ServeCell& c : cells) {
+    const core::ServingStats& s = c.result.stats;
+    t.add_row({perf::platform_name(c.platform), std::to_string(c.cpus),
+               s.arrival,
+               s.arrival == "open" ? fmt2(s.target_load) : "-",
+               Table::num(s.achieved_qph, 0), fmt2(s.mean_concurrency),
+               Table::num(s.p50_ms, 3), Table::num(s.p95_ms, 3),
+               Table::num(s.p99_ms, 3), std::to_string(s.max_queue_depth)});
+  }
+  core::print_figure(std::cout, "BENCH_serving load vs latency", t);
+
+  if (!opts.metrics_path.empty()) {
+    core::MetricsDoc doc;
+    doc.bench = opts.bench_name;
+    doc.scale_denom = opts.scale_denom;
+    doc.seed = opts.seed;
+    for (const ServeCell& c : cells) {
+      core::ExportCell ec;
+      ec.platform = perf::platform_name(c.platform);
+      ec.query = tpch::query_name(tpch::QueryId::Q6);
+      ec.nproc = c.cpus;
+      ec.trials = trials;
+      ec.variant = c.variant;
+      ec.result = c.result.machine;
+      ec.serving = c.result.stats;
+      doc.cells.push_back(std::move(ec));
+    }
+    core::write_metrics_file(opts.metrics_path, doc);
+    std::cout << "(exported run metrics to " << opts.metrics_path << ")\n";
+  }
+
+  // Claims: the knee exists (tail latency grows from the lightest to the
+  // heaviest offered load), the closed loop conserves queries, and the
+  // percentiles are ordered.
+  bool knee = true, conserved = true, ordered = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const core::ServingStats& s = cells[i].result.stats;
+    ordered = ordered && s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms;
+    if (s.arrival == "closed") {
+      conserved = conserved &&
+                  s.queries == static_cast<u64>(s.sessions) *
+                                   s.queries_per_session;
+    }
+  }
+  const std::size_t group =
+      (run_open ? loads.size() : 0) + (run_closed ? 1 : 0);
+  if (run_open && loads.size() > 1) {
+    for (std::size_t i = 0; i + loads.size() <= cells.size(); i += group) {
+      const auto& lo = cells[i].result.stats;
+      const auto& hi = cells[i + loads.size() - 1].result.stats;
+      knee = knee && hi.p99_ms >= lo.p99_ms;
+    }
+  }
+  return bench::report_claims(
+      {{"p99 latency grows from the lightest to the heaviest offered load",
+        knee},
+       {"closed loop completes sessions x queries_per_session queries",
+        conserved},
+       {"latency percentiles are ordered (p50 <= p95 <= p99)", ordered}});
+}

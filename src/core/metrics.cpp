@@ -58,6 +58,37 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       o.sample_warmup = std::stoull(need_value("--sample-warmup"));
     } else if (std::strcmp(argv[i], "--live-points") == 0) {
       o.live_points = need_value("--live-points");
+    } else if (std::strcmp(argv[i], "--sessions") == 0) {
+      o.sessions = static_cast<u32>(std::stoul(need_value("--sessions")));
+    } else if (std::strcmp(argv[i], "--arrival") == 0) {
+      o.arrival = need_value("--arrival");
+    } else if (std::strcmp(argv[i], "--think-time") == 0) {
+      o.think_time_ms = std::stod(need_value("--think-time"));
+    } else if (std::strcmp(argv[i], "--target-load") == 0) {
+      o.target_load = std::stod(need_value("--target-load"));
+    } else if (std::strcmp(argv[i], "--cpus") == 0) {
+      o.cpus.clear();
+      std::string list = need_value("--cpus");
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t used = 0;
+        const unsigned long v = std::stoul(list.substr(pos), &used);
+        if (v == 0) {
+          throw std::invalid_argument("--cpus values must be >= 1");
+        }
+        o.cpus.push_back(static_cast<u32>(v));
+        pos += used;
+        if (pos < list.size()) {
+          if (list[pos] != ',') {
+            throw std::invalid_argument("--cpus expects a comma-separated "
+                                        "list, e.g. 8,16,32");
+          }
+          ++pos;
+        }
+      }
+      if (o.cpus.empty()) {
+        throw std::invalid_argument("--cpus requires at least one value");
+      }
     } else {
       throw std::invalid_argument(std::string("unknown option: ") + argv[i]);
     }
@@ -66,6 +97,14 @@ BenchOptions parse_bench_options(int argc, char** argv) {
     throw std::invalid_argument(
         "--sample-units requires --sample-detail >= 2 (every K-th unit is "
         "measured; K = 1 is just a full-detail run)");
+  }
+  if (o.arrival != "closed" && o.arrival != "open" && o.arrival != "both") {
+    throw std::invalid_argument(
+        "--arrival expects 'closed', 'open', or 'both'");
+  }
+  if (o.think_time_ms < 0.0 || o.target_load < 0.0) {
+    throw std::invalid_argument(
+        "--think-time and --target-load must be non-negative");
   }
   if (o.sample_units > 0 && o.check) {
     throw std::invalid_argument(

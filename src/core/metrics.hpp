@@ -43,6 +43,15 @@ void print_figure(std::ostream& os, const std::string& title,
 /// checker's counter-conservation identities do not hold across the
 /// functional-warming path.
 ///
+/// Serving mode (DESIGN.md §13, BENCH_serving): --sessions N (client
+/// population / arrival-plan length), --arrival closed|open|both (which
+/// arrival models to run; default both), --think-time MS (closed loop:
+/// mean exponential think time, simulated ms), --target-load F (open loop:
+/// run one offered-load level instead of the preset sweep; load is a
+/// fraction of the calibrated saturated capacity), --cpus LIST
+/// (comma-separated simulated CPU counts to sweep, e.g. "8,16,32").
+/// Binaries without a serving mode simply ignore these fields.
+///
 /// An explicit `--jobs 0` or `--shards 0`, or a value above the host's
 /// hardware concurrency, is clamped with a warning on stderr (stdout and
 /// any --metrics JSON stay byte-identical). Unrecognized options and flags
@@ -60,6 +69,11 @@ struct BenchOptions {
   u32 sample_detail = 0;     ///< K: every K-th unit measured in detail
   u64 sample_warmup = 0;     ///< W: detailed-unmeasured refs before a window
   std::string live_points;   ///< checkpoint dir (replay-driven benches)
+  u32 sessions = 256;        ///< serving: client population
+  std::string arrival = "both";     ///< serving: "closed" | "open" | "both"
+  double think_time_ms = 50.0;      ///< serving, closed loop: mean think
+  double target_load = 0.0;         ///< serving, open loop: 0 = sweep preset
+  std::vector<u32> cpus = {8, 16, 32};  ///< serving: simulated CPU sweep
 
   /// The sampling schedule these options describe (disabled when
   /// --sample-units was not given).

@@ -138,17 +138,44 @@ void write_cell(std::ostream& os, int indent, const ExportCell& cell) {
     m.num("vol_ctx_per_minstr", cell.result.vol_ctx_per_minstr);
     m.num("invol_ctx_per_minstr", cell.result.invol_ctx_per_minstr);
     m.num("wall_seconds", cell.result.wall_seconds);
-    // Optional since schema v2; omitted when zero so figure exports stay
-    // byte-identical to v1 output (modulo the version number). NaN means
-    // the host timer floor made the rate unmeasurable (schema v3): the
-    // cell ran, the rate is unknown — distinct from "not a replay cell".
+    // Always emitted since schema v4: a number (0 for cells that did not
+    // replay a reference stream) or null when the host timer floor made the
+    // rate unmeasurable. The v2/v3 omit-when-zero rule made "missing" and
+    // "null" impossible to tell apart downstream; now absence can only mean
+    // a pre-v4 document.
     if (std::isnan(cell.result.refs_per_sec)) {
       m.key("refs_per_sec");
       os << "null";
-    } else if (cell.result.refs_per_sec != 0.0) {
+    } else {
       m.num("refs_per_sec", cell.result.refs_per_sec);
     }
     m.close();
+  }
+  if (cell.serving.has_value()) {
+    const ServingStats& sv = *cell.serving;
+    w.key("serving");
+    {
+      ObjWriter s(os, indent + 2);
+      s.str("arrival", sv.arrival);
+      s.num("sessions", sv.sessions);
+      s.num("cpus", sv.cpus);
+      s.num("queries_per_session", sv.queries_per_session);
+      s.num("queries", sv.queries);
+      s.num("think_time_ms", sv.think_time_ms);
+      s.num("target_load", sv.target_load);
+      s.num("offered_qps", sv.offered_qps);
+      s.num("achieved_qph", sv.achieved_qph);
+      s.num("mean_concurrency", sv.mean_concurrency);
+      s.num("p50_ms", sv.p50_ms);
+      s.num("p95_ms", sv.p95_ms);
+      s.num("p99_ms", sv.p99_ms);
+      s.num("mean_ms", sv.mean_ms);
+      s.num("max_ms", sv.max_ms);
+      s.num("queue_p99_ms", sv.queue_p99_ms);
+      s.num("max_queue_depth", sv.max_queue_depth);
+      s.num("metrics_nproc", sv.metrics_nproc);
+      s.close();
+    }
   }
   if (cell.result.sampled) {
     w.key("sample");
@@ -315,6 +342,23 @@ std::vector<std::string> check_metrics_schema(const util::Json& doc) {
       // refs_per_sec alone may be null (v3): rate unmeasurable on this host.
       check_all_numbers(problems, *m, ctx + ".metrics", "refs_per_sec");
     }
+    // Optional v4 member, present only on serving cells: "arrival" is a
+    // string ("closed"/"open"), every other member is a number.
+    if (const util::Json* sv = cell.get("serving")) {
+      if (!sv->is_object()) {
+        problems.push_back(ctx + ": \"serving\" has the wrong type");
+      } else {
+        get_typed(problems, *sv, "arrival", util::Json::Type::String,
+                  ctx + ".serving");
+        for (const auto& [k, v] : sv->as_object()) {
+          if (k == "arrival") continue;
+          if (!v.is_number()) {
+            problems.push_back(ctx + ".serving: \"" + k +
+                               "\" is not a number");
+          }
+        }
+      }
+    }
     // Optional v3 members, present only on sampled cells.
     for (const char* opt : {"sample", "metric_ci"}) {
       if (const util::Json* m = cell.get(opt)) {
@@ -365,6 +409,84 @@ std::vector<MetricDelta> DiffReport::regressions() const {
   return out;
 }
 
+namespace {
+
+/// Gate direction of one serving-object metric. Latency tails and queue
+/// depth are higher-is-worse, throughput is lower-is-worse; configuration
+/// echoes (sessions, target_load, ...) and descriptive statistics
+/// (mean_concurrency, offered_qps) are informational.
+enum class ServingDir { kHigherWorse, kLowerWorse, kInfo };
+
+ServingDir serving_direction(const std::string& key) {
+  if (key == "p50_ms" || key == "p95_ms" || key == "p99_ms" ||
+      key == "mean_ms" || key == "max_ms" || key == "queue_p99_ms" ||
+      key == "max_queue_depth") {
+    return ServingDir::kHigherWorse;
+  }
+  if (key == "achieved_qph") return ServingDir::kLowerWorse;
+  return ServingDir::kInfo;
+}
+
+/// Compare the optional per-cell "serving" objects. Serving numbers are
+/// exact simulated values — no host noise, no sampling CI — so they gate
+/// under `ci_gate` too (that is what lets the CI smoke job gate on
+/// serving.p99_ms against a committed baseline).
+void diff_serving(DiffReport& rep, const std::string& label,
+                  const util::Json* as, const util::Json* bs,
+                  const DiffOptions& opts) {
+  if (as == nullptr && bs == nullptr) return;
+  if (as == nullptr || bs == nullptr) {
+    rep.errors.push_back("cell " + label +
+                         ": \"serving\" present only in the " +
+                         (as != nullptr ? "before" : "after") + " run");
+    return;
+  }
+  for (const auto& [key, av] : as->as_object()) {
+    const std::string metric = "serving." + key;
+    if (!opts.only_metrics.empty() &&
+        std::find(opts.only_metrics.begin(), opts.only_metrics.end(),
+                  metric) == opts.only_metrics.end()) {
+      continue;
+    }
+    const util::Json* bv = bs->get(key);
+    if (bv == nullptr) {
+      rep.errors.push_back("cell " + label + ": metric " + metric +
+                           " missing from the after run");
+      continue;
+    }
+    if (key == "arrival") {
+      if (av.as_string() != bv->as_string()) {
+        rep.errors.push_back("cell " + label + ": arrival mode differs (" +
+                             av.as_string() + " vs " + bv->as_string() + ")");
+      }
+      continue;
+    }
+    MetricDelta d;
+    d.cell = label;
+    d.metric = metric;
+    d.before = av.as_number();
+    d.after = bv->as_number();
+    if (d.before != 0.0) {
+      d.rel = (d.after - d.before) / d.before;
+    } else if (d.after != 0.0) {
+      d.rel = std::numeric_limits<double>::infinity();
+    }
+    switch (serving_direction(key)) {
+      case ServingDir::kHigherWorse:
+        d.regression = d.rel > opts.rel_threshold;
+        break;
+      case ServingDir::kLowerWorse:
+        d.regression = d.rel < -opts.rel_threshold;
+        break;
+      case ServingDir::kInfo:
+        break;
+    }
+    rep.deltas.push_back(d);
+  }
+}
+
+}  // namespace
+
 DiffReport diff_metrics(const util::Json& before, const util::Json& after,
                         const DiffOptions& opts) {
   DiffReport rep;
@@ -408,13 +530,42 @@ DiffReport diff_metrics(const util::Json& before, const util::Json& after,
       }
       const util::Json* bv = bm.get(metric);
       if (bv == nullptr) {
-        rep.errors.push_back("cell " + label + ": metric " + metric +
-                             " missing from the after run");
+        // "refs_per_sec" was omitted when zero before schema v4, so its
+        // absence from one side of a cross-version diff is expected —
+        // report it, but as information, not a failure. Any other metric
+        // disappearing is a real comparison error.
+        if (metric == "refs_per_sec") {
+          MetricDelta d;
+          d.cell = label;
+          d.metric = metric;
+          if (av.is_number()) d.before = av.as_number();
+          d.note = av.is_null() ? "null in before, missing from after"
+                                : "missing from after (pre-v4 document)";
+          rep.deltas.push_back(d);
+        } else {
+          rep.errors.push_back("cell " + label + ": metric " + metric +
+                               " missing from the after run");
+        }
         continue;
       }
-      // A null rate (v3) means the host timer floor was hit: the value is
-      // unknown, not zero, so the pair is incomparable — skip, don't gate.
-      if (av.is_null() || bv->is_null()) continue;
+      // A null rate means the host timer floor was hit: the value is
+      // unknown, not zero. Both null — nothing to compare. Null on exactly
+      // one side — the pair is incomparable, but silence would hide it and
+      // a numeric gate would fabricate a regression out of an unknown:
+      // record an informational delta instead.
+      if (av.is_null() || bv->is_null()) {
+        if (av.is_null() != bv->is_null()) {
+          MetricDelta d;
+          d.cell = label;
+          d.metric = metric;
+          if (av.is_number()) d.before = av.as_number();
+          if (bv->is_number()) d.after = bv->as_number();
+          d.note = av.is_null() ? "null in before, number in after"
+                                : "number in before, null in after";
+          rep.deltas.push_back(d);
+        }
+        continue;
+      }
       MetricDelta d;
       d.cell = label;
       d.metric = metric;
@@ -454,6 +605,28 @@ DiffReport diff_metrics(const util::Json& before, const util::Json& after,
       }
       rep.deltas.push_back(d);
     }
+    // The reverse direction of the pre-v4 omission: "refs_per_sec" only in
+    // the after document (the before run predates always-emit). The loop
+    // above iterates the before side, so this is the only key that can
+    // appear on the after side alone by design.
+    if (am.get("refs_per_sec") == nullptr) {
+      const bool wanted =
+          opts.only_metrics.empty() ||
+          std::find(opts.only_metrics.begin(), opts.only_metrics.end(),
+                    "refs_per_sec") != opts.only_metrics.end();
+      if (const util::Json* bv = bm.get("refs_per_sec"); bv && wanted) {
+        MetricDelta d;
+        d.cell = label;
+        d.metric = "refs_per_sec";
+        if (bv->is_number()) d.after = bv->as_number();
+        d.note = bv->is_null()
+                     ? "missing from before (pre-v4 document), null in after"
+                     : "missing from before (pre-v4 document)";
+        rep.deltas.push_back(d);
+      }
+    }
+    diff_serving(rep, label, a_cell->get("serving"), it->second->get("serving"),
+                 opts);
   }
   for (const auto& [label, cell] : b_cells) {
     (void)cell;

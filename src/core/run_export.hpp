@@ -9,10 +9,12 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/serving.hpp"
 #include "util/json.hpp"
 
 namespace dss::core {
@@ -27,7 +29,13 @@ namespace dss::core {
 ///       "metric_ci" (95% confidence half-widths keyed like "metrics");
 ///       "refs_per_sec" may be JSON null when the host timer floor made
 ///       the rate unmeasurable. Full-detail documents are unchanged.
-inline constexpr u32 kMetricsSchemaVersion = 3;
+///   4 — "refs_per_sec" is always emitted: a number (0 for cells that did
+///       not replay a reference stream) or null (ran but unmeasurable) —
+///       "missing" can no longer be confused with "null". Serving cells
+///       (DESIGN.md §13) add an optional per-cell "serving" object:
+///       arrival mode, offered load, QphH-style throughput, and per-session
+///       end-to-end latency percentiles.
+inline constexpr u32 kMetricsSchemaVersion = 4;
 /// Oldest schema version readers still accept.
 inline constexpr u32 kMetricsSchemaMinVersion = 1;
 
@@ -42,6 +50,9 @@ struct ExportCell {
   std::string variant;
   bool check = false;
   RunResult result;
+  /// Serving cells only (schema v4): the queueing-side numbers. `result`
+  /// then holds the machine metrics at the serving operating point.
+  std::optional<ServingStats> serving;
 };
 
 /// Top-level document written by `--metrics`.
@@ -91,7 +102,8 @@ struct DiffOptions {
 /// One compared metric across the two runs.
 struct MetricDelta {
   std::string cell;    ///< "platform/query/nproc[/variant]"
-  std::string metric;  ///< key inside the cell's "metrics" object
+  std::string metric;  ///< key inside the cell's "metrics" object, or a
+                       ///< "serving."-prefixed key from the serving object
   double before = 0.0;
   double after = 0.0;
   double rel = 0.0;  ///< (after - before) / before; 0 when before == 0
@@ -99,6 +111,12 @@ struct MetricDelta {
   /// "metric_ci" entries; 0 when neither side has one.
   double combined_ci = 0.0;
   bool regression = false;
+  /// Non-empty for one-sided observations that cannot be compared
+  /// numerically — e.g. "refs_per_sec" null on one side and a number on the
+  /// other, or present in only one document (pre-v4 omitted it when zero).
+  /// Such deltas are informational: never regressions, never silently
+  /// dropped. `before`/`after` hold the numeric side when there is one.
+  std::string note;
 };
 
 struct DiffReport {

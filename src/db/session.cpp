@@ -1,0 +1,34 @@
+#include "db/session.hpp"
+
+#include <stdexcept>
+
+namespace dss::db {
+
+const char* arrival_mode_name(ArrivalMode m) {
+  return m == ArrivalMode::kClosed ? "closed" : "open";
+}
+
+ArrivalMode arrival_mode_from_name(const std::string& name) {
+  if (name == "closed") return ArrivalMode::kClosed;
+  if (name == "open") return ArrivalMode::kOpen;
+  throw std::invalid_argument("unknown arrival mode: " + name +
+                              " (expected 'closed' or 'open')");
+}
+
+std::vector<QueryRequest> open_arrivals(u64 seed, u32 sessions,
+                                        double mean_gap_cycles) {
+  std::vector<QueryRequest> out;
+  out.reserve(sessions);
+  double clock = 0.0;  // exact prefix sum in double, rounded per arrival
+  for (u32 i = 0; i < sessions; ++i) {
+    clock += session_exp(seed, i, 0, mean_gap_cycles);
+    QueryRequest q;
+    q.session = i;
+    q.index = 0;
+    q.arrival = static_cast<u64>(clock);
+    out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace dss::db

@@ -1,0 +1,97 @@
+// Per-session workload streams for the multi-stream serving mode
+// (DESIGN.md §13).
+//
+// A session is one simulated client connection: it submits queries to the
+// admission layer (os/admission.hpp), waits for each to complete, and —
+// in closed-loop mode — thinks for a while before the next one. The paper
+// runs one query at a time with N worker processes; the serving mode asks
+// the capacity question instead ("how many concurrent sessions before p99
+// collapses?"), so it needs hundreds to thousands of these streams.
+//
+// Determinism contract: every random draw (think gaps, Poisson inter-arrival
+// gaps) is a *pure function* of (seed, session id, draw counter) — a
+// counter-based splitmix64 chain with no sequential generator state shared
+// between sessions. Streams can therefore be evaluated lazily, in any order,
+// from any thread, and the serving results are bit-identical at every
+// `--jobs` and shard count (the dss_lint nondet rules apply unchanged).
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dss::db {
+
+/// How query requests enter the system.
+///   kClosed — a fixed population of clients; each thinks (exponential gap),
+///             submits one query, blocks until it completes, repeats. Load
+///             is self-limiting: slow service slows the arrival stream.
+///   kOpen   — a Poisson arrival process that does not wait for completions
+///             (TPC-H-throughput-style offered load). Queue growth under
+///             overload is fully visible in the latency tail.
+enum class ArrivalMode { kClosed, kOpen };
+
+[[nodiscard]] const char* arrival_mode_name(ArrivalMode m);
+/// Parses "closed"/"open"; throws std::invalid_argument otherwise.
+[[nodiscard]] ArrivalMode arrival_mode_from_name(const std::string& name);
+
+/// Uniform 64-bit draw `counter` of session `session` under `seed`.
+/// Pure function; no state. The basis of every serving-mode random number.
+/// (Inline so the admission layer in dss_os can draw think gaps without a
+/// link dependency on dss_db, which itself links dss_os.)
+[[nodiscard]] inline u64 session_u64(u64 seed, u64 session, u64 counter) {
+  // Counter-based: fold (seed, session, counter) into one splitmix64 state
+  // and finalize. Distinct odd multipliers keep the three inputs from
+  // aliasing (session 1/counter 0 vs session 0/counter 1, etc.); splitmix's
+  // finalizer then decorrelates neighbouring states.
+  u64 state = seed ^ (session + 1) * 0x9e3779b97f4a7c15ULL ^
+              (counter + 1) * 0xbf58476d1ce4e5b9ULL;
+  return splitmix64(state);
+}
+
+/// The same draw mapped to [0, 1).
+[[nodiscard]] inline double session_u01(u64 seed, u64 session, u64 counter) {
+  // Top 53 bits -> [0, 1), the standard double mapping.
+  return static_cast<double>(session_u64(seed, session, counter) >> 11) *
+         0x1.0p-53;
+}
+
+/// Exponentially distributed draw with the given mean (returns 0 for
+/// mean <= 0). Used for think times and Poisson inter-arrival gaps.
+[[nodiscard]] inline double session_exp(u64 seed, u64 session, u64 counter,
+                                        double mean) {
+  if (mean <= 0.0) return 0.0;
+  // Inverse CDF; 1 - u is in (0, 1] so the log argument never hits zero.
+  return -mean * std::log(1.0 - session_u01(seed, session, counter));
+}
+
+/// One query submission: session `session`'s `index`-th query, entering the
+/// admission queue at absolute simulated cycle `arrival`.
+struct QueryRequest {
+  u64 session = 0;
+  u32 index = 0;
+  u64 arrival = 0;
+};
+
+/// Open-loop arrival plan: `sessions` single-query sessions whose arrival
+/// times form a Poisson process with mean gap `mean_gap_cycles`. Session i's
+/// gap is draw (seed, i, 0), so the stream is a prefix sum of independent
+/// counter-based draws — sorted by construction and independent of
+/// evaluation order.
+[[nodiscard]] std::vector<QueryRequest> open_arrivals(u64 seed, u32 sessions,
+                                                      double mean_gap_cycles);
+
+/// Closed-loop think gap (cycles) before session `session` submits its
+/// `index`-th query. Exponential with mean `mean_think_cycles`; draw counter
+/// is the query index, so a session's stream does not depend on how many
+/// queries other sessions have issued.
+[[nodiscard]] inline u64 think_gap_cycles(u64 seed, u64 session, u32 index,
+                                          double mean_think_cycles) {
+  return static_cast<u64>(
+      session_exp(seed, session, index, mean_think_cycles));
+}
+
+}  // namespace dss::db

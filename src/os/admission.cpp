@@ -1,0 +1,173 @@
+#include "os/admission.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <queue>
+
+namespace dss::os {
+
+namespace {
+
+/// Event kinds, in tie-break order: a completion at cycle t frees its
+/// backend before an arrival at t is admitted, so a freshly vacated server
+/// is visible to a same-cycle arrival. `seq` breaks remaining ties in push
+/// order; all three components are deterministic.
+enum class EvKind : u8 { kCompletion = 0, kArrival = 1 };
+
+struct Event {
+  u64 cycle;
+  EvKind kind;
+  u64 seq;
+  db::QueryRequest req;  ///< arrival payload (unused for completions)
+  SessionLatency job;    ///< completion payload (unused for arrivals)
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.cycle != b.cycle) return a.cycle > b.cycle;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    return a.seq > b.seq;
+  }
+};
+
+/// Per-run state shared by the open- and closed-loop drivers.
+struct Loop {
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  std::deque<db::QueryRequest> fifo;  ///< waiting (admission) queue
+  AdmissionStats stats;
+  u32 busy = 0;
+  u64 seq = 0;
+  u64 busy_area = 0;   ///< integral of `busy` over time, cycles
+  u64 prev_cycle = 0;  ///< last event time, for the busy integral
+
+  void push_arrival(const db::QueryRequest& r) {
+    events.push(Event{r.arrival, EvKind::kArrival, seq++, r, {}});
+  }
+
+  void dispatch(const AdmissionConfig& cfg, const db::QueryRequest& r,
+                u64 now) {
+    ++busy;
+    assert(busy <= cfg.servers);
+    SessionLatency job;
+    job.session = r.session;
+    job.index = r.index;
+    job.arrival = r.arrival;
+    job.start = now;
+    job.done = now + cfg.service_cycles(busy);
+    events.push(Event{job.done, EvKind::kCompletion, seq++, {}, job});
+  }
+
+  void advance_clock(u64 now) {
+    busy_area += static_cast<u64>(busy) * (now - prev_cycle);
+    prev_cycle = now;
+  }
+
+  void finish() {
+    if (stats.last_done > 0) {
+      stats.mean_concurrency = static_cast<double>(busy_area) /
+                               static_cast<double>(stats.last_done);
+    }
+    // Completion order of equal-`done` jobs follows heap pop order, which
+    // the (cycle, kind, seq) key makes deterministic.
+  }
+};
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig cfg) : cfg_(std::move(cfg)) {
+  assert(cfg_.servers >= 1);
+  assert(cfg_.service_cycles != nullptr);
+}
+
+AdmissionStats AdmissionQueue::run_open(
+    const std::vector<db::QueryRequest>& arrivals) {
+  Loop loop;
+  loop.stats.completed.reserve(arrivals.size());
+  for (const auto& r : arrivals) loop.push_arrival(r);
+
+  while (!loop.events.empty()) {
+    const Event ev = loop.events.top();
+    loop.events.pop();
+    loop.advance_clock(ev.cycle);
+    if (ev.kind == EvKind::kArrival) {
+      if (loop.busy < cfg_.servers) {
+        loop.dispatch(cfg_, ev.req, ev.cycle);
+      } else {
+        loop.fifo.push_back(ev.req);
+        loop.stats.max_queue_depth =
+            std::max(loop.stats.max_queue_depth,
+                     static_cast<u64>(loop.fifo.size()));
+      }
+    } else {
+      --loop.busy;
+      loop.stats.total_queue_cycles += ev.job.queue_wait();
+      loop.stats.last_done = std::max(loop.stats.last_done, ev.job.done);
+      loop.stats.completed.push_back(ev.job);
+      if (!loop.fifo.empty()) {
+        const db::QueryRequest next = loop.fifo.front();
+        loop.fifo.pop_front();
+        loop.dispatch(cfg_, next, ev.cycle);
+      }
+    }
+  }
+  loop.finish();
+  return loop.stats;
+}
+
+AdmissionStats AdmissionQueue::run_closed(u64 seed, u32 sessions,
+                                          u32 queries_per_session,
+                                          double mean_think_cycles) {
+  Loop loop;
+  loop.stats.completed.reserve(static_cast<std::size_t>(sessions) *
+                               queries_per_session);
+  // Every session thinks before its first submission, staggering the
+  // ramp-up the way real clients connect over time.
+  for (u32 s = 0; s < sessions; ++s) {
+    db::QueryRequest r;
+    r.session = s;
+    r.index = 0;
+    r.arrival = db::think_gap_cycles(seed, s, 0, mean_think_cycles);
+    loop.push_arrival(r);
+  }
+
+  while (!loop.events.empty()) {
+    const Event ev = loop.events.top();
+    loop.events.pop();
+    loop.advance_clock(ev.cycle);
+    if (ev.kind == EvKind::kArrival) {
+      if (loop.busy < cfg_.servers) {
+        loop.dispatch(cfg_, ev.req, ev.cycle);
+      } else {
+        loop.fifo.push_back(ev.req);
+        loop.stats.max_queue_depth =
+            std::max(loop.stats.max_queue_depth,
+                     static_cast<u64>(loop.fifo.size()));
+      }
+    } else {
+      --loop.busy;
+      loop.stats.total_queue_cycles += ev.job.queue_wait();
+      loop.stats.last_done = std::max(loop.stats.last_done, ev.job.done);
+      loop.stats.completed.push_back(ev.job);
+      // The closed loop: this session thinks, then submits its next query.
+      if (ev.job.index + 1 < queries_per_session) {
+        db::QueryRequest next;
+        next.session = ev.job.session;
+        next.index = ev.job.index + 1;
+        next.arrival = ev.job.done + db::think_gap_cycles(seed, ev.job.session,
+                                                          next.index,
+                                                          mean_think_cycles);
+        loop.push_arrival(next);
+      }
+      if (!loop.fifo.empty()) {
+        const db::QueryRequest head = loop.fifo.front();
+        loop.fifo.pop_front();
+        loop.dispatch(cfg_, head, ev.cycle);
+      }
+    }
+  }
+  loop.finish();
+  return loop.stats;
+}
+
+}  // namespace dss::os

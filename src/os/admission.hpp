@@ -1,0 +1,83 @@
+// Admission / queueing layer for the multi-stream serving mode
+// (DESIGN.md §13).
+//
+// Sits in front of the executor/machine seam: the machine models at most
+// `servers` concurrently executing query backends (one per simulated CPU),
+// so when more sessions have a query outstanding than there are backends,
+// the surplus waits in a FIFO admission queue. This is the component that
+// turns offered load into tail latency: below the knee the queue is empty
+// and latency ~= service time; past it the queue grows and p99 collapses.
+//
+// The simulation is event-driven over *simulated* cycles and entirely
+// deterministic: events are ordered by (cycle, kind, sequence number), every
+// random input comes from the counter-based session streams (db/session.hpp),
+// and no host clock or thread ordering is consulted anywhere. Service times
+// come from a caller-supplied function of the in-service count, calibrated
+// against the real machine simulation (core/serving.cpp) — an M/D/1-style
+// separation in the same spirit as the MemCtrl occupancy model
+// (sim/memctrl.hpp), lifted from one memory controller to the whole machine.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "db/session.hpp"
+#include "util/types.hpp"
+
+namespace dss::os {
+
+struct AdmissionConfig {
+  /// Concurrent query backends (simulated CPUs). Must be >= 1.
+  u32 servers = 1;
+  /// Service time, in cycles, of a query dispatched while `n` queries
+  /// (including itself) are in service; n is in [1, servers]. Frozen at
+  /// dispatch — see DESIGN.md §13 for why that approximation is sound.
+  std::function<u64(u32)> service_cycles;
+};
+
+/// One completed query with its end-to-end timeline (simulated cycles).
+struct SessionLatency {
+  u64 session = 0;
+  u32 index = 0;   ///< k-th query of the session
+  u64 arrival = 0; ///< entered the admission queue
+  u64 start = 0;   ///< dispatched onto a backend
+  u64 done = 0;    ///< completed
+  [[nodiscard]] u64 latency() const { return done - arrival; }
+  [[nodiscard]] u64 queue_wait() const { return start - arrival; }
+};
+
+struct AdmissionStats {
+  /// Every completed query, in completion order (ties broken by dispatch
+  /// order — deterministic).
+  std::vector<SessionLatency> completed;
+  u64 last_done = 0;          ///< cycle of the final completion
+  u64 max_queue_depth = 0;    ///< deepest the admission queue ever got
+  u64 total_queue_cycles = 0; ///< sum of per-query queue waits
+  /// Time-weighted mean number of in-service queries over [0, last_done] —
+  /// the serving mode's operating point, used to pick which calibrated
+  /// machine metrics explain the latency numbers.
+  double mean_concurrency = 0.0;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionConfig cfg);
+
+  /// Open loop: the arrival plan is known up front (db::open_arrivals).
+  /// Arrivals must be sorted by arrival cycle (prefix-sum construction
+  /// guarantees it).
+  [[nodiscard]] AdmissionStats run_open(
+      const std::vector<db::QueryRequest>& arrivals);
+
+  /// Closed loop: `sessions` clients, each submitting `queries_per_session`
+  /// queries with exponential think gaps (mean `mean_think_cycles`, drawn
+  /// from the counter-based stream under `seed`) before each submission.
+  [[nodiscard]] AdmissionStats run_closed(u64 seed, u32 sessions,
+                                          u32 queries_per_session,
+                                          double mean_think_cycles);
+
+ private:
+  AdmissionConfig cfg_;
+};
+
+}  // namespace dss::os

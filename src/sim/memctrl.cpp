@@ -17,8 +17,12 @@ MemCtrl::MemCtrl(u32 num_homes, u32 occupancy, double burst)
 }
 
 void MemCtrl::begin_epoch(u64 epoch_cycles) {
-  assert(epoch_cycles > 0);
-  epoch_cycles_ = epoch_cycles;
+  // A zero-length epoch (the first scheduler window of an empty trial)
+  // carries no rate information. Clamp to one cycle rather than dividing by
+  // zero in utilization(): with zero requests observed, 0/0 would give NaN,
+  // which std::min silently turns into the 0.97 saturation clamp — a ~16x
+  // occupancy phantom delay on a completely idle controller.
+  epoch_cycles_ = std::max<u64>(1, epoch_cycles);
   prev_count_ = cur_count_;
   std::fill(cur_count_.begin(), cur_count_.end(), 0);
   recompute_delays();
@@ -26,9 +30,8 @@ void MemCtrl::begin_epoch(u64 epoch_cycles) {
 
 void MemCtrl::begin_epoch_merged(const std::vector<u32>& merged,
                                  u64 epoch_cycles) {
-  assert(epoch_cycles > 0);
   assert(merged.size() == cur_count_.size());
-  epoch_cycles_ = epoch_cycles;
+  epoch_cycles_ = std::max<u64>(1, epoch_cycles);  // see begin_epoch
   prev_count_ = merged;
   std::fill(cur_count_.begin(), cur_count_.end(), 0);
   recompute_delays();
@@ -43,7 +46,11 @@ void MemCtrl::recompute_delays() {
 double MemCtrl::utilization(u32 home) const {
   // Effective utilization includes the burstiness factor: misses arrive in
   // batches (a scan faults several lines back to back), so queueing kicks
-  // in well before the mean rate saturates the controller.
+  // in well before the mean rate saturates the controller. An idle home is
+  // 0 by definition — checked first so no division (and no NaN through
+  // std::min, which would mask as the saturation clamp) can occur even if
+  // epoch_cycles_ were somehow zero.
+  if (prev_count_[home] == 0 || epoch_cycles_ == 0) return 0.0;
   return std::min(0.97, burst_ * static_cast<double>(prev_count_[home]) *
                             occupancy_ /
                             static_cast<double>(epoch_cycles_));

@@ -130,4 +130,15 @@ double geomean_of(const std::vector<double>& xs) {
   return std::exp(s / static_cast<double>(n));
 }
 
+double percentile_of(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 1.0) return xs.back();
+  // Nearest rank: ceil(p * n), 1-based.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(xs.size())));
+  return xs[std::min(xs.size(), std::max<std::size_t>(1, rank)) - 1];
+}
+
 }  // namespace dss

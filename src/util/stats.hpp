@@ -84,4 +84,11 @@ struct Estimate {
 /// positive sample remains. Identical behaviour in Debug and Release.
 [[nodiscard]] double geomean_of(const std::vector<double>& xs);
 
+/// Nearest-rank percentile: the smallest sample x such that at least
+/// p * 100% of the samples are <= x (p in [0, 1]). Takes its argument by
+/// value and sorts the copy; returns 0.0 for empty input. Nearest-rank is
+/// exact on the observed distribution — no interpolation — so the serving
+/// mode's p50/p95/p99 are bit-identical wherever the latency multiset is.
+[[nodiscard]] double percentile_of(std::vector<double> xs, double p);
+
 }  // namespace dss

@@ -1,6 +1,8 @@
 // Interconnect and memory-controller model tests.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/interconnect.hpp"
 #include "sim/machine_configs.hpp"
 #include "sim/memctrl.hpp"
@@ -54,6 +56,26 @@ TEST(MemCtrl, NoLoadNoWait) {
   mc.begin_epoch(20'000);
   EXPECT_EQ(mc.request(0, 100), 0u);
   EXPECT_EQ(mc.request(0, 100), 0u);  // same-epoch requests see prev rate = 0
+}
+
+TEST(MemCtrl, ZeroCycleEpochIsIdleNotSaturated) {
+  // The first scheduler window of an empty trial can begin an epoch of zero
+  // cycles. Before the clamp this divided 0 requests by 0 cycles: NaN, which
+  // std::min(0.97, NaN) silently turned into the saturation clamp — a
+  // phantom ~16x-occupancy queue delay on a completely idle controller.
+  MemCtrl mc(2, 20);
+  mc.begin_epoch(0);
+  EXPECT_EQ(mc.utilization(0), 0.0);
+  EXPECT_EQ(mc.request(0, 100), 0u);
+
+  // Same guard on the merged-epoch path, with load carried in: utilization
+  // stays finite (clamped), never NaN.
+  MemCtrl merged(2, 20);
+  merged.begin_epoch_merged({50, 0}, 0);
+  EXPECT_TRUE(std::isfinite(merged.utilization(0)));
+  EXPECT_LE(merged.utilization(0), 0.97);
+  EXPECT_EQ(merged.utilization(1), 0.0);
+  EXPECT_EQ(merged.request(1, 100), 0u);
 }
 
 TEST(MemCtrl, QueueDelayGrowsWithPreviousEpochLoad) {

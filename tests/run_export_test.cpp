@@ -165,33 +165,225 @@ TEST(RunExport, SampledCellRoundTripsWithCiObjects) {
   EXPECT_EQ(j.get("cells")->as_array()[1].get("metric_ci"), nullptr);
 }
 
-TEST(RunExport, NullRefsPerSecValidatesAndIsSkippedByDiff) {
+TEST(RunExport, RefsPerSecAlwaysEmitted) {
+  // Schema v4: the key is always present — a number (0 for non-replay
+  // cells) or null (ran but unmeasurable). "Missing" now only ever means
+  // a pre-v4 document.
   MetricsDoc doc = make_doc(1e6, 2e6);
   doc.cells[0].result.refs_per_sec =
       std::numeric_limits<double>::quiet_NaN();
-  doc.cells[1].result.refs_per_sec = 5e6;
   const util::Json a = round_trip(doc);
   EXPECT_TRUE(check_metrics_schema(a).empty());
-  ASSERT_NE(a.get("cells")->as_array()[0].get("metrics")->get("refs_per_sec"),
-            nullptr);
-  EXPECT_TRUE(a.get("cells")->as_array()[0]
-                  .get("metrics")
-                  ->get("refs_per_sec")
-                  ->is_null());
+  const util::Json* null_rate =
+      a.get("cells")->as_array()[0].get("metrics")->get("refs_per_sec");
+  ASSERT_NE(null_rate, nullptr);
+  EXPECT_TRUE(null_rate->is_null());
+  const util::Json* zero_rate =
+      a.get("cells")->as_array()[1].get("metrics")->get("refs_per_sec");
+  ASSERT_NE(zero_rate, nullptr);
+  EXPECT_TRUE(zero_rate->is_number());
+  EXPECT_DOUBLE_EQ(zero_rate->as_number(), 0.0);
+}
 
-  // Against a run where the same cell measured a real rate: the null pair
-  // is skipped, not treated as a 100% regression.
+TEST(RunExport, NullVsNumberIsInformationalNotRegression) {
+  MetricsDoc before_doc = make_doc(1e6, 2e6);
+  before_doc.cells[0].result.refs_per_sec =
+      std::numeric_limits<double>::quiet_NaN();
+  before_doc.cells[1].result.refs_per_sec = 5e6;
+  // The same cell measured a real rate in the after run: an unknown vs a
+  // number is incomparable — an informational delta, not a silent skip and
+  // not a phantom 100% regression. Test both directions.
   MetricsDoc after_doc = make_doc(1e6, 2e6);
   after_doc.cells[0].result.refs_per_sec = 4e6;
-  after_doc.cells[1].result.refs_per_sec = 5e6;
-  const DiffReport rep = diff_metrics(a, round_trip(after_doc), {});
+  after_doc.cells[1].result.refs_per_sec =
+      std::numeric_limits<double>::quiet_NaN();
+
+  const DiffReport rep =
+      diff_metrics(round_trip(before_doc), round_trip(after_doc), {});
   EXPECT_TRUE(rep.errors.empty());
   EXPECT_FALSE(rep.has_regressions());
+  int notes = 0;
   for (const MetricDelta& d : rep.deltas) {
-    EXPECT_FALSE(d.cell.find("Q6") != std::string::npos &&
-                 d.metric == "refs_per_sec")
-        << "null-rate pair must not be compared";
+    if (d.metric != "refs_per_sec") continue;
+    ++notes;
+    EXPECT_FALSE(d.note.empty()) << d.cell;
+    EXPECT_FALSE(d.regression);
+    if (d.cell.find("Q6") != std::string::npos) {
+      EXPECT_EQ(d.note, "null in before, number in after");
+      EXPECT_DOUBLE_EQ(d.after, 4e6);
+    } else {
+      EXPECT_EQ(d.note, "number in before, null in after");
+      EXPECT_DOUBLE_EQ(d.before, 5e6);
+    }
   }
+  EXPECT_EQ(notes, 2);
+}
+
+/// A minimal pre-v4 document: "refs_per_sec" omitted (the old
+/// omit-when-zero rule) unless `refs_entry` injects one.
+util::Json legacy_doc(const std::string& refs_entry) {
+  return util::json_parse(
+      R"({"schema_version": 3, "bench": "legacy", "scale_denom": 64,
+          "seed": 7, "cells": [{
+            "platform": "V-Class", "query": "Q6", "nproc": 4, "trials": 1,
+            "variant": "", "metrics": {"cpi": 1.5)" +
+      refs_entry +
+      R"(}, "counters": {}, "miss_causes": {"l1": {}, "l2": {}},
+            "obj_misses": {}, "cpi_stack": {}}]})");
+}
+
+TEST(RunExport, MissingVsPresentRefsPerSecIsInformational) {
+  // before: pre-v4, key omitted; after: v4, key present (number or null).
+  // Both directions must surface as informational notes, never errors or
+  // regressions — any other metric disappearing stays an error.
+  const util::Json old = legacy_doc("");
+  const util::Json with_num = legacy_doc(", \"refs_per_sec\": 3e6");
+  const util::Json with_null = legacy_doc(", \"refs_per_sec\": null");
+
+  {
+    const DiffReport rep = diff_metrics(old, with_num, {});
+    EXPECT_TRUE(rep.errors.empty());
+    EXPECT_FALSE(rep.has_regressions());
+    int notes = 0;
+    for (const MetricDelta& d : rep.deltas) {
+      if (d.metric != "refs_per_sec") continue;
+      ++notes;
+      EXPECT_EQ(d.note, "missing from before (pre-v4 document)");
+      EXPECT_DOUBLE_EQ(d.after, 3e6);
+    }
+    EXPECT_EQ(notes, 1);
+  }
+  {
+    const DiffReport rep = diff_metrics(with_null, old, {});
+    EXPECT_TRUE(rep.errors.empty());
+    EXPECT_FALSE(rep.has_regressions());
+    int notes = 0;
+    for (const MetricDelta& d : rep.deltas) {
+      if (d.metric != "refs_per_sec") continue;
+      ++notes;
+      EXPECT_EQ(d.note, "null in before, missing from after");
+    }
+    EXPECT_EQ(notes, 1);
+  }
+  {
+    // A non-refs metric vanishing is still a hard error.
+    const util::Json missing_cpi = util::json_parse(
+        R"({"schema_version": 3, "bench": "legacy", "scale_denom": 64,
+            "seed": 7, "cells": [{
+              "platform": "V-Class", "query": "Q6", "nproc": 4, "trials": 1,
+              "variant": "", "metrics": {}, "counters": {},
+              "miss_causes": {"l1": {}, "l2": {}}, "obj_misses": {},
+              "cpi_stack": {}}]})");
+    const DiffReport rep = diff_metrics(old, missing_cpi, {});
+    EXPECT_FALSE(rep.errors.empty());
+  }
+}
+
+ExportCell make_serving_cell(double p99, double qph) {
+  ExportCell c = make_cell("Q6", 1e6);
+  c.variant = "serve:open:load=0.80";
+  ServingStats s;
+  s.arrival = "open";
+  s.sessions = 64;
+  s.cpus = 8;
+  s.queries_per_session = 1;
+  s.queries = 64;
+  s.target_load = 0.8;
+  s.offered_qps = 25.0;
+  s.achieved_qph = qph;
+  s.mean_concurrency = 5.5;
+  s.p50_ms = 80.0;
+  s.p95_ms = p99 * 0.9;
+  s.p99_ms = p99;
+  s.mean_ms = 85.0;
+  s.max_ms = p99 * 1.1;
+  s.queue_p99_ms = 12.0;
+  s.max_queue_depth = 4;
+  s.metrics_nproc = 8;
+  c.serving = s;
+  return c;
+}
+
+MetricsDoc make_serving_doc(double p99, double qph) {
+  MetricsDoc doc;
+  doc.bench = "serving_test";
+  doc.cells.push_back(make_serving_cell(p99, qph));
+  return doc;
+}
+
+TEST(RunExport, ServingCellRoundTripsAndValidates) {
+  const util::Json j = round_trip(make_serving_doc(120.0, 50'000.0));
+  EXPECT_TRUE(check_metrics_schema(j).empty());
+  const util::Json& cell = j.get("cells")->as_array()[0];
+  const util::Json* sv = cell.get("serving");
+  ASSERT_NE(sv, nullptr);
+  EXPECT_EQ(sv->get("arrival")->as_string(), "open");
+  EXPECT_DOUBLE_EQ(sv->get("p99_ms")->as_number(), 120.0);
+  EXPECT_DOUBLE_EQ(sv->get("achieved_qph")->as_number(), 50'000.0);
+  EXPECT_DOUBLE_EQ(sv->get("sessions")->as_number(), 64.0);
+  // A non-serving cell has no serving object.
+  const util::Json plain = round_trip(make_doc(1e6, 2e6));
+  EXPECT_EQ(plain.get("cells")->as_array()[0].get("serving"), nullptr);
+  // A serving object with a non-numeric metric is rejected.
+  const auto problems = check_metrics_schema(util::json_parse(
+      R"({"schema_version": 4, "bench": "x", "scale_denom": 16, "seed": 1,
+          "cells": [{"platform": "V-Class", "query": "Q6", "nproc": 1,
+                     "trials": 1, "variant": "", "metrics": {},
+                     "serving": {"arrival": "open", "p99_ms": "slow"},
+                     "counters": {}, "miss_causes": {"l1": {}, "l2": {}},
+                     "obj_misses": {}, "cpi_stack": {}}]})"));
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(RunExport, ServingP99RegressionGates) {
+  const util::Json before = round_trip(make_serving_doc(100.0, 50'000.0));
+  const util::Json worse = round_trip(make_serving_doc(120.0, 50'000.0));
+  const DiffReport rep = diff_metrics(before, worse, {});
+  EXPECT_TRUE(rep.errors.empty());
+  ASSERT_TRUE(rep.has_regressions());
+  bool saw_p99 = false;
+  for (const MetricDelta& d : rep.regressions()) {
+    if (d.metric == "serving.p99_ms") saw_p99 = true;
+    EXPECT_TRUE(d.metric.rfind("serving.", 0) == 0) << d.metric;
+  }
+  EXPECT_TRUE(saw_p99);
+  // The reverse direction is an improvement, not a regression.
+  EXPECT_FALSE(diff_metrics(worse, before, {}).has_regressions());
+}
+
+TEST(RunExport, ServingThroughputDropGates) {
+  const util::Json before = round_trip(make_serving_doc(100.0, 50'000.0));
+  const util::Json slower = round_trip(make_serving_doc(100.0, 40'000.0));
+  const DiffReport rep = diff_metrics(before, slower, {});
+  ASSERT_TRUE(rep.has_regressions());
+  EXPECT_EQ(rep.regressions()[0].metric, "serving.achieved_qph");
+  // More throughput is fine.
+  EXPECT_FALSE(diff_metrics(slower, before, {}).has_regressions());
+}
+
+TEST(RunExport, ServingGatesUnderCiGateAndMetricFilter) {
+  // Serving numbers are exact, so --ci-gate (which mutes CI-less machine
+  // metrics) still gates them; --metric serving.p99_ms narrows the diff to
+  // exactly that key. This is the CI smoke job's configuration.
+  const util::Json before = round_trip(make_serving_doc(100.0, 50'000.0));
+  const util::Json worse = round_trip(make_serving_doc(120.0, 50'000.0));
+  DiffOptions opts;
+  opts.ci_gate = true;
+  opts.only_metrics = {"serving.p99_ms"};
+  const DiffReport rep = diff_metrics(before, worse, opts);
+  EXPECT_TRUE(rep.errors.empty());
+  ASSERT_EQ(rep.deltas.size(), 1u);
+  EXPECT_EQ(rep.deltas[0].metric, "serving.p99_ms");
+  EXPECT_TRUE(rep.deltas[0].regression);
+}
+
+TEST(RunExport, ServingArrivalModeMismatchIsAnError) {
+  MetricsDoc closed = make_serving_doc(100.0, 50'000.0);
+  closed.cells[0].serving->arrival = "closed";
+  const DiffReport rep =
+      diff_metrics(round_trip(make_serving_doc(100.0, 50'000.0)),
+                   round_trip(closed), {});
+  EXPECT_FALSE(rep.errors.empty());
 }
 
 TEST(RunExport, CiGateUsesCombinedHalfWidths) {

@@ -1,0 +1,219 @@
+// Serving-mode tests: counter-based session streams, admission/queueing
+// semantics, and end-to-end determinism of the serving pipeline across
+// thread-pool sizes (DESIGN.md §13).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/serving.hpp"
+#include "db/session.hpp"
+#include "os/admission.hpp"
+
+namespace dss {
+namespace {
+
+// ---------------------------------------------------------------- sessions
+
+TEST(SessionStream, DrawsArePureFunctions) {
+  // Same (seed, session, counter) -> same value, every time, in any order.
+  const u64 a = db::session_u64(42, 7, 3);
+  const u64 b = db::session_u64(42, 7, 4);
+  const u64 c = db::session_u64(42, 8, 3);
+  EXPECT_EQ(a, db::session_u64(42, 7, 3));
+  EXPECT_NE(a, b);  // neighbouring counters decorrelate
+  EXPECT_NE(a, c);  // neighbouring sessions decorrelate
+  EXPECT_NE(a, db::session_u64(43, 7, 3));  // seed matters
+}
+
+TEST(SessionStream, U01InUnitInterval) {
+  for (u64 s = 0; s < 100; ++s) {
+    const double u = db::session_u01(1, s, 0);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(SessionStream, ExpDrawsArePositiveWithRoughlyRightMean) {
+  const double mean = 1000.0;
+  double sum = 0.0;
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = db::session_exp(42, static_cast<u64>(i), 0, mean);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, mean, 0.1 * mean);
+  EXPECT_EQ(db::session_exp(42, 0, 0, 0.0), 0.0);  // mean <= 0 -> no gap
+}
+
+TEST(SessionStream, OpenArrivalsSortedAndDeterministic) {
+  const auto plan = db::open_arrivals(42, 64, 500.0);
+  ASSERT_EQ(plan.size(), 64u);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LE(plan[i - 1].arrival, plan[i].arrival);
+    EXPECT_EQ(plan[i].session, i);
+  }
+  const auto again = db::open_arrivals(42, 64, 500.0);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].arrival, again[i].arrival);
+  }
+}
+
+TEST(SessionStream, ArrivalModeNames) {
+  EXPECT_STREQ(db::arrival_mode_name(db::ArrivalMode::kClosed), "closed");
+  EXPECT_STREQ(db::arrival_mode_name(db::ArrivalMode::kOpen), "open");
+  EXPECT_EQ(db::arrival_mode_from_name("open"), db::ArrivalMode::kOpen);
+  EXPECT_EQ(db::arrival_mode_from_name("closed"), db::ArrivalMode::kClosed);
+  EXPECT_THROW(static_cast<void>(db::arrival_mode_from_name("poisson")),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- admission
+
+os::AdmissionQueue make_queue(u32 servers, u64 service) {
+  os::AdmissionConfig cfg;
+  cfg.servers = servers;
+  cfg.service_cycles = [service](u32) { return service; };
+  return os::AdmissionQueue(cfg);
+}
+
+TEST(Admission, QueuesBeyondServerCount) {
+  // 2 servers, constant 100-cycle service, 3 simultaneous arrivals: two run
+  // immediately, the third waits for the first completion.
+  auto q = make_queue(2, 100);
+  std::vector<db::QueryRequest> plan;
+  for (u64 s = 0; s < 3; ++s) plan.push_back({s, 0, 0});
+  const auto stats = q.run_open(plan);
+  ASSERT_EQ(stats.completed.size(), 3u);
+  EXPECT_EQ(stats.completed[0].latency(), 100u);
+  EXPECT_EQ(stats.completed[1].latency(), 100u);
+  EXPECT_EQ(stats.completed[2].latency(), 200u);
+  EXPECT_EQ(stats.completed[2].queue_wait(), 100u);
+  EXPECT_EQ(stats.max_queue_depth, 1u);
+  EXPECT_EQ(stats.last_done, 200u);
+  EXPECT_EQ(stats.total_queue_cycles, 100u);
+  // Busy integral: 2 servers for [0,100), 1 for [100,200) -> 300/200.
+  EXPECT_DOUBLE_EQ(stats.mean_concurrency, 1.5);
+}
+
+TEST(Admission, CompletionFreesServerBeforeSameCycleArrival) {
+  // One server, service 50; arrivals at 0 and 50. The completion at 50 is
+  // processed before the arrival at 50, so the second query starts at once.
+  auto q = make_queue(1, 50);
+  const auto stats = q.run_open({{0, 0, 0}, {1, 0, 50}});
+  ASSERT_EQ(stats.completed.size(), 2u);
+  EXPECT_EQ(stats.completed[1].queue_wait(), 0u);
+  EXPECT_EQ(stats.max_queue_depth, 0u);
+}
+
+TEST(Admission, ServiceTimeSeesInServiceCount) {
+  // Service time = 100 * in-service count at dispatch: the second
+  // concurrent query dispatches while 2 are in service.
+  os::AdmissionConfig cfg;
+  cfg.servers = 2;
+  cfg.service_cycles = [](u32 n) { return static_cast<u64>(100) * n; };
+  os::AdmissionQueue q(cfg);
+  const auto stats = q.run_open({{0, 0, 0}, {1, 0, 0}});
+  ASSERT_EQ(stats.completed.size(), 2u);
+  EXPECT_EQ(stats.completed[0].latency(), 100u);  // dispatched alone
+  EXPECT_EQ(stats.completed[1].latency(), 200u);  // dispatched second
+}
+
+TEST(Admission, ClosedLoopConservesQueries) {
+  auto q = make_queue(2, 100);
+  const auto stats = q.run_closed(/*seed=*/42, /*sessions=*/8,
+                                  /*queries_per_session=*/3,
+                                  /*mean_think_cycles=*/500.0);
+  EXPECT_EQ(stats.completed.size(), 24u);
+  for (const auto& c : stats.completed) {
+    EXPECT_GE(c.latency(), 100u);  // at least the service time
+    EXPECT_LT(c.index, 3u);
+  }
+  // Bit-exact repeatability of the whole completion record.
+  auto q2 = make_queue(2, 100);
+  const auto again = q2.run_closed(42, 8, 3, 500.0);
+  ASSERT_EQ(again.completed.size(), stats.completed.size());
+  for (std::size_t i = 0; i < again.completed.size(); ++i) {
+    EXPECT_EQ(again.completed[i].session, stats.completed[i].session);
+    EXPECT_EQ(again.completed[i].arrival, stats.completed[i].arrival);
+    EXPECT_EQ(again.completed[i].done, stats.completed[i].done);
+  }
+}
+
+// ----------------------------------------------------------- end to end
+
+core::ServingConfig small_config(db::ArrivalMode mode) {
+  core::ServingConfig cfg;
+  cfg.platform = perf::Platform::Origin2000;
+  cfg.query = tpch::QueryId::Q6;
+  cfg.cpus = 4;
+  cfg.arrival = mode;
+  cfg.sessions = 16;
+  cfg.queries_per_session = 2;
+  cfg.think_time_ms = 20.0;
+  cfg.target_load = 0.8;
+  cfg.trials = 1;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(Serving, BitIdenticalAcrossThreadPoolSizes) {
+  // The whole pipeline — calibration ladder through percentile report —
+  // must not depend on how many workers execute the calibration cells.
+  for (const db::ArrivalMode mode :
+       {db::ArrivalMode::kClosed, db::ArrivalMode::kOpen}) {
+    core::ExperimentRunner serial(core::ScaleConfig{256}, 42, 1);
+    core::ExperimentRunner parallel(core::ScaleConfig{256}, 42, 4);
+    const auto a = core::run_serving(serial, small_config(mode));
+    const auto b = core::run_serving(parallel, small_config(mode));
+    EXPECT_EQ(a.stats.queries, b.stats.queries);
+    EXPECT_EQ(a.stats.p50_ms, b.stats.p50_ms);
+    EXPECT_EQ(a.stats.p95_ms, b.stats.p95_ms);
+    EXPECT_EQ(a.stats.p99_ms, b.stats.p99_ms);
+    EXPECT_EQ(a.stats.mean_ms, b.stats.mean_ms);
+    EXPECT_EQ(a.stats.achieved_qph, b.stats.achieved_qph);
+    EXPECT_EQ(a.stats.mean_concurrency, b.stats.mean_concurrency);
+    EXPECT_EQ(a.stats.metrics_nproc, b.stats.metrics_nproc);
+    // Machine metrics at the operating point are exact too.
+    EXPECT_EQ(a.machine.mean.cycles, b.machine.mean.cycles);
+    EXPECT_EQ(a.machine.mean.l1d_misses, b.machine.mean.l1d_misses);
+    EXPECT_EQ(a.machine.mean.l2d_misses, b.machine.mean.l2d_misses);
+    EXPECT_EQ(a.machine.cpi, b.machine.cpi);
+  }
+}
+
+TEST(Serving, OperatingPointTracksLoad) {
+  core::ExperimentRunner runner(core::ScaleConfig{256}, 42, 2);
+  const auto calib = core::calibrate_serving(
+      runner, perf::Platform::Origin2000, tpch::QueryId::Q6, 4, 1, 42);
+  ASSERT_EQ(calib.levels.size(), 3u);  // 1, 2, 4
+  EXPECT_EQ(calib.levels.back(), 4u);
+  for (const u64 svc : calib.svc_cycles) EXPECT_GT(svc, 0u);
+
+  auto cfg = small_config(db::ArrivalMode::kOpen);
+  cfg.sessions = 64;
+  cfg.target_load = 0.2;
+  const auto light = core::serve(calib, cfg);
+  cfg.target_load = 0.95;
+  const auto heavy = core::serve(calib, cfg);
+  // Heavier offered load -> more queries in flight -> higher tail latency,
+  // and the operating point moves to a higher calibration level.
+  EXPECT_GT(heavy.stats.mean_concurrency, light.stats.mean_concurrency);
+  EXPECT_GE(heavy.stats.p99_ms, light.stats.p99_ms);
+  EXPECT_GE(heavy.stats.metrics_nproc, light.stats.metrics_nproc);
+  EXPECT_EQ(light.stats.queries, 64u);
+}
+
+TEST(Serving, WidensMachineBeyondStockProcessorCount) {
+  // V-Class stock is 16 processors; a 32-cpu serving config must still
+  // calibrate (with the widened machine) and end its ladder at 32.
+  core::ExperimentRunner runner(core::ScaleConfig{512}, 42, 4);
+  const auto calib = core::calibrate_serving(
+      runner, perf::Platform::VClass, tpch::QueryId::Q6, 32, 1, 42);
+  EXPECT_EQ(calib.levels.back(), 32u);
+  ASSERT_FALSE(calib.results.empty());
+  EXPECT_GT(calib.results.back().mean.instructions, 0u);
+}
+
+}  // namespace
+}  // namespace dss

@@ -99,6 +99,32 @@ void print_run(const Json& doc) {
           s->get("windows")->as_number(), detailed, total,
           detailed > 0 ? total / detailed : 0.0);
     }
+    if (const Json* sv = cell.get("serving")) {
+      std::printf(
+          "  serving: %s arrival, %d sessions x %d queries on %d cpus\n",
+          sv->get("arrival")->as_string().c_str(),
+          static_cast<int>(sv->get("sessions")->as_number()),
+          static_cast<int>(sv->get("queries_per_session")->as_number()),
+          static_cast<int>(sv->get("cpus")->as_number()));
+      if (sv->get("target_load")->as_number() > 0) {
+        std::printf("  serving: target load %.2f (%.3g q/s offered)\n",
+                    sv->get("target_load")->as_number(),
+                    sv->get("offered_qps")->as_number());
+      }
+      std::printf(
+          "  serving: %.6g QphH, mean concurrency %.2f "
+          "(machine metrics at nproc=%d)\n",
+          sv->get("achieved_qph")->as_number(),
+          sv->get("mean_concurrency")->as_number(),
+          static_cast<int>(sv->get("metrics_nproc")->as_number()));
+      std::printf(
+          "  serving: latency ms p50=%.4g p95=%.4g p99=%.4g mean=%.4g "
+          "max=%.4g (queue p99=%.4g)\n",
+          sv->get("p50_ms")->as_number(), sv->get("p95_ms")->as_number(),
+          sv->get("p99_ms")->as_number(), sv->get("mean_ms")->as_number(),
+          sv->get("max_ms")->as_number(),
+          sv->get("queue_p99_ms")->as_number());
+    }
     const Json& m = *cell.get("metrics");
     const Json* ci = cell.get("metric_ci");
     for (const auto& [k, v] : m.as_object()) {
@@ -155,6 +181,13 @@ int print_diff(const DiffReport& rep, const DiffOptions& opts) {
 
   std::size_t moved = 0;
   for (const MetricDelta& d : rep.deltas) {
+    // One-sided observations (null vs number, missing vs present) carry a
+    // note instead of a comparable pair: always shown, never gated.
+    if (!d.note.empty()) {
+      std::printf("%-11s %s %s: %s\n", "info", d.cell.c_str(),
+                  d.metric.c_str(), d.note.c_str());
+      continue;
+    }
     const double gate = d.metric == "refs_per_sec" ? opts.perf_threshold
                                                    : opts.rel_threshold;
     if (std::fabs(d.rel) <= gate && !d.regression) continue;
