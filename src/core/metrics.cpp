@@ -89,6 +89,10 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       if (o.cpus.empty()) {
         throw std::invalid_argument("--cpus requires at least one value");
       }
+    } else if (std::strcmp(argv[i], "--min-time") == 0) {
+      o.min_time_ms = std::stod(need_value("--min-time"));
+    } else if (std::strcmp(argv[i], "--epoch-records") == 0) {
+      o.epoch_records = std::stoull(need_value("--epoch-records"));
     } else {
       throw std::invalid_argument(std::string("unknown option: ") + argv[i]);
     }
@@ -105,6 +109,9 @@ BenchOptions parse_bench_options(int argc, char** argv) {
   if (o.think_time_ms < 0.0 || o.target_load < 0.0) {
     throw std::invalid_argument(
         "--think-time and --target-load must be non-negative");
+  }
+  if (o.min_time_ms < 0.0) {
+    throw std::invalid_argument("--min-time must be non-negative");
   }
   if (o.sample_units > 0 && o.check) {
     throw std::invalid_argument(

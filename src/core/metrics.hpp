@@ -31,7 +31,11 @@ void print_figure(std::ostream& os, const std::string& title,
 /// where it applies), --check (attach the runtime coherence invariant
 /// checker to every trial; observation-only, metrics unchanged),
 /// --metrics PATH (write every cell the binary runs as one schema-versioned
-/// JSON document; see core/run_export.hpp and tools/dss_report).
+/// JSON document; see core/run_export.hpp and tools/dss_report),
+/// --min-time MS (repeat each timing trial until it has run at least MS of
+/// wall-clock; see BenchOptions::min_time_ms), --epoch-records N
+/// (scheduling-epoch length for replay-driven benches that default to
+/// epochs off).
 ///
 /// Sampled simulation (DESIGN.md §12): --sample-units N (references per
 /// sampling unit; 0, the default, keeps every reference detailed),
@@ -74,6 +78,16 @@ struct BenchOptions {
   double think_time_ms = 50.0;      ///< serving, closed loop: mean think
   double target_load = 0.0;         ///< serving, open loop: 0 = sweep preset
   std::vector<u32> cpus = {8, 16, 32};  ///< serving: simulated CPU sweep
+  /// Minimum measured wall-clock per timing trial, in milliseconds: a trial
+  /// repeats its workload until it has run at least this long, and reports
+  /// the aggregate rate. 0 keeps each bench's default. Raising it trades
+  /// bench wall-clock for tighter rate estimates on fast cells; the
+  /// simulated results of every repeat are identical, so exports never
+  /// depend on it.
+  double min_time_ms = 0.0;
+  /// Scheduling-epoch length (input records per epoch) for replay-driven
+  /// benches that default to epochs off; 0 keeps the bench's default.
+  u64 epoch_records = 0;
 
   /// The sampling schedule these options describe (disabled when
   /// --sample-units was not given).

@@ -139,10 +139,11 @@ void write_cell(std::ostream& os, int indent, const ExportCell& cell) {
     m.num("invol_ctx_per_minstr", cell.result.invol_ctx_per_minstr);
     m.num("wall_seconds", cell.result.wall_seconds);
     // Always emitted since schema v4: a number (0 for cells that did not
-    // replay a reference stream) or null when the host timer floor made the
-    // rate unmeasurable. The v2/v3 omit-when-zero rule made "missing" and
-    // "null" impossible to tell apart downstream; now absence can only mean
-    // a pre-v4 document.
+    // replay a reference stream) or null for NaN. The v2/v3 omit-when-zero
+    // rule made "missing" and "null" impossible to tell apart downstream.
+    // No bench produces the null case anymore — BENCH_refstream's
+    // repeat-until --min-time timing guarantees a measurable rate — but
+    // NaN must still serialize as null, never as invalid JSON.
     if (std::isnan(cell.result.refs_per_sec)) {
       m.key("refs_per_sec");
       os << "null";

@@ -35,6 +35,10 @@ namespace dss::core {
 ///       (DESIGN.md §13) add an optional per-cell "serving" object:
 ///       arrival mode, offered load, QphH-style throughput, and per-session
 ///       end-to-end latency percentiles.
+///       (Writers no longer produce the null case: BENCH_refstream's
+///       repeat-until --min-time timing guarantees a measurable rate, so
+///       every emitted "refs_per_sec" is a number. Readers still accept
+///       null in v3/v4 documents.)
 inline constexpr u32 kMetricsSchemaVersion = 4;
 /// Oldest schema version readers still accept.
 inline constexpr u32 kMetricsSchemaMinVersion = 1;

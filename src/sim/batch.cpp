@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cassert>
+#include <condition_variable>
+#include <exception>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
 
 #include "sim/addr.hpp"
 #include "sim/cache.hpp"
@@ -32,6 +38,239 @@ u32 max_shards(const MachineConfig& cfg) {
 
 namespace {
 
+// ---------------------------------------------------------------------------
+// Trace compile (serial scan, or chunk-parallel with a prefix-sum stitch)
+// ---------------------------------------------------------------------------
+
+constexpr u64 kNoPage = ~u64{0};
+/// Small instruction gaps dominate every stream; memoize the fp multiply
+/// (identical double math, computed once per distinct small gap).
+constexpr u64 kGapMemo = 256;
+
+[[nodiscard]] std::array<u64, kGapMemo> make_gap_memo(double cpi) {
+  std::array<u64, kGapMemo> memo;
+  for (u64 g = 0; g < kGapMemo; ++g) {
+    memo[g] = static_cast<u64>(static_cast<double>(g) * cpi);
+  }
+  return memo;
+}
+
+[[nodiscard]] u64 gap_cycles_of(u64 gap, double cpi,
+                                const std::array<u64, kGapMemo>& memo) {
+  return gap < kGapMemo ? memo[gap]
+                        : static_cast<u64>(static_cast<double>(gap) * cpi);
+}
+
+[[nodiscard]] CacheConfig tlb_geometry(const MachineConfig& cfg) {
+  return CacheConfig{static_cast<u64>(cfg.tlb_entries) * kPlacementPageBytes,
+                     static_cast<u32>(kPlacementPageBytes), cfg.tlb_entries,
+                     1};
+}
+
+/// Replay one record against a processor's private TLB model, exactly as
+/// MachineSim::translate would (same geometry, same lookup/insert order over
+/// the record's pages; see machine.cpp for why the L1-hit fast path touches
+/// the same page sequence). A page that is already the processor's MRU entry
+/// is a guaranteed hit whose LRU touch is a no-op, so it skips the
+/// associative probe entirely (bit-identical). Returns the TLB stall.
+[[nodiscard]] u64 tlb_replay_record(const TraceRecord& r, SetAssocCache& tlb,
+                                    u64& mru_page, u32 miss_penalty,
+                                    u64& misses) {
+  u64 stall = 0;
+  const u64 first_page = r.addr / kPlacementPageBytes;
+  const u64 last_page = (r.addr + r.len - 1) / kPlacementPageBytes;
+  for (u64 page = first_page; page <= last_page; ++page) {
+    if (page == mru_page) continue;
+    if (tlb.lookup(page).has_value()) {
+      mru_page = page;
+      continue;
+    }
+    ++misses;
+    stall += miss_penalty;
+    (void)tlb.insert(page, LineState::E);
+    mru_page = page;
+  }
+  return stall;
+}
+
+/// Per-unit segments a record splits into (records rarely straddle units).
+[[nodiscard]] u64 unit_segment_count(const TraceRecord& r, u32 unit_shift) {
+  return ((r.addr + r.len - 1) >> unit_shift) - (r.addr >> unit_shift) + 1;
+}
+
+/// Split a record at coherence-unit boundaries into BatchRefs at `out`
+/// (identical segments, in the same order, as the serial compile's
+/// push_back loop). Returns the number of segments written.
+u64 emit_unit_segments(const TraceRecord& r, u32 proc, u32 unit_shift,
+                       BatchRef* out) {
+  const u8 kind = r.kind;
+  const u64 last_addr = r.addr + r.len - 1;
+  const u64 first_unit = r.addr >> unit_shift;
+  const u64 last_unit = last_addr >> unit_shift;
+  if (first_unit == last_unit) {
+    out[0] = BatchRef{r.addr, proc, (r.len << 2) | kind};
+    return 1;
+  }
+  u64 k = 0;
+  for (u64 unit = first_unit; unit <= last_unit; ++unit) {
+    const u64 seg_lo = std::max(r.addr, unit << unit_shift);
+    const u64 seg_hi = std::min(last_addr, ((unit + 1) << unit_shift) - 1);
+    const u32 seg_len = static_cast<u32>(seg_hi - seg_lo + 1);
+    out[k++] = BatchRef{seg_lo, proc, (seg_len << 2) | kind};
+  }
+  return k;
+}
+
+/// Chunk-parallel compile (DESIGN.md §14). Three passes over uniform record
+/// chunks: (A) count unit segments and per-processor records per chunk,
+/// recording the in-chunk segment count at every epoch boundary; (stitch) a
+/// serial prefix sum over the chunk totals reconstructs every global offset
+/// — segment write positions, `epoch_ref_end`, per-(chunk, proc) scatter
+/// bases — exactly as the serial scan would have produced them; (B) place
+/// segments and scatter per-processor record indices into disjoint ranges;
+/// (C) per-processor TLB + instruction-gap replay over each processor's
+/// record subsequence (TLB state is strictly per-processor, so the replay
+/// order within a processor is all that matters, and the chunk-ordered
+/// concatenation preserves it), snapshotting `serial_cum` at the global
+/// epoch boundaries. Bit-identical to the serial compile at every pool size
+/// and every chunking.
+CompiledTrace compile_trace_parallel(const MachineConfig& cfg,
+                                     const std::vector<TraceRecord>& records,
+                                     u64 epoch_records, ThreadPool& pool) {
+  const u32 nproc = cfg.num_processors;
+  const u64 n = records.size();
+  CompiledTrace ct;
+  ct.records = n;
+  ct.epochs = epoch_records == 0 ? 1 : (n + epoch_records - 1) / epoch_records;
+  if (ct.epochs == 0) ct.epochs = 1;
+  ct.unit_shift =
+      static_cast<u32>(std::countr_zero(cfg.dcache.back().line_bytes));
+  ct.serial_cum.assign(ct.epochs * nproc, 0);
+  ct.instr_total.assign(nproc, 0);
+  ct.gap_cycles_total.assign(nproc, 0);
+  ct.tlb_stall_total.assign(nproc, 0);
+  ct.tlb_miss_total.assign(nproc, 0);
+
+  // ---- pass A: per-chunk counts (parallel) ----
+  const u64 target =
+      std::max<u64>(u64{16} * 1024, n / (u64{8} * pool.size()));
+  const u64 chunks = (n + target - 1) / target;
+  struct ChunkScan {
+    u64 segs = 0;                   ///< unit segments the chunk emits
+    std::vector<u64> proc_records;  ///< records per processor in the chunk
+    /// (epoch, in-chunk segment count at its boundary) for every epoch
+    /// boundary inside the chunk.
+    std::vector<std::pair<u64, u64>> epoch_marks;
+  };
+  std::vector<ChunkScan> scans(chunks);
+  parallel_for_index(&pool, chunks, [&](u64 c) {
+    const u64 lo = c * target;
+    const u64 hi = std::min(n, lo + target);
+    ChunkScan& cs = scans[c];
+    cs.proc_records.assign(nproc, 0);
+    u64 segs = 0;
+    for (u64 i = lo; i < hi; ++i) {
+      const TraceRecord& r = records[i];
+      assert(r.len > 0);
+      segs += unit_segment_count(r, ct.unit_shift);
+      ++cs.proc_records[r.proc % nproc];
+      if (epoch_records != 0 && (i + 1) % epoch_records == 0) {
+        cs.epoch_marks.emplace_back((i + 1) / epoch_records - 1, segs);
+      }
+    }
+    cs.segs = segs;
+  });
+
+  // ---- stitch: prefix sums reconstruct every global offset (serial) ----
+  std::vector<u64> seg_base(chunks + 1, 0);
+  for (u64 c = 0; c < chunks; ++c) {
+    seg_base[c + 1] = seg_base[c] + scans[c].segs;
+  }
+  ct.refs.resize(seg_base[chunks]);
+  // Epochs with no boundary mark (the final, possibly partial epoch) end at
+  // the last segment, exactly like the serial scan's trailing resize.
+  ct.epoch_ref_end.assign(ct.epochs, seg_base[chunks]);
+  for (u64 c = 0; c < chunks; ++c) {
+    for (const auto& [e, within] : scans[c].epoch_marks) {
+      ct.epoch_ref_end[e] = seg_base[c] + within;
+    }
+  }
+  std::vector<u64> proc_total(nproc, 0);
+  std::vector<u64> proc_base(chunks * nproc);  // scatter base per (chunk, p)
+  for (u64 c = 0; c < chunks; ++c) {
+    for (u32 p = 0; p < nproc; ++p) {
+      proc_base[c * nproc + p] = proc_total[p];
+      proc_total[p] += scans[c].proc_records[p];
+    }
+  }
+  std::vector<std::vector<u64>> proc_idx(nproc);
+  for (u32 p = 0; p < nproc; ++p) proc_idx[p].resize(proc_total[p]);
+
+  // ---- pass B: place segments + scatter record indices (parallel) ----
+  parallel_for_index(&pool, chunks, [&](u64 c) {
+    const u64 lo = c * target;
+    const u64 hi = std::min(n, lo + target);
+    u64 out = seg_base[c];
+    std::vector<u64> cursor(proc_base.begin() + c * nproc,
+                            proc_base.begin() + (c + 1) * nproc);
+    for (u64 i = lo; i < hi; ++i) {
+      const TraceRecord& r = records[i];
+      const u32 p = r.proc % nproc;
+      proc_idx[p][cursor[p]++] = i;
+      out += emit_unit_segments(r, p, ct.unit_shift, ct.refs.data() + out);
+    }
+  });
+
+  // ---- pass C: per-processor TLB + instruction-gap replay (parallel) ----
+  const double cpi = cfg.base_cpi;
+  const std::array<u64, kGapMemo> gap_memo = make_gap_memo(cpi);
+  const bool tlb_on = cfg.tlb_entries != 0;
+  parallel_for_index(&pool, nproc, [&](u64 pi) {
+    const u32 p = static_cast<u32>(pi);
+    std::optional<SetAssocCache> tlb;
+    if (tlb_on) tlb.emplace(tlb_geometry(cfg));
+    u64 mru_page = kNoPage;
+    u64 serial = 0;
+    u64 instr = 0, gap_total = 0, tlb_stall_sum = 0, misses = 0;
+    u64 next_epoch = 0;
+    for (const u64 idx : proc_idx[p]) {
+      if (epoch_records != 0) {
+        // serial_cum[e][p] is p's serial clock after all records with a
+        // global index below the epoch's end; flush every epoch that ends
+        // at or before this record.
+        while (next_epoch + 1 < ct.epochs &&
+               idx >= (next_epoch + 1) * epoch_records) {
+          ct.serial_cum[next_epoch * nproc + p] = serial;
+          ++next_epoch;
+        }
+      }
+      const TraceRecord& r = records[idx];
+      const u64 gap_cycles = gap_cycles_of(r.instr_gap, cpi, gap_memo);
+      u64 tlb_stall = 0;
+      if (tlb_on) {
+        tlb_stall =
+            tlb_replay_record(r, *tlb, mru_page, cfg.tlb_miss_penalty, misses);
+      }
+      instr += r.instr_gap;
+      gap_total += gap_cycles;
+      tlb_stall_sum += tlb_stall;
+      serial += gap_cycles + tlb_stall;
+    }
+    for (u64 e = next_epoch; e < ct.epochs; ++e) {
+      ct.serial_cum[e * nproc + p] = serial;
+    }
+    ct.instr_total[p] = instr;
+    ct.gap_cycles_total[p] = gap_total;
+    ct.tlb_stall_total[p] = tlb_stall_sum;
+    ct.tlb_miss_total[p] = misses;
+  });
+  return ct;
+}
+
+// ---------------------------------------------------------------------------
+// Shard routing (serial scan, or count-then-place two-pass per epoch)
+// ---------------------------------------------------------------------------
+
 /// One shard's slice of a compiled trace. At S == 1 the slice aliases the
 /// CompiledTrace refs directly (no copy — the single-shard stream IS the
 /// compiled stream); at S > 1 the routing scan copies each shard's refs
@@ -43,36 +282,105 @@ struct ShardPlan {
   std::vector<BatchRef> storage;
 };
 
-/// Route a compiled trace to S shards: a single scan assigning each ref to
+/// Route a compiled trace to S shards: each ref goes to
 /// `(addr >> unit_shift) & (S - 1)`, preserving stream order within a shard
 /// and snapshotting per-shard sizes at the compiled epoch boundaries. This
 /// is exactly the partition the old fused pre-pass produced, factored out
 /// so the expensive compile half can be memoized across shard counts.
-std::vector<ShardPlan> route_shards(const CompiledTrace& ct, u32 S) {
+///
+/// With a multi-thread pool the scan runs as a count-then-place two-pass:
+/// chunks are cut at every epoch boundary (so per-shard epoch snapshots
+/// fall on chunk seams) and subdivided to a parallel grain; a serial prefix
+/// sum over the per-(chunk, shard) counts yields each chunk's write base,
+/// and the place pass copies into disjoint ranges. Identical placement —
+/// and identical epoch snapshots — to the serial scan, at every pool size.
+std::vector<ShardPlan> route_shards(const CompiledTrace& ct, u32 S,
+                                    ThreadPool* pool) {
   std::vector<ShardPlan> plans(S);
   if (S == 1) {
     plans[0].base = ct.refs.data();
     plans[0].epoch_end = ct.epoch_ref_end;
     return plans;
   }
-  const u64 est = ct.refs.size() / S + ct.refs.size() / (8 * S) + 16;
-  for (ShardPlan& plan : plans) {
-    plan.storage.reserve(est);
-    plan.epoch_end.reserve(ct.epochs);
+  const u64 total = ct.refs.size();
+  constexpr u64 kParallelRouteMin = 32 * 1024;
+  if (pool == nullptr || pool->size() <= 1 || total < kParallelRouteMin) {
+    const u64 est = total / S + total / (8 * S) + 16;
+    for (ShardPlan& plan : plans) {
+      plan.storage.reserve(est);
+      plan.epoch_end.reserve(ct.epochs);
+    }
+    std::size_t lo = 0;
+    for (u64 e = 0; e < ct.epochs; ++e) {
+      const std::size_t hi = ct.epoch_ref_end[e];
+      for (std::size_t i = lo; i < hi; ++i) {
+        const BatchRef& r = ct.refs[i];
+        plans[(r.addr >> ct.unit_shift) & (S - 1)].storage.push_back(r);
+      }
+      for (ShardPlan& plan : plans) {
+        plan.epoch_end.push_back(plan.storage.size());
+      }
+      lo = hi;
+    }
+    for (ShardPlan& plan : plans) plan.base = plan.storage.data();
+    return plans;
   }
+
+  struct RouteChunk {
+    std::size_t lo, hi;
+    bool epoch_final;  ///< last chunk of its epoch (snapshot point)
+  };
+  const u64 target =
+      std::max<u64>(u64{16} * 1024, total / (u64{8} * pool->size()));
+  std::vector<RouteChunk> rchunks;
   std::size_t lo = 0;
   for (u64 e = 0; e < ct.epochs; ++e) {
     const std::size_t hi = ct.epoch_ref_end[e];
-    for (std::size_t i = lo; i < hi; ++i) {
-      const BatchRef& r = ct.refs[i];
-      plans[(r.addr >> ct.unit_shift) & (S - 1)].storage.push_back(r);
+    const u64 len = hi - lo;
+    const u64 pieces = std::max<u64>(1, (len + target - 1) / target);
+    for (u64 k = 0; k < pieces; ++k) {
+      rchunks.push_back({lo + static_cast<std::size_t>(len * k / pieces),
+                         lo + static_cast<std::size_t>(len * (k + 1) / pieces),
+                         k + 1 == pieces});
     }
-    for (ShardPlan& plan : plans) plan.epoch_end.push_back(plan.storage.size());
     lo = hi;
   }
+  const u64 C = rchunks.size();
+  std::vector<u64> counts(C * S, 0);  // per-(chunk, shard) ref counts
+  parallel_for_index(pool, C, [&](u64 c) {
+    u64* row = counts.data() + c * S;
+    for (std::size_t i = rchunks[c].lo; i < rchunks[c].hi; ++i) {
+      ++row[(ct.refs[i].addr >> ct.unit_shift) & (S - 1)];
+    }
+  });
+  std::vector<u64> base(C * S);  // per-(chunk, shard) write base
+  std::vector<u64> running(S, 0);
+  for (ShardPlan& plan : plans) plan.epoch_end.reserve(ct.epochs);
+  for (u64 c = 0; c < C; ++c) {
+    for (u32 s = 0; s < S; ++s) {
+      base[c * S + s] = running[s];
+      running[s] += counts[c * S + s];
+    }
+    if (rchunks[c].epoch_final) {
+      for (u32 s = 0; s < S; ++s) plans[s].epoch_end.push_back(running[s]);
+    }
+  }
+  for (u32 s = 0; s < S; ++s) plans[s].storage.resize(running[s]);
+  parallel_for_index(pool, C, [&](u64 c) {
+    std::vector<u64> cursor(base.begin() + c * S, base.begin() + (c + 1) * S);
+    for (std::size_t i = rchunks[c].lo; i < rchunks[c].hi; ++i) {
+      const BatchRef& r = ct.refs[i];
+      const auto s = static_cast<u32>((r.addr >> ct.unit_shift) & (S - 1));
+      plans[s].storage[cursor[s]++] = r;
+    }
+  });
   for (ShardPlan& plan : plans) plan.base = plan.storage.data();
   return plans;
 }
+
+// ---------------------------------------------------------------------------
+// Compile cache key
+// ---------------------------------------------------------------------------
 
 [[nodiscard]] u64 mix64(u64 h, u64 v) {
   h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
@@ -103,11 +411,186 @@ u64 compile_key(const MachineConfig& cfg,
   return h;
 }
 
+// ---------------------------------------------------------------------------
+// Pipelined epoch engine (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+/// Internal unwind signal: a sibling worker failed, so publications this
+/// worker is waiting on will never arrive. Caught (and swallowed) by the
+/// worker wrapper; the first real exception is rethrown on the caller.
+struct PipelineAbort {};
+
+/// Shared state of the pipelined epoch engine: double-buffered sealed
+/// epoch tallies plus the published merge results. A shard's worker writes
+/// the sealed slots for epoch e, then decrements `to_seal[e]` with release
+/// semantics; whichever worker brings it to zero performs the merge after
+/// its acquire — so the merge reads only sealed epoch-e counters, in fixed
+/// shard order, producing exactly the barrier loop's values.
+struct EpochPipeline {
+  DSS_EPOCH_MERGED u32 shards = 0;
+  DSS_EPOCH_MERGED u32 nproc = 0;
+  DSS_EPOCH_MERGED u32 homes = 0;
+  DSS_EPOCH_MERGED u64 epochs = 0;
+  DSS_EPOCH_MERGED const CompiledTrace* ct = nullptr;
+  /// [epoch]: shards that have not yet sealed the epoch (merged epochs
+  /// only — the final epoch is never sealed).
+  DSS_EPOCH_MERGED std::vector<std::atomic<u32>> to_seal;
+  /// [epoch][shard][home]: the shard's per-home request tally at its seal.
+  DSS_EPOCH_MERGED std::vector<u32> sealed_counts;
+  /// [epoch][shard][proc]: the shard's per-proc cycle total at its seal.
+  DSS_EPOCH_MERGED std::vector<u64> sealed_cycles;
+  /// [epoch][home]: published merged tallies (valid once published > e).
+  DSS_EPOCH_MERGED std::vector<u32> merged;
+  DSS_EPOCH_MERGED std::vector<u64> span;       ///< [epoch]: merged span
+  DSS_EPOCH_MERGED std::vector<u64> clock_end;  ///< [epoch]: merged clock max
+  DSS_EPOCH_MERGED std::atomic<u64> published{0};  ///< epochs published
+  DSS_EPOCH_MERGED std::mutex mu;
+  DSS_EPOCH_MERGED std::condition_variable cv;
+  DSS_EPOCH_MERGED bool aborted = false;            ///< guarded by mu
+  DSS_EPOCH_MERGED std::exception_ptr error;        ///< guarded by mu
+
+  EpochPipeline(u32 shards_in, u32 nproc_in, u32 homes_in,
+                const CompiledTrace& ct_in)
+      : shards(shards_in),
+        nproc(nproc_in),
+        homes(homes_in),
+        epochs(ct_in.epochs),
+        ct(&ct_in),
+        to_seal(epochs - 1),
+        sealed_counts((epochs - 1) * shards * homes, 0),
+        sealed_cycles((epochs - 1) * shards * nproc, 0),
+        merged((epochs - 1) * homes, 0),
+        span(epochs - 1, 0),
+        clock_end(epochs - 1, 0) {
+    for (auto& a : to_seal) a.store(shards, std::memory_order_relaxed);
+  }
+
+  /// Deterministic merge of epoch e, by whichever worker sealed it last:
+  /// fixed-order sums over the sealed slots and the span measured off the
+  /// merged clocks — the same arithmetic, over the same values, as the
+  /// barrier loop.
+  void publish(u64 e) {
+    u32* m = merged.data() + e * homes;
+    for (u32 s = 0; s < shards; ++s) {
+      const u32* slot = sealed_counts.data() + (e * shards + s) * homes;
+      for (u32 h = 0; h < homes; ++h) m[h] += slot[h];
+    }
+    u64 clock_max = 0;
+    for (u32 p = 0; p < nproc; ++p) {
+      u64 clk = ct->serial_cum[e * nproc + p];
+      for (u32 s = 0; s < shards; ++s) {
+        clk += sealed_cycles[(e * shards + s) * nproc + p];
+      }
+      clock_max = std::max(clock_max, clk);
+    }
+    // clock_end[e - 1] was written by the publisher of e - 1, whose
+    // release decrement of to_seal[e] happens-before this worker's final
+    // acquire decrement (every shard seals e - 1 before e).
+    clock_end[e] = clock_max;
+    const u64 prev = e == 0 ? 0 : clock_end[e - 1];
+    span[e] = std::max<u64>(1, clock_max - prev);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      published.store(e + 1, std::memory_order_release);
+    }
+    cv.notify_all();
+  }
+
+  /// Block until the merge of epoch `e` is published (published > e).
+  void wait_published(u64 e) {
+    if (published.load(std::memory_order_acquire) > e) return;
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] {
+      return aborted || published.load(std::memory_order_relaxed) > e;
+    });
+    if (published.load(std::memory_order_relaxed) <= e) throw PipelineAbort{};
+  }
+
+  /// Record a worker's failure and wake every waiter.
+  void abort(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!error) error = std::move(e);
+      aborted = true;
+    }
+    cv.notify_all();
+  }
+};
+
+/// Deferred per-shard epoch begin: armed in the shard's MemCtrl at the seal
+/// of epoch - 1 and invoked by the controller on the shard's first blocking
+/// request of `epoch`; blocks until the merge of epoch - 1 is published,
+/// then installs it. Shards whose next epoch issues no blocking request
+/// simply never resolve — the merged delays would never have been read.
+struct ShardEpochResolver final : MemCtrl::EpochResolver {
+  DSS_EPOCH_MERGED EpochPipeline* pl = nullptr;
+  DSS_EPOCH_MERGED u64 epoch = 0;  ///< epoch about to issue its first request
+
+  void resolve(MemCtrl& mc) override {
+    const u64 e = epoch - 1;
+    pl->wait_published(e);
+    mc.install_merged(pl->merged.data() + e * pl->homes, pl->homes,
+                      pl->span[e]);
+  }
+};
+
+/// One pipelined worker: epoch-major over its owned shards (s % workers ==
+/// w). Epoch-major order is what makes the run-ahead deadlock-free: by the
+/// time a worker computes epoch e + 1 it has sealed all of its shards at
+/// epoch e, so the publication a resolver waits on only ever depends on
+/// workers that are themselves still making progress (with one worker this
+/// degenerates to exactly the barrier schedule, publications always ready).
+void pipeline_worker(EpochPipeline& pl, u32 w, u32 workers,
+                     const std::vector<std::unique_ptr<MachineSim>>& machines,
+                     const std::vector<ShardPlan>& plans,
+                     std::vector<std::vector<perf::Counters>>& shard_ctr,
+                     std::vector<ShardEpochResolver>& resolvers,
+                     const ReplayOptions& opts) {
+  for (u64 e = 0; e < pl.epochs; ++e) {
+    for (u32 s = w; s < pl.shards; s += workers) {
+      MachineSim& m = *machines[s];
+      const ShardPlan& plan = plans[s];
+      const std::size_t lo = e == 0 ? 0 : plan.epoch_end[e - 1];
+      const std::size_t hi = plan.epoch_end[e];
+      m.access_batch(plan.base + lo, hi - lo);
+      if (e + 1 == pl.epochs) {
+        if (opts.on_shard_done) opts.on_shard_done(s, m);
+        continue;
+      }
+      // Seal epoch e for shard s: snapshot the tallies the merge reads,
+      // reset the running tally for epoch e + 1, and arm the deferred
+      // resolve — all before the release decrement that lets the last
+      // sealer merge.
+      MemCtrl& mc = m.memctrl_mut();
+      const std::vector<u32>& counts = mc.epoch_counts();
+      std::copy(counts.begin(), counts.end(),
+                pl.sealed_counts.begin() + (e * pl.shards + s) * pl.homes);
+      for (u32 p = 0; p < pl.nproc; ++p) {
+        pl.sealed_cycles[(e * pl.shards + s) * pl.nproc + p] =
+            shard_ctr[s][p].cycles;
+      }
+      mc.reset_epoch_counts();
+      resolvers[s].epoch = e + 1;
+      mc.set_pending_epoch(&resolvers[s]);
+      if (pl.to_seal[e].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        pl.publish(e);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 CompiledTrace compile_trace(const MachineConfig& cfg,
                             const std::vector<TraceRecord>& records,
-                            u64 epoch_records) {
+                            u64 epoch_records, ThreadPool* pool) {
+  // The parallel stitch pays three passes over the records; below this the
+  // serial single scan wins (and covers the n == 0 edge cases).
+  constexpr u64 kParallelCompileMin = 32 * 1024;
+  if (pool != nullptr && pool->size() > 1 &&
+      records.size() >= kParallelCompileMin) {
+    return compile_trace_parallel(cfg, records, epoch_records, *pool);
+  }
   const u32 nproc = cfg.num_processors;
   const u64 n = records.size();
   CompiledTrace ct;
@@ -129,32 +612,18 @@ CompiledTrace compile_trace(const MachineConfig& cfg,
   // The TLB is per-processor state keyed by page, not by coherence unit, so
   // it cannot be partitioned across shards — but its outcomes depend only on
   // each processor's page sequence, never on cache state, so the compile
-  // replays it here exactly as MachineSim::translate would (same geometry,
-  // same lookup/insert order over each record's pages; see machine.cpp for
-  // why the L1-hit fast path touches the same page sequence).
+  // replays it here exactly as MachineSim::translate would (see
+  // tlb_replay_record above).
   std::vector<SetAssocCache> tlbs;
   if (cfg.tlb_entries != 0) {
-    const CacheConfig tlb_geom{
-        static_cast<u64>(cfg.tlb_entries) * kPlacementPageBytes,
-        static_cast<u32>(kPlacementPageBytes), cfg.tlb_entries, 1};
     tlbs.reserve(nproc);
-    for (u32 p = 0; p < nproc; ++p) tlbs.emplace_back(tlb_geom);
+    for (u32 p = 0; p < nproc; ++p) tlbs.emplace_back(tlb_geometry(cfg));
   }
 
   const double cpi = cfg.base_cpi;
   std::vector<u64> serial(nproc, 0);
-  // Small instruction gaps dominate every stream; memoize the fp multiply
-  // (identical double math, computed once per distinct small gap).
-  constexpr u64 kGapMemo = 256;
-  std::array<u64, kGapMemo> gap_memo;
-  for (u64 g = 0; g < kGapMemo; ++g) {
-    gap_memo[g] = static_cast<u64>(static_cast<double>(g) * cpi);
-  }
-  // Per-processor MRU page: a lookup of the page that is already MRU in a
-  // proc's TLB is a guaranteed hit whose touch is a no-op, so the compile
-  // can skip the associative probe entirely (bit-identical; the steady
-  // state of every pattern is a run of references to one page).
-  constexpr u64 kNoPage = ~u64{0};
+  const std::array<u64, kGapMemo> gap_memo = make_gap_memo(cpi);
+  // Per-processor MRU page: see tlb_replay_record.
   std::vector<u64> mru_page(nproc, kNoPage);
   u64 epoch = 0;
   for (u64 i = 0; i < n; ++i) {
@@ -162,25 +631,12 @@ CompiledTrace compile_trace(const MachineConfig& cfg,
     const u32 p = r.proc % nproc;
     assert(r.len > 0);
 
-    const u64 gap_cycles =
-        r.instr_gap < kGapMemo
-            ? gap_memo[r.instr_gap]
-            : static_cast<u64>(static_cast<double>(r.instr_gap) * cpi);
+    const u64 gap_cycles = gap_cycles_of(r.instr_gap, cpi, gap_memo);
     u64 tlb_stall = 0;
     if (!tlbs.empty()) {
-      const u64 first_page = r.addr / kPlacementPageBytes;
-      const u64 last_page = (r.addr + r.len - 1) / kPlacementPageBytes;
-      for (u64 page = first_page; page <= last_page; ++page) {
-        if (page == mru_page[p]) continue;
-        if (tlbs[p].lookup(page).has_value()) {
-          mru_page[p] = page;
-          continue;
-        }
-        ++ct.tlb_miss_total[p];
-        tlb_stall += cfg.tlb_miss_penalty;
-        (void)tlbs[p].insert(page, LineState::E);
-        mru_page[p] = page;
-      }
+      tlb_stall = tlb_replay_record(r, tlbs[p], mru_page[p],
+                                    cfg.tlb_miss_penalty,
+                                    ct.tlb_miss_total[p]);
     }
     ct.instr_total[p] += r.instr_gap;
     ct.gap_cycles_total[p] += gap_cycles;
@@ -226,7 +682,7 @@ CompiledTrace compile_trace(const MachineConfig& cfg,
 
 std::shared_ptr<const CompiledTrace> TraceCompileCache::get(
     const MachineConfig& cfg, const std::vector<TraceRecord>& records,
-    u64 epoch_records) {
+    u64 epoch_records, ThreadPool* pool) {
   const u64 key = compile_key(cfg, records, epoch_records);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -239,7 +695,7 @@ std::shared_ptr<const CompiledTrace> TraceCompileCache::get(
   // Compile outside the lock; a concurrent identical call may compile too,
   // but both produce bit-identical traces and the first insert wins.
   auto compiled = std::make_shared<const CompiledTrace>(
-      compile_trace(cfg, records, epoch_records));
+      compile_trace(cfg, records, epoch_records, pool));
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = cache_.emplace(key, std::move(compiled));
   return it->second;
@@ -265,12 +721,14 @@ std::vector<perf::Counters> replay_batched(
   std::shared_ptr<const CompiledTrace> cached;
   CompiledTrace local;
   if (opts.compile_cache != nullptr) {
-    cached = opts.compile_cache->get(cfg, records, opts.epoch_records);
+    cached = opts.compile_cache->get(cfg, records, opts.epoch_records,
+                                     opts.pool);
   } else {
-    local = compile_trace(cfg, records, opts.epoch_records);
+    local = compile_trace(cfg, records, opts.epoch_records, opts.pool);
   }
   const CompiledTrace& ct = cached != nullptr ? *cached : local;
-  const std::vector<ShardPlan> plans = route_shards(ct, S);
+  const std::vector<ShardPlan> plans =
+      route_shards(ct, S, S > 1 ? opts.pool : nullptr);
 
   // Shard machines run with the TLB disabled: translation was fully handled
   // by the compile pass, and the per-processor TLB is the one structure a
@@ -292,43 +750,91 @@ std::vector<perf::Counters> replay_batched(
 
   ThreadPool* pool = S > 1 ? opts.pool : nullptr;
   const bool epochs_on = opts.epoch_records != 0;
-  u64 prev_clock_max = 0;
-  for (u64 e = 0; e < ct.epochs; ++e) {
-    parallel_for_index(pool, S, [&](u64 s) {
-      MachineSim& m = *machines[s];
-      const ShardPlan& plan = plans[s];
-      const std::size_t lo = e == 0 ? 0 : plan.epoch_end[e - 1];
-      const std::size_t hi = plan.epoch_end[e];
-      // The machine folds each reference's stall (and, under attribution,
-      // its CPI-stack parts) into the attached shard counters.
-      m.access_batch(plan.base + lo, hi - lo);
-      if (e + 1 == ct.epochs && opts.on_shard_done) {
-        opts.on_shard_done(static_cast<u32>(s), m);
+  // The on_epoch hook is a barrier seam (sim/check stamps a global epoch
+  // number into every shard's checker), so its presence forces the barrier
+  // schedule; so does a single shard, where there is nothing to overlap.
+  const bool pipelined =
+      opts.pipeline && epochs_on && ct.epochs > 1 && S > 1 && !opts.on_epoch;
+  if (pipelined) {
+    EpochPipeline pl(S, nproc, machines[0]->memctrl().num_homes(), ct);
+    std::vector<ShardEpochResolver> resolvers(S);
+    for (u32 s = 0; s < S; ++s) resolvers[s].pl = &pl;
+    const u32 workers =
+        pool != nullptr ? std::min<u32>(pool->size(), S) : 1;
+    if (workers <= 1) {
+      // Serial execution of the same engine: epoch-major order seals every
+      // shard before any resolver needs the publication, so no wait blocks.
+      pipeline_worker(pl, 0, 1, machines, plans, shard_ctr, resolvers, opts);
+    } else {
+      std::vector<std::future<void>> futs;
+      futs.reserve(workers);
+      for (u32 w = 0; w < workers; ++w) {
+        futs.push_back(pool->submit([&, w] {
+          try {
+            pipeline_worker(pl, w, workers, machines, plans, shard_ctr,
+                            resolvers, opts);
+          } catch (const PipelineAbort&) {
+            // A sibling failed first; its exception is the one to rethrow.
+          } catch (...) {
+            pl.abort(std::current_exception());
+          }
+        }));
       }
-    });
-    if (epochs_on && e + 1 < ct.epochs) {
-      // Deterministic epoch merge: sum every shard's per-home request tally,
-      // measure the finished epoch's span off the merged clocks, and install
-      // the same totals into every shard. All sums run in fixed index order
-      // over exact integers, so the result is independent of both thread
-      // interleaving and the shard count.
-      std::vector<u32> merged(machines[0]->memctrl().num_homes(), 0);
-      for (u32 s = 0; s < S; ++s) {
-        const std::vector<u32>& counts = machines[s]->memctrl().epoch_counts();
-        for (std::size_t h = 0; h < merged.size(); ++h) merged[h] += counts[h];
+      for (auto& f : futs) f.get();  // workers never leak exceptions
+      std::exception_ptr err;
+      {
+        std::lock_guard<std::mutex> lock(pl.mu);
+        err = pl.error;
       }
-      u64 clock_max = 0;
-      for (u32 p = 0; p < nproc; ++p) {
-        u64 clk = ct.serial_cum[e * nproc + p];
-        for (u32 s = 0; s < S; ++s) clk += shard_ctr[s][p].cycles;
-        clock_max = std::max(clock_max, clk);
+      if (err) std::rethrow_exception(err);
+    }
+    // Disarm resolvers a request-free final epoch never consumed: the
+    // resolver objects die with this scope, the machines slightly later.
+    for (u32 s = 0; s < S; ++s) {
+      machines[s]->memctrl_mut().set_pending_epoch(nullptr);
+    }
+  } else {
+    u64 prev_clock_max = 0;
+    for (u64 e = 0; e < ct.epochs; ++e) {
+      parallel_for_index(pool, S, [&](u64 s) {
+        MachineSim& m = *machines[s];
+        const ShardPlan& plan = plans[s];
+        const std::size_t lo = e == 0 ? 0 : plan.epoch_end[e - 1];
+        const std::size_t hi = plan.epoch_end[e];
+        // The machine folds each reference's stall (and, under attribution,
+        // its CPI-stack parts) into the attached shard counters.
+        m.access_batch(plan.base + lo, hi - lo);
+        if (e + 1 == ct.epochs && opts.on_shard_done) {
+          opts.on_shard_done(static_cast<u32>(s), m);
+        }
+      });
+      if (epochs_on && e + 1 < ct.epochs) {
+        // Deterministic epoch merge: sum every shard's per-home request
+        // tally, measure the finished epoch's span off the merged clocks,
+        // and install the same totals into every shard. All sums run in
+        // fixed index order over exact integers, so the result is
+        // independent of both thread interleaving and the shard count.
+        std::vector<u32> merged(machines[0]->memctrl().num_homes(), 0);
+        for (u32 s = 0; s < S; ++s) {
+          const std::vector<u32>& counts =
+              machines[s]->memctrl().epoch_counts();
+          for (std::size_t h = 0; h < merged.size(); ++h) {
+            merged[h] += counts[h];
+          }
+        }
+        u64 clock_max = 0;
+        for (u32 p = 0; p < nproc; ++p) {
+          u64 clk = ct.serial_cum[e * nproc + p];
+          for (u32 s = 0; s < S; ++s) clk += shard_ctr[s][p].cycles;
+          clock_max = std::max(clock_max, clk);
+        }
+        const u64 span = std::max<u64>(1, clock_max - prev_clock_max);
+        prev_clock_max = clock_max;
+        for (u32 s = 0; s < S; ++s) {
+          machines[s]->begin_epoch_merged(merged, span);
+        }
+        if (opts.on_epoch) opts.on_epoch(e + 1);
       }
-      const u64 span = std::max<u64>(1, clock_max - prev_clock_max);
-      prev_clock_max = clock_max;
-      for (u32 s = 0; s < S; ++s) {
-        machines[s]->begin_epoch_merged(merged, span);
-      }
-      if (opts.on_epoch) opts.on_epoch(e + 1);
     }
   }
 

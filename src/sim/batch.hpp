@@ -81,11 +81,18 @@ struct CompiledTrace {
   std::vector<u64> tlb_miss_total;
 };
 
-/// Serial compile pass: instruction-gap accounting, the per-processor TLB
-/// replay, and unit-splitting. Exactly the stream `replay_batched` replays.
+/// Compile pass: instruction-gap accounting, the per-processor TLB replay,
+/// and unit-splitting. Exactly the stream `replay_batched` replays. With a
+/// multi-thread `pool` and a large enough stream the compile runs as a
+/// chunk-parallel scan stitched by a serial prefix-sum pass (DESIGN.md §14);
+/// the output is bit-identical to the serial compile at every pool size —
+/// every global offset (segment positions, epoch boundaries, `serial_cum`)
+/// is reconstructed exactly by the stitch, and the per-processor TLB/gap
+/// replay depends only on that processor's record subsequence, which
+/// chunking preserves in order.
 [[nodiscard]] CompiledTrace compile_trace(
     const MachineConfig& cfg, const std::vector<TraceRecord>& records,
-    u64 epoch_records = 0);
+    u64 epoch_records = 0, ThreadPool* pool = nullptr);
 
 /// Process-wide memoization of compile_trace keyed by (trace contents,
 /// machine translation/CPI parameters, epoch_records). BENCH_refstream used
@@ -97,9 +104,11 @@ class TraceCompileCache {
  public:
   /// Compile `records` for `cfg`, or return the cached result of an
   /// earlier identical call. The returned trace is immutable and shared.
+  /// `pool` parallelizes a cache-miss compile (never part of the key:
+  /// compiled traces are bit-identical at every pool size).
   std::shared_ptr<const CompiledTrace> get(
       const MachineConfig& cfg, const std::vector<TraceRecord>& records,
-      u64 epoch_records = 0);
+      u64 epoch_records = 0, ThreadPool* pool = nullptr);
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] u64 hits() const;
@@ -128,6 +137,15 @@ struct ReplayOptions {
   /// stream at several shard counts compile it once). nullptr compiles
   /// privately. Results are bit-identical either way.
   TraceCompileCache* compile_cache = nullptr;
+  /// Overlap the serial MemCtrl merge of epoch e with shard compute of
+  /// epoch e+1 (DESIGN.md §14): shards seal their epoch tallies into
+  /// double-buffered per-epoch slots and run ahead; each shard blocks only
+  /// at its first blocking memory request of the new epoch, by which point
+  /// the merge is usually published. Engages only with epochs on, more than
+  /// one shard, and no `on_epoch` hook (the hook is a barrier seam); false
+  /// forces the barrier schedule. Results are bit-identical either way, at
+  /// every pool size.
+  bool pipeline = true;
   /// Called serially for each shard machine before replay begins; the seam
   /// sim/check uses to attach one invariant checker per shard (the observer
   /// seam is per-machine). Must only observe, never mutate.

@@ -89,15 +89,35 @@ class SetAssocCache {
     assert(cfg_.assoc == kAssoc);
     const u32 set = set_of(line_addr);
     const u64 want = tag_of(line_addr) << 2;
-    u64* base = &ways_[static_cast<std::size_t>(set) * kAssoc];
-    for (u32 w = 0; w < kAssoc; ++w) {
-      const u64 v = base[w];
-      if ((v & 3) != 0 && (v & ~u64{3}) == want) {
-        if constexpr (kAssoc == 2) order_[set] = w;
-        return static_cast<LineState>(v & 3);
+    const u64* base = &ways_[static_cast<std::size_t>(set) * kAssoc];
+    // Branchless hit test on the packed way word `(tag << 2) | state`:
+    // x = word ^ want is the MESI state exactly when the tags match, and
+    // state 0 (an invalid way) folds into the same unsigned `x - 1 >= 3`
+    // rejection as a tag mismatch — one subtract-compare decides both.
+    if constexpr (kAssoc == 1) {
+      const u64 x = base[0] ^ want;
+      if (x - 1 < 3) return static_cast<LineState>(x);
+      return std::nullopt;
+    } else {
+      const u64 x0 = base[0] ^ want;
+      const u64 x1 = base[1] ^ want;
+      const bool h0 = x0 - 1 < 3;
+      if (h0 || x1 - 1 < 3) {
+        // At most one way holds a tag, so the selects below are exact; the
+        // compiler lowers both to cmov (same transitions as lookup()).
+        order_[set] = h0 ? u64{0} : u64{1};
+        return static_cast<LineState>(h0 ? x0 : x1);
       }
+      return std::nullopt;
     }
-    return std::nullopt;
+  }
+
+  /// Prefetch hint for the way words of `line_addr`'s set (advisory, no
+  /// state change); the batched replay loop issues this a fixed lookahead
+  /// ahead of the probe itself.
+  void prefetch_set(u64 line_addr) const {
+    DSS_PREFETCH(&ways_[static_cast<std::size_t>(set_of(line_addr)) *
+                        cfg_.assoc]);
   }
 
   /// Look up without touching LRU (for invariant checks / probes).

@@ -56,6 +56,11 @@ class Directory {
 
   void for_each(const std::function<void(u64, const DirEntry&)>& fn) const;
 
+  /// Prefetch hint for `unit_addr`'s hash slot (advisory, no state change);
+  /// the batched replay loop issues this a fixed lookahead ahead so the
+  /// directory probe of a miss finds its slot already in cache.
+  void prefetch(u64 unit_addr) const { entries_.prefetch(unit_addr); }
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
  private:

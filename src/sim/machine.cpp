@@ -8,6 +8,14 @@
 
 namespace dss::sim {
 
+namespace {
+/// Probe-loop software-prefetch distance (BatchRefs). Far enough that the
+/// way-word and directory-slot loads complete before the probe reaches
+/// them, near enough that the lines are not evicted first; purely a host
+/// performance knob — simulated results never depend on it.
+constexpr std::size_t kBatchPrefetchAhead = 8;
+}  // namespace
+
 MachineSim::MachineSim(const MachineConfig& cfg)
     : cfg_(cfg),
       net_(cfg),
@@ -257,6 +265,12 @@ void MachineSim::warm_plain(const BatchRef* refs, std::size_t n) {
   // anywhere below.
   const u32 l1_shift = caches_[0][0].line_shift();
   for (std::size_t i = 0; i < n; ++i) {
+    if (i + kBatchPrefetchAhead < n) {
+      const BatchRef& f = refs[i + kBatchPrefetchAhead];
+      const u64 fline = f.addr >> l1_shift;
+      caches_[f.proc][0].prefetch_set(fline);
+      dir_.prefetch(unit_of_l1_line(fline));
+    }
     const BatchRef& r = refs[i];
     const auto kind = static_cast<AccessKind>(r.len_kind & 3);
     const u32 len = r.len_kind >> 2;
@@ -315,6 +329,15 @@ void MachineSim::batch_plain(const BatchRef* refs, std::size_t n) {
   // All L1s share one geometry; hoist the line shift out of the loop.
   const u32 l1_shift = caches_[0][0].line_shift();
   for (std::size_t i = 0; i < n; ++i) {
+    // Software prefetch a fixed lookahead ahead in the stream: the way
+    // words of the future reference's L1 set and the directory slot of its
+    // unit. Advisory loads only — results are bit-identical without them.
+    if (i + kBatchPrefetchAhead < n) {
+      const BatchRef& f = refs[i + kBatchPrefetchAhead];
+      const u64 fline = f.addr >> l1_shift;
+      caches_[f.proc][0].prefetch_set(fline);
+      dir_.prefetch(unit_of_l1_line(fline));
+    }
     const BatchRef& r = refs[i];
     const auto kind = static_cast<AccessKind>(r.len_kind & 3);
     const u32 len = r.len_kind >> 2;

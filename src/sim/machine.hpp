@@ -236,6 +236,11 @@ class MachineSim {
     mc_.begin_epoch_merged(merged, epoch_cycles);
   }
 
+  /// Mutable memory-controller access for the pipelined replay core's
+  /// seal / deferred-merge seams (sim/batch.cpp, DESIGN.md §14). Tests and
+  /// checkers use the const `memctrl()` accessor below.
+  [[nodiscard]] MemCtrl& memctrl_mut() { return mc_; }
+
   /// Observer invoked for every reference (trace capture); nullptr clears.
   using TraceHook = std::function<void(u32, AccessKind, SimAddr, u32)>;
   void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }

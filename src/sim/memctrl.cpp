@@ -37,6 +37,20 @@ void MemCtrl::begin_epoch_merged(const std::vector<u32>& merged,
   recompute_delays();
 }
 
+void MemCtrl::install_merged(const u32* merged, std::size_t n,
+                             u64 epoch_cycles) {
+  assert(n == prev_count_.size());
+  epoch_cycles_ = std::max<u64>(1, epoch_cycles);  // see begin_epoch
+  prev_count_.assign(merged, merged + n);
+  recompute_delays();
+}
+
+void MemCtrl::resolve_pending() {
+  EpochResolver* r = pending_;
+  pending_ = nullptr;
+  r->resolve(*this);
+}
+
 void MemCtrl::recompute_delays() {
   for (u32 h = 0; h < delay_memo_.size(); ++h) {
     delay_memo_[h] = queue_delay(h);

@@ -11,6 +11,8 @@
 // still deterministic.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "util/types.hpp"
@@ -41,6 +43,37 @@ class MemCtrl {
   /// count — the determinism argument of DESIGN.md's sharded-core section.
   void begin_epoch_merged(const std::vector<u32>& merged, u64 epoch_cycles);
 
+  // --- deferred epoch resolve (pipelined replay core, DESIGN.md §14) ---
+
+  /// Callback armed by the pipelined replay core at each epoch seal and
+  /// invoked at most once, from `request()`, immediately before the first
+  /// blocking request of the new epoch — the latest point at which the
+  /// merged previous-epoch totals must be installed (posted requests and
+  /// the hit path never read the delay memo). The implementation blocks
+  /// until the merge is published, then calls `install_merged`.
+  class EpochResolver {
+   public:
+    virtual ~EpochResolver() = default;
+    virtual void resolve(MemCtrl& mc) = 0;
+  };
+
+  /// Arm (or, with nullptr, disarm) the deferred resolve for the epoch now
+  /// beginning. The resolver object is not owned and must outlive the epoch.
+  void set_pending_epoch(EpochResolver* r) { pending_ = r; }
+
+  /// `begin_epoch_merged` without the tally reset: installs `merged[0..n)`
+  /// as the finished epoch's rate estimate over `epoch_cycles`, leaving
+  /// `cur_count_` untouched — by resolve time the running epoch may already
+  /// have accumulated posted requests, which belong to *its* tally.
+  void install_merged(const u32* merged, std::size_t n, u64 epoch_cycles);
+
+  /// Zero the running epoch tallies (the pipelined core's seal snapshots
+  /// them first; the barrier path gets the same reset via
+  /// `begin_epoch_merged`).
+  void reset_epoch_counts() {
+    std::fill(cur_count_.begin(), cur_count_.end(), 0);
+  }
+
   /// A blocking request at `home`; returns the estimated queueing delay in
   /// cycles (0 when the home is lightly loaded). The delay is a function of
   /// the *previous* epoch's rate only, so it is precomputed per home at each
@@ -48,6 +81,9 @@ class MemCtrl {
   /// an M/D/1 evaluation (two FP divides) in the miss hot path.
   [[nodiscard]] u64 request(u32 home, u64 arrival) {
     (void)arrival;
+    if (pending_ != nullptr) [[unlikely]] {
+      resolve_pending();
+    }
     ++cur_count_[home];
     ++requests_[home];
     const u64 wait = delay_memo_[home];
@@ -74,6 +110,9 @@ class MemCtrl {
   /// Refresh `delay_memo_` from the current rate estimate; called whenever
   /// `prev_count_` or `epoch_cycles_` changes.
   void recompute_delays();
+  /// Out-of-line slow path of the `pending_` branch in request(): disarm,
+  /// then run the resolver (which installs the merged totals).
+  void resolve_pending();
 
   DSS_REPLAY_SAFE u32 occupancy_;
   DSS_REPLAY_SAFE double burst_;
@@ -86,6 +125,8 @@ class MemCtrl {
   DSS_EPOCH_MERGED std::vector<u64> queued_;
   /// queue_delay(home), this epoch
   DSS_EPOCH_MERGED std::vector<u64> delay_memo_;
+  /// Armed deferred epoch resolve (pipelined replay only; nullptr otherwise).
+  DSS_EPOCH_MERGED EpochResolver* pending_ = nullptr;
 };
 
 }  // namespace dss::sim

@@ -128,9 +128,9 @@ std::vector<perf::Counters> sample_replay(const MachineConfig& cfg,
   std::shared_ptr<const CompiledTrace> cached;
   CompiledTrace local;
   if (opts.compile_cache != nullptr) {
-    cached = opts.compile_cache->get(cfg, records, 0);
+    cached = opts.compile_cache->get(cfg, records, 0, opts.pool);
   } else {
-    local = compile_trace(cfg, records, 0);
+    local = compile_trace(cfg, records, 0, opts.pool);
   }
   const CompiledTrace& ct = cached != nullptr ? *cached : local;
   const u64 total_refs = ct.refs.size();

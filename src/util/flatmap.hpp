@@ -76,6 +76,11 @@ class FlatMap {
     return const_cast<FlatMap*>(this)->find(key);
   }
 
+  /// Hint the hardware prefetcher at the slot `key` hashes to (the head of
+  /// its probe chain). Advisory only — touches no map state; the batched
+  /// replay loop issues this a fixed lookahead ahead of each probe.
+  void prefetch(u64 key) const { DSS_PREFETCH(&slots_[index_of(key)]); }
+
   /// Remove `key` if present (backward-shift deletion: the probe chain is
   /// compacted in place, no tombstones).
   void erase(u64 key) {

@@ -38,6 +38,16 @@
 #define DSS_EPOCH_MERGED
 #define DSS_REPLAY_SAFE
 
+// Software-prefetch hint used by the batched replay probe loops (a fixed
+// lookahead over the BatchRef stream hides the way-word and directory-slot
+// loads). Purely advisory: expands to nothing on toolchains without
+// __builtin_prefetch, and never affects simulated state or results.
+#if defined(__GNUC__) || defined(__clang__)
+#define DSS_PREFETCH(p) __builtin_prefetch((p))
+#else
+#define DSS_PREFETCH(p) (static_cast<void>(p))
+#endif
+
 namespace dss {
 
 using u8 = std::uint8_t;

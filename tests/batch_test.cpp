@@ -310,6 +310,114 @@ TEST(CheckedReplay, SweepsCoverEveryShardMachine) {
                 /*compare_stack=*/true, "checked sweep interval");
 }
 
+void expect_compiled_eq(const CompiledTrace& a, const CompiledTrace& b,
+                        const std::string& where) {
+  SCOPED_TRACE(where);
+  ASSERT_EQ(a.refs.size(), b.refs.size());
+  for (std::size_t i = 0; i < a.refs.size(); ++i) {
+    ASSERT_EQ(a.refs[i].addr, b.refs[i].addr) << "ref " << i;
+    ASSERT_EQ(a.refs[i].proc, b.refs[i].proc) << "ref " << i;
+    ASSERT_EQ(a.refs[i].len_kind, b.refs[i].len_kind) << "ref " << i;
+  }
+  EXPECT_EQ(a.epoch_ref_end, b.epoch_ref_end);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.unit_shift, b.unit_shift);
+  EXPECT_EQ(a.serial_cum, b.serial_cum);
+  EXPECT_EQ(a.instr_total, b.instr_total);
+  EXPECT_EQ(a.gap_cycles_total, b.gap_cycles_total);
+  EXPECT_EQ(a.tlb_stall_total, b.tlb_stall_total);
+  EXPECT_EQ(a.tlb_miss_total, b.tlb_miss_total);
+}
+
+TEST(CompileTrace, ParallelBitIdenticalAcrossPoolSizes) {
+  // The stream must clear the parallel-compile threshold (32 Ki records) so
+  // the pooled compiles actually take the chunked three-pass path.
+  for (const MachineConfig& cfg :
+       {vclass().scaled(16), origin2000().scaled(16)}) {
+    for (RefPattern pat : {RefPattern::kMixed, RefPattern::kSeqScan}) {
+      const auto recs = stream(pat, 4, 40'000);
+      for (u64 epoch_records : {u64{0}, u64{5000}}) {
+        const CompiledTrace serial = compile_trace(cfg, recs, epoch_records);
+        for (u32 jobs : {2u, 4u}) {
+          ThreadPool pool(jobs);
+          const CompiledTrace par =
+              compile_trace(cfg, recs, epoch_records, &pool);
+          expect_compiled_eq(serial, par,
+                             cfg.name + "/" + ref_pattern_name(pat) +
+                                 "/epochs=" + std::to_string(epoch_records) +
+                                 "/jobs=" + std::to_string(jobs));
+        }
+      }
+    }
+  }
+}
+
+TEST(CompileTrace, CacheHitMatchesParallelAndSerialCompiles) {
+  const MachineConfig cfg = origin2000().scaled(16);
+  const auto recs = stream(RefPattern::kMixed, 4, 40'000);
+  ThreadPool pool(4);
+  TraceCompileCache cache;
+  // First get compiles (in parallel); the second is a hit and must return
+  // the identical object; a pool-free compile must match both.
+  const auto first = cache.get(cfg, recs, 5000, &pool);
+  const auto again = cache.get(cfg, recs, 5000, nullptr);
+  EXPECT_EQ(first.get(), again.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  expect_compiled_eq(compile_trace(cfg, recs, 5000), *first, "cache vs serial");
+}
+
+TEST(ReplayBatched, PipelinedVsBarrierBitIdentical) {
+  // The pipelined epoch engine (epoch overlap with deferred MemCtrl
+  // resolve) must be bit-identical to the barrier schedule at every shard
+  // count and pool size, on both machine models.
+  ThreadPool pool(4);
+  for (const MachineConfig& cfg :
+       {vclass().scaled(16), origin2000().scaled(16)}) {
+    for (RefPattern pat : {RefPattern::kPingPong, RefPattern::kMixed}) {
+      const auto recs = stream(pat);
+      ReplayOptions barrier;
+      barrier.epoch_records = 5000;
+      barrier.pipeline = false;
+      const auto base = replay_batched(cfg, recs, barrier, nullptr);
+      for (u32 shards : {2u, 8u}) {
+        for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+          ReplayOptions opts;
+          opts.epoch_records = 5000;
+          opts.shards = shards;
+          opts.pool = p;
+          const auto got = replay_batched(cfg, recs, opts, nullptr);
+          expect_all_eq(base, got, /*compare_stack=*/true,
+                        cfg.name + "/" + ref_pattern_name(pat) +
+                            "/pipelined shards=" + std::to_string(shards) +
+                            (p != nullptr ? "/pooled" : "/serial"));
+        }
+      }
+    }
+  }
+}
+
+TEST(ReplayBatched, PipelinedManyEpochsManyShards) {
+  // Deep pipeline: more epochs than shards, short epochs, repeated runs —
+  // interleaving must never leak into the result.
+  ThreadPool pool(4);
+  const MachineConfig cfg = origin2000().scaled(16);
+  const auto recs = stream(RefPattern::kPingPong, 4, 32'768);
+  ReplayOptions barrier;
+  barrier.epoch_records = 1024;  // 32 epochs
+  barrier.pipeline = false;
+  const auto base = replay_batched(cfg, recs, barrier, nullptr);
+  ReplayOptions opts = barrier;
+  opts.pipeline = true;
+  opts.shards = 8;
+  opts.pool = &pool;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto got = replay_batched(cfg, recs, opts, nullptr);
+    expect_all_eq(base, got, /*compare_stack=*/true,
+                  "deep pipeline rep=" + std::to_string(rep));
+  }
+}
+
 TEST(RefStream, DeterministicAndWellFormed) {
   RefStreamConfig rc;
   rc.pattern = RefPattern::kMixed;

@@ -145,6 +145,45 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.assoc);
     });
 
+/// The branchless fixed-associativity fast path must behave exactly like
+/// the generic lookup: same hit/miss outcome, same returned state, and the
+/// same LRU touch (observed through subsequent evictions).
+template <u32 kAssoc>
+void lookup_fixed_equivalence(u64 size) {
+  SetAssocCache generic(CacheConfig{size, 32, kAssoc, 1});
+  SetAssocCache fixed(CacheConfig{size, 32, kAssoc, 1});
+  Rng rng(size + kAssoc);
+  constexpr LineState kStates[] = {LineState::S, LineState::E, LineState::M};
+  for (int i = 0; i < 20'000; ++i) {
+    const u64 line = static_cast<u64>(rng.uniform(0, 512));
+    const auto want = generic.lookup(line);
+    const auto got = fixed.template lookup_fixed<kAssoc>(line);
+    ASSERT_EQ(want.has_value(), got.has_value()) << "line " << line;
+    if (want) {
+      ASSERT_EQ(*want, *got) << "line " << line;
+      continue;
+    }
+    const LineState st = kStates[rng.uniform(0, 2)];
+    const auto ev_a = generic.insert(line, st);
+    const auto ev_b = fixed.insert(line, st);
+    ASSERT_EQ(ev_a.has_value(), ev_b.has_value()) << "line " << line;
+    if (ev_a) {
+      ASSERT_EQ(ev_a->line_addr, ev_b->line_addr);
+      ASSERT_EQ(ev_a->state, ev_b->state);
+    }
+  }
+}
+
+TEST(Cache, LookupFixedMatchesGenericDirectMapped) {
+  lookup_fixed_equivalence<1>(1024);
+  lookup_fixed_equivalence<1>(4096);
+}
+
+TEST(Cache, LookupFixedMatchesGenericTwoWay) {
+  lookup_fixed_equivalence<2>(1024);
+  lookup_fixed_equivalence<2>(4096);
+}
+
 TEST(Cache, ResidentCountTracksInsertEvictInvalidate) {
   SetAssocCache c(small_cfg(512, 32, 2));  // 8 sets * 2 ways = 16 lines
   Rng rng(99);

@@ -44,12 +44,14 @@ struct AnalysisOptions {
   /// Report suppressions that matched no finding as bad-suppression.
   bool strict_suppressions = false;
   /// Functions whose bodies seed the shard-safety reachability analysis.
-  /// Covers both the detailed replay core and the functional-warming path
-  /// of sampled replay (warm_* run on the same pool-sharded machines).
-  std::vector<std::string> shard_roots = {"access_batch", "batch_plain",
-                                          "replay_batched", "warm_batch",
-                                          "warm_plain",    "warm_access",
-                                          "sample_replay"};
+  /// Covers the detailed replay core, the functional-warming path of
+  /// sampled replay (warm_* run on the same pool-sharded machines), and the
+  /// pipelined-engine entry points (pipeline_worker runs shards on pool
+  /// workers; compile_trace_parallel runs the chunked compile scans there).
+  std::vector<std::string> shard_roots = {
+      "access_batch", "batch_plain",     "replay_batched",
+      "warm_batch",   "warm_plain",      "warm_access",
+      "sample_replay", "pipeline_worker", "compile_trace_parallel"};
   /// Functions whose bodies the hot-alloc rule bans allocation in (the
   /// `// dss-lint: hot-path` marker extends this per definition site).
   std::vector<std::string> hot_functions = {"lookup_fixed",

@@ -188,6 +188,13 @@ int print_diff(const DiffReport& rep, const DiffOptions& opts) {
                   d.metric.c_str(), d.note.c_str());
       continue;
     }
+    // Per-cell throughput ratio, printed for every comparable throughput
+    // pair regardless of the gate: the perf scoreboard reads speedups off
+    // the diff directly instead of dividing refs/s by hand.
+    if (d.metric == "refs_per_sec" && d.before > 0.0) {
+      std::printf("%-11s %s: %.2fx (%.6g -> %.6g refs/s)\n", "speedup",
+                  d.cell.c_str(), d.after / d.before, d.before, d.after);
+    }
     const double gate = d.metric == "refs_per_sec" ? opts.perf_threshold
                                                    : opts.rel_threshold;
     if (std::fabs(d.rel) <= gate && !d.regression) continue;
